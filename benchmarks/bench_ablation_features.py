@@ -1,0 +1,24 @@
+"""Ablation: node feature families (design choice, Section 4.2).
+
+Structural-only vs text-only vs both, on IMDb person pages.  Expected:
+the combination is at least as good as either family alone — structural
+features carry most of the signal on template pages, text features
+disambiguate rows that share a shape.
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_feature_ablation
+
+
+def test_ablation_features(benchmark):
+    result = benchmark.pedantic(
+        run_feature_ablation, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    report("ablation_features", result.format())
+
+    structural = result.scores["structural only"]
+    text = result.scores["text only"]
+    both = result.scores["structural + text (paper)"]
+    assert both.f1 >= max(structural.f1, text.f1) - 0.05
+    assert structural.defined and text.defined

@@ -1,0 +1,18 @@
+"""Table 1: SWDE dataset overview (synthetic analogue).
+
+Regenerates the vertical/site/page/attribute inventory.  The benchmark
+time measures full corpus generation including DOM parsing of every page.
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_table1
+
+
+def test_table1_swde_overview(benchmark):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"n_sites": 10, "pages_per_site": 32, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    report("table1_swde_overview", result.format())
+    assert len(result.rows) == 4

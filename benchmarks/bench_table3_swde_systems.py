@@ -1,0 +1,43 @@
+"""Table 3: page-hit F1 of all systems across the four SWDE verticals.
+
+Runs Vertex++ (supervised), CERES-Baseline (pairwise DS), CERES-Topic,
+and CERES-Full on every site of every vertical.  Expected shape (paper):
+CERES-Full ≈ CERES-Topic ≫ CERES-Baseline on the simple verticals, and
+CERES-Full competitive with the supervised Vertex++.
+
+CERES-Baseline's pairwise space is bounded by a pair budget standing in
+for the paper's 32 GB machine; the Movie vertical — cast-heavy pages
+against the largest KB — is the one that exceeds it, reproducing the
+paper's out-of-memory NA.
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_table3
+
+
+def test_table3_swde_systems(benchmark):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={
+            "n_sites": 4,
+            "pages_per_site": 28,
+            "seed": 0,
+            "baseline_pair_budget": 1_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("table3_swde_systems", result.format())
+
+    full = result.f1["CERES-Full"]
+    topic = result.f1["CERES-Topic"]
+    baseline = result.f1["CERES-Baseline"]
+    # Shape assertions from the paper.
+    for vertical in ("movie", "nbaplayer"):
+        assert full[vertical] is not None and full[vertical] > 0.8
+    for vertical in ("nbaplayer", "university"):
+        if baseline[vertical] is not None:
+            assert full[vertical] >= baseline[vertical]
+    # Book is the starved vertical: CERES still runs but scores lower.
+    assert full["book"] is not None

@@ -1,0 +1,37 @@
+"""Table 5: IMDb extraction quality — CERES-Topic vs CERES-Full.
+
+The complex-site experiment: person pages with Known For / filmography /
+Projects-in-Development hazards, film pages with recommendation rails and
+long cast lists, plus TV-episode pages as a second template.  Expected
+shape (paper): CERES-Full ≫ CERES-Topic in precision on both domains,
+with the largest gap on person pages.
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_table5
+from repro.ml.metrics import PRF
+
+
+def _pooled(result, domain, system):
+    total = PRF()
+    for systems in result.scores[domain].values():
+        total += systems[system]
+    return total
+
+
+def test_table5_imdb_extraction(benchmark):
+    result = benchmark.pedantic(
+        run_table5,
+        kwargs={"seed": 0, "n_films": 50, "n_people": 40, "n_episodes": 16},
+        rounds=1,
+        iterations=1,
+    )
+    report("table5_imdb_extraction", result.format())
+
+    for domain in ("person", "film"):
+        full = _pooled(result, domain, "full")
+        topic = _pooled(result, domain, "topic")
+        assert full.precision >= topic.precision, domain
+        assert full.f1 >= topic.f1, domain
+    assert _pooled(result, "person", "full").precision > 0.9

@@ -1,0 +1,37 @@
+"""Table 6: IMDb annotation quality — CERES-Topic vs CERES-Full.
+
+Measures the automatic labels themselves (before any training).  Expected
+shape (paper): CERES-Full trades a little recall for much higher
+precision — "annotation has decent precision ... though sometimes lower
+recall; this is because our annotation algorithms strive for high
+precision".
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_table6
+from repro.ml.metrics import PRF
+
+
+def _pooled(result, domain, system):
+    total = PRF()
+    for systems in result.scores[domain].values():
+        total += systems[system]
+    return total
+
+
+def test_table6_imdb_annotation(benchmark):
+    result = benchmark.pedantic(
+        run_table6,
+        kwargs={"seed": 0, "n_films": 50, "n_people": 40, "n_episodes": 16},
+        rounds=1,
+        iterations=1,
+    )
+    report("table6_imdb_annotation", result.format())
+
+    for domain in ("person", "film"):
+        full = _pooled(result, domain, "full")
+        topic = _pooled(result, domain, "topic")
+        assert full.precision > topic.precision, domain
+        # The precision/recall trade: Topic recalls at least as much.
+        assert topic.recall >= full.recall - 0.05, domain

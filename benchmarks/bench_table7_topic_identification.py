@@ -1,0 +1,23 @@
+"""Table 7: topic identification accuracy on IMDb.
+
+Expected shape (paper): precision near 1.0 on both domains, recall lower
+(pages whose topic the KB lacks, or that fail the dominant-path check).
+"""
+
+from conftest import report
+
+from repro.evaluation.experiments import run_table7
+
+
+def test_table7_topic_identification(benchmark):
+    result = benchmark.pedantic(
+        run_table7,
+        kwargs={"seed": 0, "n_films": 50, "n_people": 40, "n_episodes": 16},
+        rounds=1,
+        iterations=1,
+    )
+    report("table7_topic_identification", result.format())
+
+    for domain, score in result.scores.items():
+        assert score.precision > 0.95, domain
+        assert score.recall > 0.7, domain

@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The rendered table is printed to
+stdout *and* written to ``benchmarks/out/<name>.txt`` so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+timing while the experiment tables land in versionable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def report(name: str, text: str) -> None:
+    """Print a rendered experiment table and persist it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Complex-site walkthrough: why Algorithm 2 matters (Section 5.4).
+
+Generates the synthetic IMDb testbed — person pages with "Known For"
+blocks, role-sectioned filmographies, "Projects in Development", aliases
+that double as character names — and contrasts CERES-Full against the
+CERES-Topic baseline that annotates every mention of every object.
+
+Run:  python examples/imdb_complex_site.py
+"""
+
+from repro.baselines.ceres_topic import make_ceres_topic_pipeline
+from repro.core import CeresConfig, CeresPipeline
+from repro.datasets import generate_imdb
+from repro.datasets.imdb import PERSON_PREDICATES
+from repro.evaluation.experiments.common import split_pages
+from repro.evaluation.report import format_prf, format_table
+from repro.evaluation.scoring import annotation_scores, node_level_scores
+from repro.ml.metrics import PRF
+
+
+def pooled(scores: dict[str, PRF]) -> PRF:
+    total = PRF()
+    for score in scores.values():
+        total += score
+    return total
+
+
+def main() -> None:
+    print("Generating the synthetic IMDb testbed (hazards included) ...")
+    dataset = generate_imdb(seed=0, n_films=40, n_people=32, n_episodes=12)
+    kb = dataset.kb
+    config = CeresConfig()
+    train_pages, eval_pages = split_pages(dataset.person_pages, seed=0)
+    train_docs = [p.document for p in train_pages]
+    eval_docs = [p.document for p in eval_pages]
+
+    rows = []
+    for label, pipeline in (
+        ("CERES-Topic (all mentions)", make_ceres_topic_pipeline(kb, config)),
+        ("CERES-Full  (Algorithm 2)", CeresPipeline(kb, config)),
+    ):
+        annotated = pipeline.annotate(train_docs)
+        ann = pooled(
+            annotation_scores(annotated.annotated_pages, train_pages, kb,
+                              [p for p in PERSON_PREDICATES if p != "name"])
+        )
+        pipeline.train(train_docs, annotated)
+        pipeline.extract(annotated, eval_docs)
+        ext = pooled(
+            node_level_scores(annotated.extractions, eval_pages,
+                              PERSON_PREDICATES, annotated.candidates)
+        )
+        rows.append(
+            [
+                label,
+                format_prf(ann.precision), format_prf(ann.recall),
+                format_prf(ext.precision), format_prf(ext.recall),
+                format_prf(ext.f1),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["System", "Ann P", "Ann R", "Ext P", "Ext R", "Ext F1"],
+            rows,
+            title="IMDb person pages: annotation & extraction quality",
+        )
+    )
+    print(
+        "\nThe gap is the paper's Table 5/6 story: annotating every mention"
+        "\n(Known For, recommendation rails, character names) poisons the"
+        "\ntraining labels; Algorithm 2's local + global evidence keeps them"
+        "\nclean at a small cost in recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

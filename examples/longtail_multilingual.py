@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Long-tail, multi-lingual extraction (the Section 5.5 scenario).
+
+Runs CERES over a handful of synthetic niche movie sites — Italian,
+Danish, and Czech label vocabularies, low KB overlap, and two hazard
+sites — then prints the per-site breakdown and the precision/volume
+trade-off across confidence thresholds (the Figure 6 sweep).
+
+Run:  python examples/longtail_multilingual.py
+"""
+
+from repro.datasets.commoncrawl import CCSiteConfig, generate_commoncrawl
+from repro.evaluation.experiments import run_figure6, run_table8
+
+SITES = (
+    CCSiteConfig("themoviedb", "General film information", "en", 36, 0.85),
+    CCSiteConfig("filmitalia", "Italian films", "it", 24, 0.6),
+    CCSiteConfig("danskefilm", "Danish films", "da", 24, 0.65),
+    CCSiteConfig("kinobox", "Czech films", "cs", 24, 0.55),
+    CCSiteConfig(
+        "laborfilms", "Labor movement films", "en", 14, 0.45,
+        hazards=frozenset({"all_genres"}),
+    ),
+    CCSiteConfig(
+        "spicyonion", "Indian films", "en", 18, 0.5,
+        hazards=frozenset({"role_conflation"}),
+    ),
+    CCSiteConfig(
+        "boxofficemojo", "Financial performance", "en", 0, 0.0,
+        hazards=frozenset({"charts_only"}), n_noise_pages=12,
+    ),
+)
+
+
+def main() -> None:
+    print("Generating synthetic long-tail sites and running CERES per site ...")
+    dataset = generate_commoncrawl(seed=0, sites=SITES)
+    table, dataset, results = run_table8(seed=0, sites=SITES, dataset=dataset)
+
+    print()
+    print(table.format())
+    print(
+        "\nReading the table: the clean, high-overlap site extracts at ~1.0"
+        "\nprecision; foreign-language sites work because CERES never reads"
+        "\nthe labels — structure and KB alignment carry the signal; the"
+        "\nall-genres and role-conflation hazard sites sink, and the chart-"
+        "\nonly site correctly yields nothing."
+    )
+
+    figure = run_figure6(dataset, results)
+    print()
+    print(figure.format())
+    print(
+        "\nRaising the confidence threshold trades extraction volume for"
+        "\nprecision — the knob behind the paper's '1.25M facts at 90%"
+        "\nprecision' headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""CERES reproduction: distantly supervised relation extraction from the
+semi-structured web (Lockard et al., VLDB 2018).
+
+Subpackages:
+
+* ``repro.dom`` — DOM tree, HTML parser, XPath engine (lxml substitute).
+* ``repro.text`` — normalization, Levenshtein/Jaccard, fuzzy string index.
+* ``repro.kb`` — seed knowledge base: triples, ontology, page matching.
+* ``repro.ml`` — vectorizer, multinomial logistic regression, clustering.
+* ``repro.clustering`` — page template clustering (Vertex-style).
+* ``repro.core`` — CERES itself: annotation, training, extraction, pipeline.
+* ``repro.baselines`` — Vertex++, CERES-Baseline, CERES-Topic.
+* ``repro.datasets`` — synthetic SWDE / IMDb / CommonCrawl generators.
+* ``repro.evaluation`` — scoring and the per-table/figure experiments.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs the CERES pipeline over a directory of HTML files against a JSON
+seed KB (see ``repro.kb.io`` for the format) and prints extracted triples
+as JSON lines.
+
+Example::
+
+    python -m repro extract --kb seed_kb.json --pages ./site_html \
+        --threshold 0.75 --output triples.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.dom.parser import parse_html
+from repro.kb.io import load_kb
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CERES: distantly supervised extraction from semi-structured websites",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    extract = sub.add_parser("extract", help="annotate, train, and extract from a site")
+    extract.add_argument("--kb", required=True, help="seed KB JSON file")
+    extract.add_argument(
+        "--pages", required=True, help="directory of .html files (one site)"
+    )
+    extract.add_argument(
+        "--threshold", type=float, default=0.5, help="confidence threshold (default 0.5)"
+    )
+    extract.add_argument(
+        "--output", default="-", help="output JSONL path (default: stdout)"
+    )
+    extract.add_argument(
+        "--no-template-clustering", action="store_true",
+        help="treat all pages as one template",
+    )
+
+    annotate = sub.add_parser(
+        "annotate", help="run annotation only and print the labels"
+    )
+    annotate.add_argument("--kb", required=True)
+    annotate.add_argument("--pages", required=True)
+    return parser
+
+
+def _load_documents(pages_dir: str) -> list:
+    paths = sorted(Path(pages_dir).glob("*.html"))
+    if not paths:
+        raise SystemExit(f"no .html files found in {pages_dir!r}")
+    return [parse_html(path.read_text(errors="replace"), url=path.name) for path in paths]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    kb = load_kb(args.kb)
+    documents = _load_documents(args.pages)
+
+    if args.command == "annotate":
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.annotate(documents)
+        for page in result.annotated_pages:
+            topic = kb.entity(page.topic_entity_id).name
+            for annotation in page.annotations:
+                print(
+                    json.dumps(
+                        {
+                            "page": documents[page.page_index].url,
+                            "topic": topic,
+                            "predicate": annotation.predicate,
+                            "text": annotation.node.text.strip(),
+                            "xpath": annotation.node.xpath,
+                        },
+                        ensure_ascii=False,
+                    )
+                )
+        return 0
+
+    config = CeresConfig(
+        confidence_threshold=args.threshold,
+        use_template_clustering=not args.no_template_clustering,
+    )
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(documents, documents)
+    sink = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        for extraction in result.extractions:
+            sink.write(
+                json.dumps(
+                    {
+                        "page": documents[extraction.page_index].url,
+                        "subject": extraction.subject,
+                        "predicate": extraction.predicate,
+                        "object": extraction.object,
+                        "confidence": round(extraction.confidence, 4),
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(
+        f"[repro] {len(result.annotated_pages)} pages annotated, "
+        f"{len(result.extractions)} triples extracted",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

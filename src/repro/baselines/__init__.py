@@ -1,0 +1,16 @@
+"""Baselines: Vertex++ wrapper induction, CERES-Baseline (pairwise distant
+supervision), and CERES-Topic (topic identification without Algorithm 2)."""
+
+from repro.baselines.ceres_baseline import CeresBaseline, MemoryBudgetExceeded
+from repro.baselines.ceres_topic import AllMentionsAnnotator, make_ceres_topic_pipeline
+from repro.baselines.vertex import TrainingPage, VertexPlusPlus, anchor_text
+
+__all__ = [
+    "CeresBaseline",
+    "MemoryBudgetExceeded",
+    "AllMentionsAnnotator",
+    "make_ceres_topic_pipeline",
+    "TrainingPage",
+    "VertexPlusPlus",
+    "anchor_text",
+]

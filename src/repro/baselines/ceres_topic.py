@@ -1,0 +1,67 @@
+"""CERES-Topic baseline (Section 5.2).
+
+"This method applies Algorithm 1 for topic identification, but then
+annotates all mentions of an object with all applicable relations,
+bypassing the relation annotation process described in Algorithm 2."
+
+The annotator below is interface-compatible with
+:class:`repro.core.annotation.relation.RelationAnnotator`, so the regular
+pipeline runs unchanged with it plugged in — exactly the ablation the
+paper performs in Tables 5 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotation.relation import RelationAnnotator
+from repro.core.annotation.types import AnnotatedPage, Annotation, TopicResult
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.dom.parser import Document
+from repro.kb.matcher import PageMatcher
+from repro.kb.store import KnowledgeBase
+
+__all__ = ["AllMentionsAnnotator", "make_ceres_topic_pipeline"]
+
+
+class AllMentionsAnnotator(RelationAnnotator):
+    """Annotate every mention of every object with every applicable relation."""
+
+    def annotate(
+        self,
+        documents: list[Document],
+        topics: dict[int, TopicResult],
+    ) -> list[AnnotatedPage]:
+        annotated_pages: list[AnnotatedPage] = []
+        for page_index in sorted(topics):
+            topic = topics[page_index]
+            document = documents[page_index]
+            annotations: list[Annotation] = []
+            for predicate, objects in sorted(
+                self.collect_object_mentions(document, topic).items()
+            ):
+                for obj in objects:
+                    annotations.extend(
+                        Annotation(predicate, mention, obj.object_key, obj.object_text)
+                        for mention in obj.mentions
+                    )
+            if len(annotations) >= self.config.min_annotations_per_page:
+                annotated_pages.append(
+                    AnnotatedPage(
+                        page_index=page_index,
+                        document=document,
+                        topic_entity_id=topic.entity_id,
+                        topic_node=topic.node,
+                        annotations=annotations,
+                    )
+                )
+        return annotated_pages
+
+
+def make_ceres_topic_pipeline(
+    kb: KnowledgeBase, config: CeresConfig | None = None
+) -> CeresPipeline:
+    """A pipeline wired with the all-mentions annotator."""
+    config = config or CeresConfig()
+    pipeline = CeresPipeline(kb, config)
+    pipeline.annotator = AllMentionsAnnotator(kb, config, pipeline.matcher)
+    return pipeline

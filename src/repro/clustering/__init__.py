@@ -1,0 +1,5 @@
+"""Page template clustering (Vertex-style structural shingling)."""
+
+from repro.clustering.templates import TemplateCluster, cluster_pages, page_signature
+
+__all__ = ["TemplateCluster", "cluster_pages", "page_signature"]

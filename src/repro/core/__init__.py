@@ -1,0 +1,41 @@
+"""CERES core: configuration, annotation, training, extraction, pipeline."""
+
+from repro.core.annotation import (
+    AnnotatedPage,
+    Annotation,
+    RelationAnnotator,
+    TopicIdentifier,
+    TopicResult,
+    TrainingExample,
+    build_training_examples,
+)
+from repro.core.config import CeresConfig
+from repro.core.extraction import (
+    CeresExtractor,
+    CeresModel,
+    CeresTrainer,
+    Extraction,
+    NodeFeatureExtractor,
+    PageCandidates,
+)
+from repro.core.pipeline import CeresPipeline, CeresResult, ClusterResult
+
+__all__ = [
+    "AnnotatedPage",
+    "Annotation",
+    "RelationAnnotator",
+    "TopicIdentifier",
+    "TopicResult",
+    "TrainingExample",
+    "build_training_examples",
+    "CeresConfig",
+    "CeresExtractor",
+    "CeresModel",
+    "CeresTrainer",
+    "Extraction",
+    "NodeFeatureExtractor",
+    "PageCandidates",
+    "CeresPipeline",
+    "CeresResult",
+    "ClusterResult",
+]

@@ -1,0 +1,23 @@
+"""Automatic annotation: topic identification, relation annotation,
+and training-example construction (Section 3 and 4.1 of the paper)."""
+
+from repro.core.annotation.examples import (
+    TrainingExample,
+    build_training_examples,
+    list_exclusion_patterns,
+)
+from repro.core.annotation.relation import ObjectMentions, RelationAnnotator
+from repro.core.annotation.topic import TopicIdentifier
+from repro.core.annotation.types import AnnotatedPage, Annotation, TopicResult
+
+__all__ = [
+    "TrainingExample",
+    "build_training_examples",
+    "list_exclusion_patterns",
+    "ObjectMentions",
+    "RelationAnnotator",
+    "TopicIdentifier",
+    "AnnotatedPage",
+    "Annotation",
+    "TopicResult",
+]

@@ -1,0 +1,104 @@
+"""Training example construction — Section 4.1 of the paper.
+
+Annotation produces positive labels only.  For each annotated page we
+sample ``r = 3`` unlabeled DOM nodes per positive as ``OTHER`` examples,
+with the *list-index exclusion* safeguard: when several positives of one
+predicate differ only in the indices of their XPaths (a value list such as
+a cast), unlabeled nodes matching the same generalized pattern are
+excluded from negative sampling — they are probably unannotated members of
+the same list, not true negatives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.annotation.types import AnnotatedPage
+from repro.core.config import CeresConfig
+from repro.dom.node import TextNode
+from repro.dom.xpath import generalize_paths, pattern_matches, xpath_steps
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+
+__all__ = ["TrainingExample", "build_training_examples", "list_exclusion_patterns"]
+
+
+@dataclass
+class TrainingExample:
+    """One classifier training instance."""
+
+    page_index: int
+    node: TextNode
+    label: str
+
+
+def list_exclusion_patterns(page: AnnotatedPage) -> list[tuple]:
+    """Generalized XPath patterns covering each positive value list.
+
+    For every predicate with two or more annotations on the page whose
+    XPaths share a shape, the pattern wildcards the disagreeing indices.
+    """
+    by_predicate: dict[str, list[tuple]] = {}
+    for annotation in page.annotations:
+        by_predicate.setdefault(annotation.predicate, []).append(
+            xpath_steps(annotation.node)
+        )
+    patterns = []
+    for paths in by_predicate.values():
+        if len(paths) < 2:
+            continue
+        pattern = generalize_paths(paths)
+        if pattern is not None and any(index is None for _, index in pattern):
+            patterns.append(pattern)
+    return patterns
+
+
+def build_training_examples(
+    pages: list[AnnotatedPage],
+    config: CeresConfig | None = None,
+    rng: random.Random | None = None,
+) -> list[TrainingExample]:
+    """Positive + sampled negative examples for a set of annotated pages.
+
+    Positives: every relation annotation, plus the topic node labeled
+    ``name``.  Negatives: ``negatives_per_positive`` unlabeled text fields
+    per positive, sampled without replacement, skipping list-excluded
+    nodes (see :func:`list_exclusion_patterns`).
+    """
+    config = config or CeresConfig()
+    rng = rng or random.Random(config.random_seed)
+    examples: list[TrainingExample] = []
+
+    for page in pages:
+        positives: list[tuple[TextNode, str]] = [(page.topic_node, NAME_PREDICATE)]
+        positives.extend(
+            (annotation.node, annotation.predicate) for annotation in page.annotations
+        )
+        positive_ids = {id(node) for node, _ in positives}
+        patterns = list_exclusion_patterns(page)
+
+        candidates = []
+        for node in page.document.text_fields():
+            if id(node) in positive_ids:
+                continue
+            if not node.text.strip():
+                continue
+            if patterns:
+                steps = xpath_steps(node)
+                if any(pattern_matches(pattern, steps) for pattern in patterns):
+                    continue
+            candidates.append(node)
+
+        for node, label in positives:
+            examples.append(TrainingExample(page.page_index, node, label))
+        wanted = config.negatives_per_positive * len(positives)
+        if candidates:
+            sampled = (
+                rng.sample(candidates, wanted)
+                if wanted < len(candidates)
+                else list(candidates)
+            )
+            examples.extend(
+                TrainingExample(page.page_index, node, OTHER_LABEL) for node in sampled
+            )
+    return examples

@@ -1,0 +1,161 @@
+"""Page topic identification — Algorithm 1 of the paper.
+
+Two phases:
+
+1. **Local candidate identification** (Section 3.1.1): every text field is
+   matched against the KB; each candidate entity ``e`` is scored by the
+   Jaccard similarity between the page's matched value set (*pageSet*) and
+   the objects of ``e``'s KB triples (*entitySet*).  The arg-max candidate
+   becomes the page's provisional topic.
+
+2. **Global identification** (Section 3.1.2): candidates that are the
+   provisional topic of too many pages are discarded (*uniqueness*); the
+   XPaths at which provisional topics occur are counted across the site and
+   each page re-assigns its topic from the text field at the
+   highest-ranked XPath present on the page (*consistency*).  The
+   *informativeness* filter (minimum annotation count) is applied later by
+   the pipeline, after relation annotation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.annotation.types import TopicResult
+from repro.core.config import CeresConfig
+from repro.dom.parser import Document
+from repro.kb.matcher import PageMatcher
+from repro.kb.store import KnowledgeBase
+from repro.text.distance import jaccard
+from repro.text.normalize import is_low_information, normalize_text
+
+__all__ = ["TopicIdentifier"]
+
+
+class TopicIdentifier:
+    """Implements PageTopicIdentification (Algorithm 1)."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: CeresConfig | None = None,
+        matcher: PageMatcher | None = None,
+    ) -> None:
+        self.kb = kb
+        self.config = config or CeresConfig()
+        self.matcher = matcher or PageMatcher(kb)
+        self._stop_strings = kb.frequent_strings(
+            self.config.stoplist_fraction, self.config.stoplist_min_count
+        )
+
+    # -- local scoring (ScoreEntitiesForPage) -----------------------------
+
+    def _candidate_allowed(self, entity_id: str) -> bool:
+        """Uniqueness/low-information pre-filters on candidate topics."""
+        entity = self.kb.entities.get(entity_id)
+        if entity is None:
+            return False
+        if is_low_information(entity.name):
+            return False
+        if normalize_text(entity.name) in self._stop_strings:
+            return False
+        return True
+
+    def score_entities_for_page(self, document: Document) -> dict[str, float]:
+        """Jaccard score for every allowed candidate entity on the page.
+
+        This is ``ScoreEntitiesForPage`` of Algorithm 1: for each entity
+        ``e`` mentioned on the page, ``J(pageSet, entitySet(e))`` where
+        *pageSet* is the set of all KB value keys matched on the page.
+        """
+        match = self.matcher.match(document)
+        page_set = match.value_keys
+        scores: dict[str, float] = {}
+        for entity_id in match.entity_mentions:
+            if not self._candidate_allowed(entity_id):
+                continue
+            entity_set = self.kb.object_keys(entity_id)
+            if not entity_set:
+                continue
+            score = jaccard(page_set, entity_set)
+            if score > 0.0:
+                scores[entity_id] = score
+        return scores
+
+    # -- full algorithm ----------------------------------------------------
+
+    def identify(self, documents: list[Document]) -> dict[int, TopicResult]:
+        """Identify topic entities for a template cluster of pages.
+
+        Returns a map from page index to :class:`TopicResult`; pages whose
+        topic could not be determined are absent.
+        """
+        config = self.config
+
+        # Phase 1: local candidates and their scores.
+        page_scores: list[dict[str, float]] = []
+        local_candidates: list[str | None] = []
+        for document in documents:
+            scores = self.score_entities_for_page(document)
+            page_scores.append(scores)
+            if scores:
+                # Deterministic argmax: score desc, then entity id.
+                best = min(scores, key=lambda eid: (-scores[eid], eid))
+                local_candidates.append(best)
+            else:
+                local_candidates.append(None)
+
+        # Phase 2 step 1: uniqueness filter over local candidates.
+        candidate_counts = Counter(c for c in local_candidates if c is not None)
+        over_used = {
+            eid
+            for eid, count in candidate_counts.items()
+            if count >= config.max_pages_per_topic
+        }
+
+        # Phase 2 step 2: count the XPaths of candidate-topic mentions
+        # across the site ("finding the dominant XPath").
+        path_counts: Counter[str] = Counter()
+        for document, candidate in zip(documents, local_candidates):
+            if candidate is None or candidate in over_used:
+                continue
+            match = self.matcher.match(document)
+            for node in match.entity_mentions.get(candidate, ()):
+                path_counts[node.xpath] += 1
+        if not path_counts:
+            return {}
+        ranked_paths = sorted(path_counts, key=lambda p: (-path_counts[p], p))
+
+        # Phase 2 step 3: re-assign each page's topic from the text field
+        # at the highest-ranked XPath present on that page.
+        results: dict[int, TopicResult] = {}
+        for page_index, document in enumerate(documents):
+            scores = page_scores[page_index]
+            if not scores:
+                continue
+            node = None
+            for path in ranked_paths:
+                found = document.node_at(path)
+                if found is not None and found.is_text:
+                    node = found
+                    break
+            if node is None:
+                continue
+            # Entities matched in that text field, best score first.
+            match = self.matcher.match(document)
+            entities_here = match.entities_in_field(node)
+            eligible = [
+                eid
+                for eid in entities_here
+                if eid in scores and eid not in over_used
+            ]
+            if not eligible:
+                continue
+            best = min(eligible, key=lambda eid: (-scores[eid], eid))
+            results[page_index] = TopicResult(
+                page_index=page_index,
+                entity_id=best,
+                node=node,
+                score=scores[best],
+            )
+        return results

@@ -1,0 +1,93 @@
+"""Seed-KB bootstrapping (footnote 2 of the paper).
+
+"This approach can be combined with a manual-annotation-based approach;
+when entering a new domain for which no KB exists, an annotation-based
+extractor could be run on a few prominent sites and used to populate a
+seed KB for distantly supervised extraction of other sites."
+
+Two pieces:
+
+* :func:`kb_from_extractions` — turn (high-confidence) extractions into a
+  seed KB, creating one subject entity per distinct subject string;
+* :func:`bootstrap_site` — the full loop: extract from a source site
+  (with any extractor), build the seed KB, run CERES on a target site.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.extractor import Extraction
+from repro.core.pipeline import CeresPipeline, CeresResult
+from repro.dom.parser import Document
+from repro.kb.ontology import NAME_PREDICATE, Ontology
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+from repro.text.normalize import normalize_text
+
+__all__ = ["kb_from_extractions", "bootstrap_site"]
+
+
+def kb_from_extractions(
+    extractions: list[Extraction],
+    ontology: Ontology,
+    entity_type: str,
+    min_confidence: float = 0.7,
+    source_name: str = "bootstrap",
+) -> KnowledgeBase:
+    """Build a seed KB from extraction output.
+
+    Objects are stored as literals (entity linkage is out of scope, as in
+    the paper); subjects become entities named by their surface string.
+    Duplicate (subject, predicate, object) assertions collapse.
+    """
+    kb = KnowledgeBase(ontology)
+    subject_ids: dict[str, str] = {}
+    seen: set[tuple[str, str, str]] = set()
+    by_subject: dict[str, list[Extraction]] = defaultdict(list)
+    for extraction in extractions:
+        if extraction.confidence < min_confidence:
+            continue
+        if extraction.predicate == NAME_PREDICATE:
+            continue
+        if extraction.predicate not in ontology:
+            continue
+        by_subject[extraction.subject.strip()].append(extraction)
+
+    for subject, subject_extractions in sorted(by_subject.items()):
+        norm = normalize_text(subject)
+        if not norm:
+            continue
+        if norm not in subject_ids:
+            subject_ids[norm] = f"{source_name}:{len(subject_ids)}"
+            kb.add_entity(Entity(subject_ids[norm], subject, entity_type))
+        subject_id = subject_ids[norm]
+        for extraction in subject_extractions:
+            fact_key = (subject_id, extraction.predicate, normalize_text(extraction.object))
+            if fact_key in seen:
+                continue
+            seen.add(fact_key)
+            kb.add_fact(subject_id, extraction.predicate, Value.literal(extraction.object))
+    return kb
+
+
+def bootstrap_site(
+    source_extractions: list[Extraction],
+    ontology: Ontology,
+    entity_type: str,
+    target_documents: list[Document],
+    config: CeresConfig | None = None,
+    min_confidence: float = 0.7,
+) -> tuple[KnowledgeBase, CeresResult]:
+    """Extract-on-source → seed-KB → CERES-on-target.
+
+    Returns the bootstrapped KB and the CERES result on the target site.
+    """
+    config = config or CeresConfig()
+    kb = kb_from_extractions(
+        source_extractions, ontology, entity_type, min_confidence
+    )
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(target_documents, target_documents)
+    return kb, result

@@ -1,0 +1,14 @@
+"""Training and extraction (Section 4 of the paper)."""
+
+from repro.core.extraction.extractor import CeresExtractor, Extraction, PageCandidates
+from repro.core.extraction.features import NodeFeatureExtractor
+from repro.core.extraction.trainer import CeresModel, CeresTrainer
+
+__all__ = [
+    "CeresExtractor",
+    "Extraction",
+    "PageCandidates",
+    "NodeFeatureExtractor",
+    "CeresModel",
+    "CeresTrainer",
+]

@@ -1,0 +1,134 @@
+"""Applying the trained model to pages — Section 4.3 of the paper.
+
+"In extraction, we apply the logistic regression model we learned to all
+DOM nodes on each page of the website.  When we are able to identify the
+'name' node on a page, we consider the rest of the extractions from this
+webpage as objects and use the text in the topic node as the subject for
+those extracted triples."
+
+The extractor exposes two granularities:
+
+* :meth:`extract_page` — thresholded triples for one page;
+* :meth:`candidates_for_page` — every (node, predicate, confidence)
+  candidate regardless of threshold, which lets the confidence-sweep
+  experiments (Figure 6) re-threshold without re-scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.trainer import CeresModel
+from repro.dom.node import TextNode
+from repro.dom.parser import Document
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+
+__all__ = ["Extraction", "PageCandidates", "CeresExtractor"]
+
+
+@dataclass
+class Extraction:
+    """One extracted triple with its provenance and confidence."""
+
+    subject: str
+    predicate: str
+    object: str
+    confidence: float
+    page_index: int
+    node: TextNode
+
+
+@dataclass
+class PageCandidates:
+    """All scored nodes of one page, before thresholding."""
+
+    page_index: int
+    subject: str | None  # text of the identified name node, if any
+    name_confidence: float
+    #: (node, predicate, confidence) for the argmax non-OTHER class of
+    #: every node other than the name node.
+    candidates: list[tuple[TextNode, str, float]]
+
+    def extractions(self, threshold: float) -> list[Extraction]:
+        """Thresholded triples (empty when no name node was identified)."""
+        if self.subject is None or self.name_confidence < threshold:
+            return []
+        return [
+            Extraction(self.subject, predicate, node.text.strip(), confidence,
+                       self.page_index, node)
+            for node, predicate, confidence in self.candidates
+            if confidence >= threshold
+        ]
+
+
+class CeresExtractor:
+    """Applies a :class:`CeresModel` to pages."""
+
+    def __init__(self, model: CeresModel, config: CeresConfig | None = None) -> None:
+        self.model = model
+        self.config = config or CeresConfig()
+
+    def candidates_for_page(
+        self, document: Document, page_index: int = 0
+    ) -> PageCandidates:
+        """Score every text field of a page.
+
+        The name node is the field with the highest ``name`` probability;
+        every other field contributes its argmax non-OTHER, non-name class
+        as a candidate extraction.
+        """
+        nodes = [node for node in document.text_fields() if node.text.strip()]
+        if not nodes:
+            return PageCandidates(page_index, None, 0.0, [])
+        probabilities = self.model.predict_proba_for_nodes(nodes, document)
+        labels = self.model.labels
+        label_index = {label: i for i, label in enumerate(labels)}
+
+        subject: str | None = None
+        name_confidence = 0.0
+        name_position = -1
+        name_column = label_index.get(NAME_PREDICATE)
+        if name_column is not None:
+            name_position = int(np.argmax(probabilities[:, name_column]))
+            name_confidence = float(probabilities[name_position, name_column])
+            subject = nodes[name_position].text.strip()
+
+        other_column = label_index.get(OTHER_LABEL)
+        candidates: list[tuple[TextNode, str, float]] = []
+        for row, node in enumerate(nodes):
+            if row == name_position:
+                continue
+            best_column = int(np.argmax(probabilities[row]))
+            if best_column == other_column or best_column == name_column:
+                continue
+            candidates.append(
+                (node, labels[best_column], float(probabilities[row, best_column]))
+            )
+        return PageCandidates(page_index, subject, name_confidence, candidates)
+
+    def extract_page(
+        self, document: Document, page_index: int = 0, threshold: float | None = None
+    ) -> list[Extraction]:
+        """Thresholded extractions for one page."""
+        if threshold is None:
+            threshold = self.config.confidence_threshold
+        return self.candidates_for_page(document, page_index).extractions(threshold)
+
+    def extract(
+        self, documents: list[Document], threshold: float | None = None
+    ) -> list[Extraction]:
+        """Thresholded extractions for a list of pages."""
+        results: list[Extraction] = []
+        for page_index, document in enumerate(documents):
+            results.extend(self.extract_page(document, page_index, threshold))
+        return results
+
+    def candidates(self, documents: list[Document]) -> list[PageCandidates]:
+        """Unthresholded candidates for a list of pages (Figure 6 sweeps)."""
+        return [
+            self.candidates_for_page(document, page_index)
+            for page_index, document in enumerate(documents)
+        ]

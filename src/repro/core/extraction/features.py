@@ -1,0 +1,169 @@
+"""DOM node features — Section 4.2 of the paper.
+
+Two feature families represent a text node:
+
+* **Structural features** (from the Vertex project [17]): for the node's
+  element, its ancestors, and the siblings of those ancestors (width 5 on
+  either side), emit a 4-tuple feature for each of the HTML attributes
+  ``tag``, ``class``, ``id``, ``itemprop``, ``itemtype``, ``property``:
+  ``(attribute name, attribute value, levels of ancestry, sibling number)``.
+
+* **Node text features**: strings that appear frequently across the site
+  ("Director:", "Genre") are compiled at fit time; a classified node
+  receives a feature for each frequent string found nearby, consisting of
+  the string and the tree path from the node to the string's element.
+
+Feature extraction is the hot loop of both training and extraction, so the
+nearby-string search uses a per-page registry: each frequent-string node
+registers itself on its first ``text_feature_height`` ancestors with the
+downward tag path; a classified node then only inspects its own first
+``text_feature_height`` ancestors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.core.config import CeresConfig
+from repro.dom.node import ElementNode, TextNode
+from repro.dom.parser import Document
+
+__all__ = ["NodeFeatureExtractor"]
+
+FeatureDict = dict[str, float]
+
+
+class NodeFeatureExtractor:
+    """Produces the feature dictionary for a DOM text node."""
+
+    def __init__(self, config: CeresConfig | None = None) -> None:
+        self.config = config or CeresConfig()
+        self.frequent_strings: set[str] = set()
+        self._page_registry: dict[int, dict[int, list[tuple[str, str]]]] = {}
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, documents: list[Document]) -> NodeFeatureExtractor:
+        """Compile the site's frequent strings (node-text feature lexicon).
+
+        A string qualifies when it occurs on at least
+        ``frequent_string_min_fraction`` of pages and is at most
+        ``max_frequent_string_length`` characters; the most widespread
+        ``max_frequent_strings`` are kept.
+        """
+        config = self.config
+        document_frequency: Counter[str] = Counter()
+        for document in documents:
+            page_strings = {
+                node.text.strip()
+                for node in document.text_fields()
+                if 0 < len(node.text.strip()) <= config.max_frequent_string_length
+            }
+            document_frequency.update(page_strings)
+        if not documents:
+            return self
+        min_pages = max(2, int(config.frequent_string_min_fraction * len(documents)))
+        qualifying = [
+            (count, text)
+            for text, count in document_frequency.items()
+            if count >= min_pages
+        ]
+        qualifying.sort(key=lambda pair: (-pair[0], pair[1]))
+        self.frequent_strings = {
+            text for _, text in qualifying[: config.max_frequent_strings]
+        }
+        return self
+
+    # -- per-page registry for nearby frequent strings ---------------------
+
+    def _registry_for(self, document: Document) -> dict[int, list[tuple[str, str]]]:
+        """Map ancestor-element id -> [(frequent string, downward path)].
+
+        Each frequent-string occurrence registers itself on its enclosing
+        element and ``text_feature_height`` further ancestors; the downward
+        path records the tag chain from the ancestor to the string.
+        """
+        registry = self._page_registry.get(id(document))
+        if registry is not None:
+            return registry
+        registry = defaultdict(list)
+        height = self.config.text_feature_height
+        for node in document.text_fields():
+            text = node.text.strip()
+            if text not in self.frequent_strings:
+                continue
+            down_path: list[str] = []
+            element: ElementNode | None = node.parent
+            level = 0
+            while element is not None and level <= height:
+                registry[id(element)].append((text, "/".join(reversed(down_path))))
+                down_path.append(element.tag)
+                element = element.parent
+                level += 1
+        registry = dict(registry)
+        self._page_registry[id(document)] = registry
+        return registry
+
+    # -- feature extraction --------------------------------------------------
+
+    def features(self, node: TextNode, document: Document) -> FeatureDict:
+        """The full feature dictionary for one text node."""
+        result: FeatureDict = {}
+        self._structural_features(node, result)
+        self._text_features(node, document, result)
+        return result
+
+    def _structural_features(self, node: TextNode, result: FeatureDict) -> None:
+        """Vertex-style 4-tuple features over ancestors and their siblings."""
+        config = self.config
+        element: ElementNode | None = node.parent
+        level = 0
+        while element is not None and level <= config.struct_ancestor_levels:
+            self._attribute_features(element, level, 0, result)
+            parent = element.parent
+            if parent is not None:
+                siblings = parent.element_children()
+                try:
+                    position = siblings.index(element)
+                except ValueError:
+                    position = -1
+                if position >= 0:
+                    width = config.struct_sibling_width
+                    for offset in range(-width, width + 1):
+                        if offset == 0:
+                            continue
+                        sibling_index = position + offset
+                        if 0 <= sibling_index < len(siblings):
+                            self._attribute_features(
+                                siblings[sibling_index], level, offset, result
+                            )
+            element = parent
+            level += 1
+
+    def _attribute_features(
+        self, element: ElementNode, level: int, sibling: int, result: FeatureDict
+    ) -> None:
+        result[f"s|tag|{element.tag}|{level}|{sibling}"] = 1.0
+        for attribute in self.config.struct_attributes:
+            value = element.attrs.get(attribute)
+            if value:
+                result[f"s|{attribute}|{value}|{level}|{sibling}"] = 1.0
+
+    def _text_features(
+        self, node: TextNode, document: Document, result: FeatureDict
+    ) -> None:
+        """Nearby frequent-string features: (string, path through the tree)."""
+        if not self.frequent_strings:
+            return
+        registry = self._registry_for(document)
+        element: ElementNode | None = node.parent
+        ups = 0
+        while element is not None and ups <= self.config.text_feature_height:
+            for text, down_path in registry.get(id(element), ()):
+                result[f"t|{text}|u{ups}|{down_path}"] = 1.0
+            element = element.parent
+            ups += 1
+
+    def clear_page_cache(self) -> None:
+        """Drop per-page registries (documents no longer needed)."""
+        self._page_registry.clear()

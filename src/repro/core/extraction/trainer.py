@@ -1,0 +1,75 @@
+"""Training the extraction classifier — Section 4.2 of the paper.
+
+Bundles the fitted pieces into a :class:`CeresModel`: the node feature
+extractor (with the site's frequent-string lexicon), the feature
+vectorizer, and the multinomial logistic-regression classifier over
+``{predicates} ∪ {name} ∪ {OTHER}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.annotation.examples import TrainingExample
+from repro.core.config import CeresConfig
+from repro.core.extraction.features import NodeFeatureExtractor
+from repro.dom.node import TextNode
+from repro.dom.parser import Document
+from repro.ml.features import FeatureVectorizer
+from repro.ml.logistic import SoftmaxRegression
+
+__all__ = ["CeresModel", "CeresTrainer"]
+
+
+@dataclass
+class CeresModel:
+    """A trained per-template extraction model."""
+
+    feature_extractor: NodeFeatureExtractor
+    vectorizer: FeatureVectorizer
+    classifier: SoftmaxRegression
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self.classifier.classes_)
+
+    def predict_proba_for_nodes(
+        self, nodes: list[TextNode], document: Document
+    ) -> np.ndarray:
+        """Class probabilities for each node, rows aligned with ``nodes``."""
+        samples = [self.feature_extractor.features(node, document) for node in nodes]
+        X = self.vectorizer.transform(samples)
+        return self.classifier.predict_proba(X)
+
+
+class CeresTrainer:
+    """Fits a :class:`CeresModel` from training examples."""
+
+    def __init__(self, config: CeresConfig | None = None) -> None:
+        self.config = config or CeresConfig()
+
+    def train(
+        self,
+        examples: list[TrainingExample],
+        documents: list[Document],
+    ) -> CeresModel:
+        """Train on ``examples``; ``documents`` is the full template cluster
+        (used to compile the frequent-string lexicon, which must reflect
+        the whole site, not only annotated pages)."""
+        if not examples:
+            raise ValueError("no training examples — annotation produced nothing")
+        extractor = NodeFeatureExtractor(self.config).fit(documents)
+        samples = [
+            extractor.features(example.node, documents[example.page_index])
+            for example in examples
+        ]
+        labels = [example.label for example in examples]
+        vectorizer = FeatureVectorizer()
+        X = vectorizer.fit_transform(samples)
+        classifier = SoftmaxRegression(
+            C=self.config.classifier_C, max_iter=self.config.classifier_max_iter
+        )
+        classifier.fit(X, labels)
+        return CeresModel(extractor, vectorizer, classifier)

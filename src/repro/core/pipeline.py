@@ -1,0 +1,194 @@
+"""The end-to-end CERES pipeline (Figure 3 of the paper).
+
+For one website:
+
+1. cluster pages into templates (Vertex-style, Section 2.1);
+2. per cluster: identify page topics (Algorithm 1), annotate relations
+   (Algorithm 2), apply the informativeness filter;
+3. build training examples (negatives 3:1 with list exclusion) and train
+   the multinomial logistic-regression node classifier;
+4. extract from pages by assigning each to its template cluster's model.
+
+The annotator is pluggable: the CERES-Topic baseline swaps in an
+all-mentions annotator while reusing every other stage (see
+``repro.baselines.ceres_topic``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clustering.templates import cluster_pages, page_signature
+from repro.core.annotation.examples import build_training_examples
+from repro.core.annotation.relation import RelationAnnotator
+from repro.core.annotation.topic import TopicIdentifier
+from repro.core.annotation.types import AnnotatedPage, TopicResult
+from repro.core.config import CeresConfig
+from repro.core.extraction.extractor import CeresExtractor, Extraction, PageCandidates
+from repro.core.extraction.trainer import CeresModel, CeresTrainer
+from repro.dom.parser import Document
+from repro.kb.matcher import PageMatcher
+from repro.kb.store import KnowledgeBase
+from repro.text.distance import jaccard
+
+__all__ = ["ClusterResult", "CeresResult", "CeresPipeline"]
+
+
+@dataclass
+class ClusterResult:
+    """Everything learned from one template cluster."""
+
+    page_indices: list[int]  # indices into the training document list
+    signature: frozenset[str]  # leader-page signature (for assignment)
+    topics: dict[int, TopicResult]
+    annotated_pages: list[AnnotatedPage]
+    model: CeresModel | None
+
+
+@dataclass
+class CeresResult:
+    """Full pipeline output."""
+
+    cluster_results: list[ClusterResult]
+    #: merged topic assignments over all clusters (train page index → topic)
+    topics: dict[int, TopicResult] = field(default_factory=dict)
+    #: merged annotated pages over all clusters
+    annotated_pages: list[AnnotatedPage] = field(default_factory=list)
+    #: unthresholded candidates per extraction page
+    candidates: list[PageCandidates] = field(default_factory=list)
+    #: thresholded extractions (config.confidence_threshold)
+    extractions: list[Extraction] = field(default_factory=list)
+
+    @property
+    def annotation_count(self) -> int:
+        """Total relation annotations across annotated pages."""
+        return sum(len(page.annotations) for page in self.annotated_pages)
+
+    def extractions_at(self, threshold: float) -> list[Extraction]:
+        """Re-threshold the cached candidates (no re-scoring)."""
+        results: list[Extraction] = []
+        for page in self.candidates:
+            results.extend(page.extractions(threshold))
+        return results
+
+
+class CeresPipeline:
+    """Annotate → train → extract for one website."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: CeresConfig | None = None,
+        annotator=None,
+    ) -> None:
+        self.kb = kb
+        self.config = config or CeresConfig()
+        self.matcher = PageMatcher(kb)
+        self.topic_identifier = TopicIdentifier(kb, self.config, self.matcher)
+        self.annotator = annotator or RelationAnnotator(kb, self.config, self.matcher)
+        self.trainer = CeresTrainer(self.config)
+
+    # -- annotation ----------------------------------------------------------
+
+    def annotate(self, documents: list[Document]) -> CeresResult:
+        """Run clustering, topic identification, and relation annotation."""
+        config = self.config
+        if config.use_template_clustering:
+            clusters = cluster_pages(documents, config.template_similarity_threshold)
+        else:
+            clusters = None
+
+        cluster_results: list[ClusterResult] = []
+        if clusters is None:
+            groups = [(list(range(len(documents))), frozenset())]
+            if documents:
+                groups = [
+                    (list(range(len(documents))), page_signature(documents[0]))
+                ]
+        else:
+            groups = [
+                (cluster.page_indices, cluster.signature) for cluster in clusters
+            ]
+
+        for page_indices, signature in groups:
+            if len(page_indices) < config.min_cluster_size:
+                continue
+            cluster_documents = [documents[i] for i in page_indices]
+            local_topics = self.topic_identifier.identify(cluster_documents)
+            annotated = self.annotator.annotate(cluster_documents, local_topics)
+            # Re-key page indices from cluster-local to global.
+            global_topics = {
+                page_indices[local]: TopicResult(
+                    page_indices[local], topic.entity_id, topic.node, topic.score
+                )
+                for local, topic in local_topics.items()
+            }
+            for page in annotated:
+                page.page_index = page_indices[page.page_index]
+            cluster_results.append(
+                ClusterResult(page_indices, signature, global_topics, annotated, None)
+            )
+
+        result = CeresResult(cluster_results)
+        for cluster in cluster_results:
+            result.topics.update(cluster.topics)
+            result.annotated_pages.extend(cluster.annotated_pages)
+        return result
+
+    # -- training --------------------------------------------------------------
+
+    def train(self, documents: list[Document], result: CeresResult) -> CeresResult:
+        """Fit one model per cluster with enough annotated pages."""
+        rng = random.Random(self.config.random_seed)
+        for cluster in result.cluster_results:
+            if not cluster.annotated_pages:
+                continue
+            examples = build_training_examples(
+                cluster.annotated_pages, self.config, rng
+            )
+            if not examples:
+                continue
+            cluster.model = self.trainer.train(examples, documents)
+        return result
+
+    # -- extraction ---------------------------------------------------------------
+
+    def extract(
+        self, result: CeresResult, documents: list[Document]
+    ) -> CeresResult:
+        """Score ``documents`` with their nearest cluster's model."""
+        modeled = [c for c in result.cluster_results if c.model is not None]
+        result.candidates = []
+        result.extractions = []
+        if not modeled:
+            return result
+        for page_index, document in enumerate(documents):
+            signature = page_signature(document)
+            best = max(
+                modeled, key=lambda cluster: jaccard(signature, cluster.signature)
+            )
+            extractor = CeresExtractor(best.model, self.config)
+            candidates = extractor.candidates_for_page(document, page_index)
+            result.candidates.append(candidates)
+            result.extractions.extend(
+                candidates.extractions(self.config.confidence_threshold)
+            )
+        return result
+
+    # -- convenience ------------------------------------------------------------------
+
+    def run(
+        self,
+        train_documents: list[Document],
+        extract_documents: list[Document] | None = None,
+    ) -> CeresResult:
+        """Annotate and train on ``train_documents``; extract from
+        ``extract_documents`` (default: the training documents, matching
+        the paper's full-site extraction)."""
+        result = self.annotate(train_documents)
+        self.train(train_documents, result)
+        targets = (
+            extract_documents if extract_documents is not None else train_documents
+        )
+        return self.extract(result, targets)

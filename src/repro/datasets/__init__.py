@@ -1,0 +1,74 @@
+"""Synthetic datasets: entity universes, page rendering with ground truth,
+and the SWDE / IMDb / CommonCrawl corpus generators."""
+
+from repro.datasets.commoncrawl import (
+    CCSite,
+    CCSiteConfig,
+    CommonCrawlDataset,
+    DEFAULT_SITES,
+    generate_commoncrawl,
+)
+from repro.datasets.entities import (
+    BOOK_ONTOLOGY,
+    MOVIE_ONTOLOGY,
+    NBA_ONTOLOGY,
+    UNIVERSITY_ONTOLOGY,
+    BookUniverse,
+    Fact,
+    MovieUniverse,
+    NbaUniverse,
+    UniversityUniverse,
+)
+from repro.datasets.imdb import (
+    FILM_PREDICATES,
+    IMDbDataset,
+    PERSON_PREDICATES,
+    generate_imdb,
+)
+from repro.datasets.kbgen import kb_from_ground_truth, kb_from_universe
+from repro.datasets.render import Emission, GeneratedPage, PageBuilder, PageTruth
+from repro.datasets.styles import InfoRow, LabeledValue, SiteStyle
+from repro.datasets.swde import (
+    SWDEDataset,
+    Site,
+    VERTICAL_PREDICATES,
+    VERTICALS,
+    generate_swde,
+    seed_kb_for,
+)
+
+__all__ = [
+    "CCSite",
+    "CCSiteConfig",
+    "CommonCrawlDataset",
+    "DEFAULT_SITES",
+    "generate_commoncrawl",
+    "BOOK_ONTOLOGY",
+    "MOVIE_ONTOLOGY",
+    "NBA_ONTOLOGY",
+    "UNIVERSITY_ONTOLOGY",
+    "BookUniverse",
+    "Fact",
+    "MovieUniverse",
+    "NbaUniverse",
+    "UniversityUniverse",
+    "FILM_PREDICATES",
+    "IMDbDataset",
+    "PERSON_PREDICATES",
+    "generate_imdb",
+    "kb_from_ground_truth",
+    "kb_from_universe",
+    "Emission",
+    "GeneratedPage",
+    "PageBuilder",
+    "PageTruth",
+    "InfoRow",
+    "LabeledValue",
+    "SiteStyle",
+    "SWDEDataset",
+    "Site",
+    "VERTICAL_PREDICATES",
+    "VERTICALS",
+    "generate_swde",
+    "seed_kb_for",
+]

@@ -1,0 +1,411 @@
+"""Synthetic CommonCrawl: long-tail, multi-lingual movie websites.
+
+Reproduces the Section 5.5 testbed: dozens of niche movie sites in several
+languages, with widely varying KB overlap and the failure modes the paper
+catalogues in Section 5.5.1, each planted as an explicit *hazard*:
+
+* ``role_conflation`` — a single "Filmography" list without role labels
+  (spicyonion.com, filmindonesia.or.id): the page asserts no specific
+  predicate, but KB facts still align, poisoning annotations;
+* ``all_genres`` — every genre in the vocabulary listed on every page
+  (christianfilmdatabase.com, laborfilms.com);
+* ``date_lists`` — long per-day box-office tables full of dates
+  (the-numbers.com), swamping the release date;
+* ``episode_confusion`` — film pages whose titles collide with TV episodes
+  in the KB (dianying.com, myanimelist.net): topic identification can
+  pick the wrong entity type;
+* ``template_variety`` — the order of info rows shuffles per page
+  (bollywoodmdb.com, colonialfilm.org.uk);
+* ``mixed_templates`` — non-detail list pages engineered to cluster with
+  detail pages (sodasandpopcorn.com);
+* ``charts_only`` — no detail pages at all (boxofficemojo.com): the right
+  answer is to extract nothing.
+
+The seed KB is the movie-universe core; each site mixes core (in-KB) films
+with long-tail films the KB has never seen, at a per-site overlap rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.entities import MOVIE_ONTOLOGY, MovieUniverse
+from repro.datasets.kbgen import kb_from_universe
+from repro.datasets.names import GENRES
+from repro.datasets.render import GeneratedPage, PageBuilder
+from repro.datasets.styles import InfoRow, LabeledValue, SiteStyle
+from repro.kb.store import KnowledgeBase
+
+__all__ = ["CCSiteConfig", "CCSite", "CommonCrawlDataset", "generate_commoncrawl",
+           "DEFAULT_SITES"]
+
+
+@dataclass(frozen=True)
+class CCSiteConfig:
+    """Static description of one synthetic long-tail site."""
+
+    name: str
+    focus: str
+    language: str = "en"
+    n_pages: int = 40
+    #: fraction of the site's films that exist in the seed KB.
+    kb_overlap: float = 0.5
+    hazards: frozenset = frozenset()
+    #: additional non-detail pages (charts/lists).
+    n_noise_pages: int = 0
+
+
+#: The default site roster (Table 8 analogue).  Page counts are laptop-scale;
+#: relative sizes and hazard assignments follow the paper's discussion.
+DEFAULT_SITES: tuple[CCSiteConfig, ...] = (
+    CCSiteConfig("themoviedb", "General film information", "en", 60, 0.85),
+    CCSiteConfig("blaxploitation", "Blaxploitation films", "en", 16, 0.7),
+    CCSiteConfig("danskefilm", "Danish films", "da", 36, 0.65),
+    CCSiteConfig("archiviocinema", "Italian films", "it", 30, 0.6),
+    CCSiteConfig("filmitalia", "Italian films", "it", 30, 0.6),
+    CCSiteConfig("kmdb", "Korean films", "en", 14, 0.35),
+    CCSiteConfig("britflicks", "British films", "en", 28, 0.6),
+    CCSiteConfig("rottentomatoes", "Film reviews", "en", 70, 0.8),
+    CCSiteConfig("moviecrow", "Indian films", "en", 16, 0.4),
+    CCSiteConfig("nfb", "Canadian films", "en", 44, 0.5),
+    CCSiteConfig("kinobox", "Czech films", "cs", 44, 0.55),
+    CCSiteConfig("samdb", "South African films", "en", 12, 0.3),
+    CCSiteConfig(
+        "dianying", "Chinese films", "en", 36, 0.45,
+        hazards=frozenset({"episode_confusion"}),
+    ),
+    CCSiteConfig("giantscreen", "IMAX films", "en", 14, 0.5),
+    CCSiteConfig(
+        "myanimelist", "Animated films", "en", 30, 0.4,
+        hazards=frozenset({"episode_confusion"}),
+    ),
+    CCSiteConfig("hkmdb", "Hong Kong films", "en", 28, 0.45),
+    CCSiteConfig(
+        "bollywoodmdb", "Bollywood films", "en", 20, 0.45,
+        hazards=frozenset({"template_variety"}),
+    ),
+    CCSiteConfig(
+        "soundtrackcollector", "Movie soundtracks", "en", 26, 0.55,
+        hazards=frozenset({"music_focus"}),
+    ),
+    CCSiteConfig(
+        "spicyonion", "Indian films", "en", 26, 0.5,
+        hazards=frozenset({"role_conflation"}),
+    ),
+    CCSiteConfig("shortfilmcentral", "Short films", "en", 40, 0.25),
+    CCSiteConfig(
+        "filmindonesia", "Indonesian films", "id", 24, 0.45,
+        hazards=frozenset({"role_conflation"}),
+    ),
+    CCSiteConfig(
+        "thenumbers", "Financial performance", "en", 56, 0.75,
+        hazards=frozenset({"date_lists"}),
+    ),
+    CCSiteConfig(
+        "sodasandpopcorn", "Nigerian films", "en", 20, 0.35,
+        hazards=frozenset({"mixed_templates"}), n_noise_pages=10,
+    ),
+    CCSiteConfig(
+        "christianfilmdb", "Christian films", "en", 24, 0.5,
+        hazards=frozenset({"all_genres"}),
+    ),
+    CCSiteConfig("jfdb", "Japanese films", "en", 14, 0.35),
+    CCSiteConfig("kvikmyndavefurinn", "Icelandic films", "is", 12, 0.4),
+    CCSiteConfig(
+        "laborfilms", "Labor movement films", "en", 14, 0.45,
+        hazards=frozenset({"all_genres"}),
+    ),
+    CCSiteConfig("africaarchive", "African films", "en", 16, 0.3),
+    CCSiteConfig(
+        "colonialfilm", "Colonial-era films", "en", 16, 0.3,
+        hazards=frozenset({"template_variety"}),
+    ),
+    CCSiteConfig(
+        "sfd", "Slovak films", "sk", 14, 0.3,
+        hazards=frozenset({"role_conflation"}),
+    ),
+    CCSiteConfig("bcdb", "Animated films", "en", 10, 0.05),
+    CCSiteConfig("bmxmdb", "BMX films", "en", 10, 0.0),
+    CCSiteConfig(
+        "boxofficemojo", "Financial performance", "en", 0, 0.0,
+        hazards=frozenset({"charts_only"}), n_noise_pages=30,
+    ),
+)
+
+
+@dataclass
+class CCSite:
+    """One generated long-tail site."""
+
+    config: CCSiteConfig
+    style: SiteStyle
+    pages: list[GeneratedPage] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def documents(self):
+        return [page.document for page in self.pages]
+
+
+@dataclass
+class CommonCrawlDataset:
+    """The full long-tail corpus plus the seed KB."""
+
+    universe: MovieUniverse
+    sites: list[CCSite]
+    kb: KnowledgeBase
+
+
+def _detail_page(
+    universe: MovieUniverse,
+    film_id: str,
+    site: CCSiteConfig,
+    style: SiteStyle,
+    page_rng: random.Random,
+) -> GeneratedPage:
+    film = universe.films[film_id]
+    hazards = site.hazards
+    builder = PageBuilder()
+    style.start_page(builder, page_rng)
+    opened = style.open_main(builder)
+    style.title_block(builder, film.title, "name")
+
+    rows: list[InfoRow] = []
+    if "role_conflation" not in hazards:
+        rows.append(
+            InfoRow(
+                style.label("director"),
+                tuple(
+                    LabeledValue(universe.people[p].name, "directed_by")
+                    for p in film.director_ids
+                ),
+            )
+        )
+        rows.append(
+            InfoRow(
+                style.label("writer"),
+                tuple(
+                    LabeledValue(universe.people[p].name, "written_by")
+                    for p in film.writer_ids
+                ),
+            )
+        )
+    if "all_genres" not in hazards:
+        rows.append(
+            InfoRow(
+                style.label("genre"),
+                tuple(LabeledValue(g, "genre") for g in film.genres),
+            )
+        )
+    rows.append(
+        InfoRow(
+            style.label("release_date"),
+            (
+                LabeledValue(
+                    style.render_date(film.release_date),
+                    "release_date",
+                    canonical=film.release_date,
+                ),
+            ),
+        )
+    )
+    rows.append(
+        InfoRow(style.label("year"), (LabeledValue(film.release_year, "release_year"),))
+    )
+    if film.composer_ids and ("music_focus" in hazards or page_rng.random() < 0.4):
+        rows.append(
+            InfoRow(
+                style.label("composer"),
+                tuple(
+                    LabeledValue(universe.people[p].name, "music_by")
+                    for p in film.composer_ids
+                ),
+            )
+        )
+    if "template_variety" in hazards:
+        page_rng.shuffle(rows)
+    style.info_section(builder, rows)
+
+    if "all_genres" in hazards:
+        # Every genre in the vocabulary, on every page; the page asserts
+        # nothing about this film's genres specifically.
+        style.list_section(
+            builder,
+            style.label("genre"),
+            [LabeledValue(genre, None) for genre in GENRES],
+            "genres",
+        )
+
+    if "role_conflation" in hazards:
+        # All involved people in one undifferentiated list: the site never
+        # says who directed, wrote, or acted.
+        involved = list(
+            dict.fromkeys(
+                list(film.director_ids) + list(film.writer_ids) + list(film.cast_ids[:6])
+            )
+        )
+        style.list_section(
+            builder,
+            style.label("filmography"),
+            [LabeledValue(universe.people[p].name, None) for p in involved],
+            "people",
+        )
+    else:
+        cast_shown = film.cast_ids[: page_rng.randint(3, min(10, len(film.cast_ids)))]
+        style.list_section(
+            builder,
+            style.label("cast"),
+            [LabeledValue(universe.people[p].name, "has_cast_member") for p in cast_shown],
+            "cast",
+        )
+
+    if "date_lists" in hazards:
+        # Daily box-office chart: dozens of date fields, including the
+        # release date itself, none of which assert release_date.
+        builder.open("table", class_="daily-chart", id="boxoffice")
+        year, month, _ = film.release_date.split("-")
+        for day in range(1, 1 + page_rng.randint(8, 14)):
+            builder.open("tr", class_="chart-row")
+            builder.leaf("td", f"{int(day):02d}/{month}/{year}", class_="chart-date")
+            builder.leaf("td", f"${page_rng.randint(10, 900)},{page_rng.randint(100, 999)}", class_="chart-gross")
+            builder.close("tr")
+        builder.close("table")
+
+    style.close_main(builder, opened)
+    style.end_page(builder)
+    return GeneratedPage(
+        page_id=f"{site.name}:{film_id}",
+        html=builder.html(),
+        emissions=builder.emissions,
+        topic_entity_id=film_id,
+        topic_name=film.title,
+    )
+
+
+def _chart_page(
+    universe: MovieUniverse,
+    site: CCSiteConfig,
+    style: SiteStyle,
+    page_index: int,
+    page_rng: random.Random,
+    mimic_detail: bool,
+) -> GeneratedPage:
+    """A non-detail page: a ranked chart/list of film titles.
+
+    With ``mimic_detail`` the page reuses the detail template's container
+    classes so that template clustering fails to separate it (the
+    sodasandpopcorn failure mode).
+    """
+    builder = PageBuilder()
+    style.start_page(builder, page_rng)
+    opened = style.open_main(builder)
+    title = f"Top films — week {page_index + 1}"
+    if mimic_detail:
+        style.title_block(builder, title, None)
+    else:
+        builder.leaf("h2", title, class_="chart-title")
+    container_class = f"{style.cls}-info" if mimic_detail else "chart-list"
+    builder.open("div", class_=container_class)
+    film_ids = page_rng.sample(list(universe.films), min(12, len(universe.films)))
+    for rank, film_id in enumerate(film_ids, start=1):
+        builder.open("div", class_="info-row" if mimic_detail else "chart-row")
+        builder.leaf("span", str(rank), class_="info-label" if mimic_detail else "rank")
+        builder.leaf(
+            "span", universe.films[film_id].title,
+            class_="info-value" if mimic_detail else "chart-film",
+        )
+        builder.close("div")
+    builder.close("div")
+    style.close_main(builder, opened)
+    style.end_page(builder)
+    return GeneratedPage(
+        page_id=f"{site.name}:chart:{page_index}",
+        html=builder.html(),
+        emissions=builder.emissions,
+        topic_entity_id=None,
+        topic_name=None,
+    )
+
+
+def generate_commoncrawl(
+    seed: int = 0,
+    sites: tuple[CCSiteConfig, ...] = DEFAULT_SITES,
+    universe: MovieUniverse | None = None,
+) -> CommonCrawlDataset:
+    """Generate the long-tail corpus and its seed KB.
+
+    The KB covers a *core* of the universe; each site's films are a
+    per-site mix of core and long-tail titles at the configured overlap.
+    """
+    if universe is None:
+        total_pages = sum(c.n_pages for c in sites)
+        universe = MovieUniverse(
+            seed=seed,
+            n_people=500,
+            n_films=max(400, int(total_pages * 0.9)),
+            n_series=14,
+            episodes_per_series=8,
+        )
+    rng = random.Random(seed + 4242)
+
+    film_ids = list(universe.films)
+    rng.shuffle(film_ids)
+    core_count = int(len(film_ids) * 0.55)
+    core_films = film_ids[:core_count]
+    tail_films = film_ids[core_count:]
+
+    kb_entities = set(core_films) | set(universe.people) | set(universe.series) | set(
+        universe.episodes
+    )
+    kb = kb_from_universe(
+        universe.entities(),
+        universe.facts(),
+        MOVIE_ONTOLOGY,
+        coverage={"mpaa_rating": 0.0, "producer_of": 0.6, "acted_in": 0.8},
+        entity_filter=kb_entities,
+        seed=seed,
+    )
+
+    generated_sites: list[CCSite] = []
+    core_cursor = 0
+    tail_cursor = 0
+    for config in sites:
+        style = SiteStyle.generate(config.name, seed, language=config.language)
+        site = CCSite(config, style)
+        n_core = int(round(config.n_pages * config.kb_overlap))
+        n_tail = config.n_pages - n_core
+        chosen: list[str] = []
+        for _ in range(n_core):
+            chosen.append(core_films[core_cursor % len(core_films)])
+            core_cursor += 1
+        for _ in range(n_tail):
+            chosen.append(tail_films[tail_cursor % len(tail_films)])
+            tail_cursor += 1
+        site_rng = random.Random(f"{config.name}:{seed}")
+        site_rng.shuffle(chosen)
+
+        if "episode_confusion" in config.hazards:
+            # Some long-tail films on this site share titles with KB TV
+            # episodes ("Pilot"), so topic identification may resolve the
+            # page to the wrong entity.
+            episode_titles = [e.title for e in universe.episodes.values()][:4]
+            tail_set = set(tail_films)
+            victims = [fid for fid in chosen if fid in tail_set][: len(episode_titles)]
+            for title, film_id in zip(episode_titles, victims):
+                universe.films[film_id].title = title  # shared title, distinct entity
+
+        for film_id in chosen:
+            page_rng = random.Random(f"{config.name}:{film_id}:{seed}")
+            site.pages.append(_detail_page(universe, film_id, config, style, page_rng))
+        mimic = "mixed_templates" in config.hazards
+        for index in range(config.n_noise_pages):
+            page_rng = random.Random(f"{config.name}:chart{index}:{seed}")
+            site.pages.append(
+                _chart_page(universe, config, style, index, page_rng, mimic)
+            )
+        site_rng.shuffle(site.pages)
+        generated_sites.append(site)
+    return CommonCrawlDataset(universe, generated_sites, kb)

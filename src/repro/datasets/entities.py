@@ -1,0 +1,508 @@
+"""Synthetic entity universes for the four SWDE verticals.
+
+A *universe* is the complete world of entities and canonical facts from
+which both websites and seed KBs are drawn: websites render (possibly
+noisy, possibly partial) views of the universe, and KBs contain biased
+subsets of its facts (see ``repro.datasets.kbgen``).  This mirrors the
+paper's setup where IMDb pages and the IMDb-derived seed KB are two
+views of one underlying database.
+
+Everything is generated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.names import CITIES, GENRES, PersonNamer, TitleNamer
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.triple import Entity, Value
+
+__all__ = [
+    "Fact",
+    "MovieUniverse",
+    "BookUniverse",
+    "NbaUniverse",
+    "UniversityUniverse",
+    "MOVIE_ONTOLOGY",
+    "BOOK_ONTOLOGY",
+    "NBA_ONTOLOGY",
+    "UNIVERSITY_ONTOLOGY",
+]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A canonical universe fact."""
+
+    subject: str
+    predicate: str
+    value: Value
+
+
+def _random_date(rng: random.Random, start_year: int, end_year: int) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+# --------------------------------------------------------------------------
+# Movie vertical (also powers IMDb and CommonCrawl experiments)
+# --------------------------------------------------------------------------
+
+MOVIE_ONTOLOGY = Ontology(
+    [
+        # film-side
+        Predicate("has_cast_member", domain="film", range_kind="entity", multi_valued=True),
+        Predicate("directed_by", domain="film", range_kind="entity", multi_valued=True),
+        Predicate("written_by", domain="film", range_kind="entity", multi_valued=True),
+        Predicate("music_by", domain="film", range_kind="entity", multi_valued=True),
+        Predicate("genre", domain="film", range_kind="string", multi_valued=True),
+        Predicate("release_date", domain="film", range_kind="date"),
+        Predicate("release_year", domain="film", range_kind="string"),
+        Predicate("mpaa_rating", domain="film", range_kind="string"),
+        Predicate("episode_number", domain="episode", range_kind="string"),
+        Predicate("season_number", domain="episode", range_kind="string"),
+        Predicate("series", domain="episode", range_kind="entity"),
+        # person-side
+        Predicate("alias", domain="person", range_kind="string", multi_valued=True),
+        Predicate("birth_date", domain="person", range_kind="date"),
+        Predicate("place_of_birth", domain="person", range_kind="string"),
+        Predicate("acted_in", domain="person", range_kind="entity", multi_valued=True),
+        Predicate("director_of", domain="person", range_kind="entity", multi_valued=True),
+        Predicate("writer_of", domain="person", range_kind="entity", multi_valued=True),
+        Predicate("producer_of", domain="person", range_kind="entity", multi_valued=True),
+        Predicate("created_music_for", domain="person", range_kind="entity", multi_valued=True),
+    ]
+)
+
+MPAA_RATINGS = ("G", "PG", "PG-13", "R", "NR")
+
+
+@dataclass
+class PersonRecord:
+    id: str
+    name: str
+    birth_date: str
+    birthplace: str
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass
+class FilmRecord:
+    id: str
+    title: str
+    release_date: str
+    genres: tuple[str, ...]
+    director_ids: tuple[str, ...]
+    writer_ids: tuple[str, ...]
+    cast_ids: tuple[str, ...]
+    #: cast members with "character information" — the principal subset the
+    #: paper's seed KB is biased toward (Section 5.4, footnote 10).
+    principal_cast_ids: tuple[str, ...]
+    producer_ids: tuple[str, ...]
+    composer_ids: tuple[str, ...]
+    mpaa_rating: str
+    runtime_minutes: int
+
+    @property
+    def release_year(self) -> str:
+        return self.release_date[:4]
+
+
+@dataclass
+class SeriesRecord:
+    id: str
+    title: str
+    genres: tuple[str, ...]
+
+
+@dataclass
+class EpisodeRecord:
+    id: str
+    title: str
+    series_id: str
+    season: int
+    episode: int
+    cast_ids: tuple[str, ...]
+    director_ids: tuple[str, ...]
+    writer_ids: tuple[str, ...]
+    release_date: str
+
+
+class MovieUniverse:
+    """People, films, TV series and episodes, with realistic overlaps.
+
+    Deliberate hazards baked in:
+
+    * directors often also write and sometimes act in their own films
+      (the Spike Lee case of Example 3.1);
+    * many episodes are titled "Pilot" (the ambiguity example of
+      Section 2.2);
+    * people may have aliases that are variants of their names.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_people: int = 400,
+        n_films: int = 200,
+        n_series: int = 12,
+        episodes_per_series: int = 8,
+    ) -> None:
+        rng = random.Random(seed)
+        self.ontology = MOVIE_ONTOLOGY
+        person_namer = PersonNamer(rng)
+        title_namer = TitleNamer(rng)
+
+        self.people: dict[str, PersonRecord] = {}
+        for index in range(n_people):
+            name = person_namer.next()
+            aliases: tuple[str, ...] = ()
+            if rng.random() < 0.25:
+                parts = name.split()
+                aliases = (f"{parts[0][0]}. {parts[-1]}",)
+            self.people[f"person:{index}"] = PersonRecord(
+                id=f"person:{index}",
+                name=name,
+                birth_date=_random_date(rng, 1930, 1999),
+                birthplace=rng.choice(CITIES),
+                aliases=aliases,
+            )
+        person_ids = list(self.people)
+        # Role pools: like the real film industry, directing/writing/
+        # producing credits concentrate in small sub-populations, so a
+        # director's page lists many directed films.
+        director_pool = rng.sample(person_ids, max(4, n_people // 10))
+        writer_pool = rng.sample(person_ids, max(6, n_people // 7))
+        producer_pool = rng.sample(person_ids, max(4, n_people // 10))
+        composer_pool = rng.sample(person_ids, max(3, n_people // 14))
+
+        self.films: dict[str, FilmRecord] = {}
+        for index in range(n_films):
+            directors = tuple(
+                rng.sample(director_pool, rng.choices([1, 2], [0.85, 0.15])[0])
+            )
+            # Writers overlap directors ~40% of the time (annotation hazard).
+            writers: list[str] = []
+            if rng.random() < 0.4:
+                writers.append(directors[0])
+            while len(writers) < rng.randint(1, 2):
+                candidate = rng.choice(writer_pool)
+                if candidate not in writers:
+                    writers.append(candidate)
+            cast_size = rng.randint(5, 16)
+            cast = rng.sample(person_ids, cast_size)
+            # Directors occasionally act in their own films.
+            if rng.random() < 0.25 and directors[0] not in cast:
+                cast.insert(rng.randrange(len(cast) + 1), directors[0])
+            n_principal = min(len(cast), rng.randint(3, 6))
+            producers = tuple(rng.sample(producer_pool, rng.randint(0, 2)))
+            composers = tuple(rng.sample(composer_pool, rng.randint(0, 1)))
+            self.films[f"film:{index}"] = FilmRecord(
+                id=f"film:{index}",
+                title=title_namer.next(),
+                release_date=_random_date(rng, 1960, 2017),
+                genres=tuple(rng.sample(GENRES, rng.randint(1, 3))),
+                director_ids=directors,
+                writer_ids=tuple(writers),
+                cast_ids=tuple(cast),
+                principal_cast_ids=tuple(cast[:n_principal]),
+                producer_ids=producers,
+                composer_ids=composers,
+                mpaa_rating=rng.choice(MPAA_RATINGS),
+                runtime_minutes=rng.randint(75, 190),
+            )
+
+        self.series: dict[str, SeriesRecord] = {}
+        self.episodes: dict[str, EpisodeRecord] = {}
+        episode_counter = 0
+        for index in range(n_series):
+            series_id = f"series:{index}"
+            self.series[series_id] = SeriesRecord(
+                id=series_id,
+                title=title_namer.next(),
+                genres=tuple(rng.sample(GENRES, rng.randint(1, 2))),
+            )
+            for ep in range(episodes_per_series):
+                season = 1 + ep // 4
+                number = 1 + ep % 4
+                # The first episode of most series is titled "Pilot".
+                if ep == 0 and rng.random() < 0.75:
+                    title = "Pilot"
+                else:
+                    title = title_namer.next()
+                self.episodes[f"episode:{episode_counter}"] = EpisodeRecord(
+                    id=f"episode:{episode_counter}",
+                    title=title,
+                    series_id=series_id,
+                    season=season,
+                    episode=number,
+                    cast_ids=tuple(rng.sample(person_ids, rng.randint(3, 6))),
+                    director_ids=(rng.choice(person_ids),),
+                    writer_ids=(rng.choice(person_ids),),
+                    release_date=_random_date(rng, 1995, 2017),
+                )
+                episode_counter += 1
+
+    # -- views -------------------------------------------------------------
+
+    def entities(self) -> list[Entity]:
+        result = [
+            Entity(p.id, p.name, "person", p.aliases) for p in self.people.values()
+        ]
+        result.extend(Entity(f.id, f.title, "film") for f in self.films.values())
+        result.extend(Entity(s.id, s.title, "series") for s in self.series.values())
+        result.extend(Entity(e.id, e.title, "episode") for e in self.episodes.values())
+        return result
+
+    def facts(self) -> list[Fact]:
+        """All canonical facts, both film-side and person-side."""
+        facts: list[Fact] = []
+        for film in self.films.values():
+            for pid in film.cast_ids:
+                facts.append(Fact(film.id, "has_cast_member", Value.entity(pid)))
+                facts.append(Fact(pid, "acted_in", Value.entity(film.id)))
+            for pid in film.director_ids:
+                facts.append(Fact(film.id, "directed_by", Value.entity(pid)))
+                facts.append(Fact(pid, "director_of", Value.entity(film.id)))
+            for pid in film.writer_ids:
+                facts.append(Fact(film.id, "written_by", Value.entity(pid)))
+                facts.append(Fact(pid, "writer_of", Value.entity(film.id)))
+            for pid in film.producer_ids:
+                facts.append(Fact(pid, "producer_of", Value.entity(film.id)))
+            for pid in film.composer_ids:
+                facts.append(Fact(film.id, "music_by", Value.entity(pid)))
+                facts.append(Fact(pid, "created_music_for", Value.entity(film.id)))
+            for genre in film.genres:
+                facts.append(Fact(film.id, "genre", Value.literal(genre)))
+            facts.append(Fact(film.id, "release_date", Value.literal(film.release_date)))
+            facts.append(Fact(film.id, "release_year", Value.literal(film.release_year)))
+            facts.append(Fact(film.id, "mpaa_rating", Value.literal(film.mpaa_rating)))
+        for person in self.people.values():
+            facts.append(Fact(person.id, "birth_date", Value.literal(person.birth_date)))
+            facts.append(
+                Fact(person.id, "place_of_birth", Value.literal(person.birthplace))
+            )
+            for alias in person.aliases:
+                facts.append(Fact(person.id, "alias", Value.literal(alias)))
+        for episode in self.episodes.values():
+            facts.append(Fact(episode.id, "series", Value.entity(episode.series_id)))
+            facts.append(
+                Fact(episode.id, "season_number", Value.literal(str(episode.season)))
+            )
+            facts.append(
+                Fact(episode.id, "episode_number", Value.literal(str(episode.episode)))
+            )
+            facts.append(
+                Fact(episode.id, "release_date", Value.literal(episode.release_date))
+            )
+            for pid in episode.cast_ids:
+                facts.append(Fact(episode.id, "has_cast_member", Value.entity(pid)))
+                facts.append(Fact(pid, "acted_in", Value.entity(episode.id)))
+            for pid in episode.director_ids:
+                facts.append(Fact(episode.id, "directed_by", Value.entity(pid)))
+                facts.append(Fact(pid, "director_of", Value.entity(episode.id)))
+            for pid in episode.writer_ids:
+                facts.append(Fact(episode.id, "written_by", Value.entity(pid)))
+                facts.append(Fact(pid, "writer_of", Value.entity(episode.id)))
+        return facts
+
+
+# --------------------------------------------------------------------------
+# Book vertical
+# --------------------------------------------------------------------------
+
+BOOK_ONTOLOGY = Ontology(
+    [
+        Predicate("author", domain="book", range_kind="string", multi_valued=True),
+        Predicate("isbn13", domain="book", range_kind="string"),
+        Predicate("publisher", domain="book", range_kind="string"),
+        Predicate("publication_date", domain="book", range_kind="date"),
+    ]
+)
+
+PUBLISHERS = (
+    "Harbor Point Press", "Meridian House", "Lanternfish Books",
+    "Quarry Lane Publishing", "Ember & Sons", "Carousel Editions",
+    "Northlight Press", "Vineyard Street Books", "Beacon Row",
+    "Threshold Media",
+)
+
+
+@dataclass
+class BookRecord:
+    id: str
+    title: str
+    authors: tuple[str, ...]  # author names (rendered and stored as strings)
+    isbn13: str
+    publisher: str
+    publication_date: str
+
+
+class BookUniverse:
+    """Books with authors, ISBNs, publishers, and publication dates."""
+
+    def __init__(self, seed: int = 0, n_books: int = 400) -> None:
+        rng = random.Random(seed + 1000)
+        self.ontology = BOOK_ONTOLOGY
+        title_namer = TitleNamer(rng)
+        person_namer = PersonNamer(rng)
+        author_pool = [person_namer.next() for _ in range(max(40, n_books // 4))]
+        self.books: dict[str, BookRecord] = {}
+        for index in range(n_books):
+            isbn_body = [9, 7, 8] + [rng.randint(0, 9) for _ in range(9)]
+            check = (10 - sum(d * (1 if i % 2 == 0 else 3) for i, d in enumerate(isbn_body)) % 10) % 10
+            digits = "".join(map(str, isbn_body)) + str(check)
+            isbn = f"{digits[:3]}-{digits[3]}-{digits[4:8]}-{digits[8:12]}-{digits[12]}"
+            self.books[f"book:{index}"] = BookRecord(
+                id=f"book:{index}",
+                title=title_namer.next(),
+                authors=tuple(
+                    rng.sample(author_pool, rng.choices([1, 2], [0.8, 0.2])[0])
+                ),
+                isbn13=isbn,
+                publisher=rng.choice(PUBLISHERS),
+                publication_date=_random_date(rng, 1970, 2017),
+            )
+
+    def entities(self) -> list[Entity]:
+        return [Entity(b.id, b.title, "book") for b in self.books.values()]
+
+    def facts(self) -> list[Fact]:
+        facts: list[Fact] = []
+        for book in self.books.values():
+            for author in book.authors:
+                facts.append(Fact(book.id, "author", Value.literal(author)))
+            facts.append(Fact(book.id, "isbn13", Value.literal(book.isbn13)))
+            facts.append(Fact(book.id, "publisher", Value.literal(book.publisher)))
+            facts.append(
+                Fact(book.id, "publication_date", Value.literal(book.publication_date))
+            )
+        return facts
+
+
+# --------------------------------------------------------------------------
+# NBA Player vertical
+# --------------------------------------------------------------------------
+
+NBA_ONTOLOGY = Ontology(
+    [
+        Predicate("team", domain="player", range_kind="string"),
+        Predicate("height", domain="player", range_kind="string"),
+        Predicate("weight", domain="player", range_kind="number"),
+    ]
+)
+
+NBA_TEAMS = (
+    "Harbor City Gulls", "Midtown Comets", "Lakeside Foxes", "Ironworks FC",
+    "Summit Peaks", "Redstone Miners", "Bayview Pilots", "Northgate Wolves",
+    "Crescent Kings", "Old Town Badgers", "Granite Bulls", "Seabreeze Rays",
+)
+
+
+@dataclass
+class PlayerRecord:
+    id: str
+    name: str
+    team: str
+    height: str  # e.g. "6-7"
+    weight: str  # pounds, e.g. "215"
+
+
+class NbaUniverse:
+    """Basketball players with team, height, and weight."""
+
+    def __init__(self, seed: int = 0, n_players: int = 250) -> None:
+        rng = random.Random(seed + 2000)
+        self.ontology = NBA_ONTOLOGY
+        person_namer = PersonNamer(rng)
+        self.players: dict[str, PlayerRecord] = {}
+        for index in range(n_players):
+            feet = rng.randint(5, 7)
+            inches = rng.randint(0, 11)
+            self.players[f"player:{index}"] = PlayerRecord(
+                id=f"player:{index}",
+                name=person_namer.next(),
+                team=rng.choice(NBA_TEAMS),
+                height=f"{feet}-{inches}",
+                weight=str(rng.randint(165, 290)),
+            )
+
+    def entities(self) -> list[Entity]:
+        return [Entity(p.id, p.name, "player") for p in self.players.values()]
+
+    def facts(self) -> list[Fact]:
+        facts: list[Fact] = []
+        for player in self.players.values():
+            facts.append(Fact(player.id, "team", Value.literal(player.team)))
+            facts.append(Fact(player.id, "height", Value.literal(player.height)))
+            facts.append(Fact(player.id, "weight", Value.literal(player.weight)))
+        return facts
+
+
+# --------------------------------------------------------------------------
+# University vertical
+# --------------------------------------------------------------------------
+
+UNIVERSITY_ONTOLOGY = Ontology(
+    [
+        Predicate("phone", domain="university", range_kind="string"),
+        Predicate("website", domain="university", range_kind="string"),
+        Predicate("type", domain="university", range_kind="string"),
+    ]
+)
+
+_UNI_SUFFIXES = ("University", "State University", "College", "Institute of Technology")
+
+
+@dataclass
+class UniversityRecord:
+    id: str
+    name: str
+    phone: str
+    website: str
+    type: str  # "Public" | "Private"
+
+
+class UniversityUniverse:
+    """Universities with phone, website, and public/private type."""
+
+    def __init__(self, seed: int = 0, n_universities: int = 250) -> None:
+        rng = random.Random(seed + 3000)
+        self.ontology = UNIVERSITY_ONTOLOGY
+        self.universities: dict[str, UniversityRecord] = {}
+        used_names: set[str] = set()
+        index = 0
+        while len(self.universities) < n_universities:
+            city = rng.choice(CITIES)
+            suffix = rng.choice(_UNI_SUFFIXES)
+            name = f"{city} {suffix}"
+            if name in used_names:
+                name = f"{city} {rng.choice(('North', 'South', 'East', 'West'))} {suffix}"
+            if name in used_names:
+                index += 1
+                continue
+            used_names.add(name)
+            slug = "".join(c for c in city.lower() if c.isalpha())[:8]
+            self.universities[f"university:{index}"] = UniversityRecord(
+                id=f"university:{index}",
+                name=name,
+                phone=f"({rng.randint(201, 989)}) 555-{rng.randint(100, 999):03d}{rng.randint(0, 9)}",
+                website=f"www.{slug}{index}.edu",
+                type=rng.choice(("Public", "Private")),
+            )
+            index += 1
+
+    def entities(self) -> list[Entity]:
+        return [Entity(u.id, u.name, "university") for u in self.universities.values()]
+
+    def facts(self) -> list[Fact]:
+        facts: list[Fact] = []
+        for uni in self.universities.values():
+            facts.append(Fact(uni.id, "phone", Value.literal(uni.phone)))
+            facts.append(Fact(uni.id, "website", Value.literal(uni.website)))
+            facts.append(Fact(uni.id, "type", Value.literal(uni.type)))
+        return facts

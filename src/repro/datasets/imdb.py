@@ -1,0 +1,424 @@
+"""Synthetic IMDb: the complex multi-relation testbed of Section 5.4.
+
+Two page populations crawled in the paper — 8,245 film/TV pages and 1,600
+person pages — are reproduced with every annotation hazard the paper
+discusses planted deliberately:
+
+* film pages: long cast lists with character names, duplicated genres in a
+  recommendation rail, writer/director overlap, a prose storyline;
+* TV-episode pages (a second template among the film/TV pages): series
+  name, season/episode numbers, many episodes titled "Pilot";
+* person pages: "Known For" blocks (no predicate!), role-sectioned
+  filmographies, "Projects in Development" (films the person produces or
+  writes — KB facts — in a section that asserts nothing), aliases that
+  also appear as character names, and a people-recommendation rail.
+
+The seed KB is universe-derived with the paper's bias reproduced
+(footnote 10): cast facts only for *principal* cast members, and reduced
+coverage for producer/writer relations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.entities import Fact, MOVIE_ONTOLOGY, MovieUniverse
+from repro.datasets.kbgen import kb_from_universe
+from repro.datasets.render import GeneratedPage, PageBuilder
+from repro.datasets.styles import InfoRow, LabeledValue, SiteStyle
+from repro.kb.store import KnowledgeBase
+
+__all__ = ["IMDbDataset", "generate_imdb", "FILM_PREDICATES", "PERSON_PREDICATES"]
+
+#: Predicates reported for each domain in Tables 5 and 6.
+FILM_PREDICATES = [
+    "name", "has_cast_member", "directed_by", "written_by", "release_date",
+    "release_year", "genre", "episode_number", "season_number", "series",
+]
+PERSON_PREDICATES = [
+    "name", "alias", "place_of_birth", "acted_in", "director_of",
+    "writer_of", "producer_of",
+]
+
+
+@dataclass
+class IMDbDataset:
+    """Synthetic IMDb: film/TV pages, person pages, and the biased KB."""
+
+    universe: MovieUniverse
+    film_pages: list[GeneratedPage] = field(default_factory=list)
+    person_pages: list[GeneratedPage] = field(default_factory=list)
+    kb: KnowledgeBase | None = None
+
+
+def _film_page(
+    universe: MovieUniverse, film_id: str, style: SiteStyle, page_rng: random.Random
+) -> GeneratedPage:
+    film = universe.films[film_id]
+    builder = PageBuilder()
+    style.start_page(builder, page_rng)
+    opened = style.open_main(builder)
+    style.title_block(builder, film.title, "name")
+
+    rows = [
+        InfoRow(
+            style.label("genre"),
+            tuple(LabeledValue(g, "genre") for g in film.genres),
+        ),
+        InfoRow(
+            style.label("release_date"),
+            (
+                LabeledValue(
+                    style.render_date(film.release_date),
+                    "release_date",
+                    canonical=film.release_date,
+                ),
+            ),
+        ),
+        InfoRow(
+            style.label("year"),
+            (LabeledValue(film.release_year, "release_year"),),
+        ),
+    ]
+    style.info_section(builder, rows)
+
+    style.list_section(
+        builder,
+        style.label("director"),
+        [LabeledValue(universe.people[p].name, "directed_by") for p in film.director_ids],
+        "directors",
+    )
+    style.list_section(
+        builder,
+        style.label("writer"),
+        [LabeledValue(universe.people[p].name, "written_by") for p in film.writer_ids],
+        "writers",
+    )
+
+    # Long cast list: actor name (truth) alongside character name (no truth).
+    builder.open("div", class_="cast-section")
+    builder.leaf("h3", style.label("cast"), class_="section-head")
+    builder.open("table", class_="cast-table")
+    for pid in film.cast_ids:
+        person = universe.people[pid]
+        builder.open("tr", class_="cast-row")
+        builder.open("td", class_="cast-actor")
+        builder.leaf("a", person.name, predicate="has_cast_member", href="#")
+        builder.close("td")
+        character = f"{page_rng.choice(('Dr.', 'Officer', 'Agent', 'Captain', 'Ms.', 'Mr.'))} {person.name.split()[-1]}"
+        builder.leaf("td", character, class_="cast-char")
+        builder.close("tr")
+    builder.close("table")
+    builder.close("div")
+
+    # Recommendation rail: related films' titles and genres — the genre
+    # duplication hazard of Example 3.2 (no truth).
+    other_ids = [f for f in universe.films if f != film_id]
+    picks = page_rng.sample(other_ids, min(3, len(other_ids)))
+    groups = []
+    for other_id in picks:
+        other = universe.films[other_id]
+        items = [LabeledValue(g, None) for g in other.genres]
+        items.extend(
+            LabeledValue(universe.people[p].name, None) for p in other.cast_ids[:2]
+        )
+        groups.append((other.title, items))
+    style.sidebar_block(builder, style.label("related"), groups)
+
+    # Prose storyline mentioning entities inside flowing text.
+    lead = universe.people[film.cast_ids[0]].name if film.cast_ids else "a stranger"
+    builder.open("div", class_="storyline")
+    builder.leaf("h3", "Storyline", class_="section-head")
+    builder.leaf(
+        "p",
+        f"In this {film.genres[0].lower()} feature, {lead} navigates a series of "
+        f"events that change everything. Released in {film.release_year}, the film "
+        f"remains a touchstone for audiences who discovered it on late-night "
+        f"television and never forgot its closing scene.",
+    )
+    builder.close("div")
+
+    style.close_main(builder, opened)
+    style.end_page(builder)
+    return GeneratedPage(
+        page_id=f"imdb:{film_id}",
+        html=builder.html(),
+        emissions=builder.emissions,
+        topic_entity_id=film_id,
+        topic_name=film.title,
+    )
+
+
+def _episode_page(
+    universe: MovieUniverse, episode_id: str, style: SiteStyle, page_rng: random.Random
+) -> GeneratedPage:
+    episode = universe.episodes[episode_id]
+    series = universe.series[episode.series_id]
+    builder = PageBuilder()
+    style.start_page(builder, page_rng)
+    opened = style.open_main(builder)
+
+    builder.open("div", class_="ep-breadcrumb")
+    builder.leaf("a", series.title, predicate="series", href="#", class_="series-link")
+    builder.leaf("span", style.label("season"), class_="season-label")
+    builder.leaf(
+        "span", str(episode.season), predicate="season_number", class_="season-no"
+    )
+    builder.leaf("span", style.label("episode"), class_="episode-label")
+    builder.leaf(
+        "span", str(episode.episode), predicate="episode_number", class_="episode-no"
+    )
+    builder.close("div")
+
+    style.title_block(builder, episode.title, "name")
+    rows = [
+        InfoRow(
+            style.label("release_date"),
+            (
+                LabeledValue(
+                    style.render_date(episode.release_date),
+                    "release_date",
+                    canonical=episode.release_date,
+                ),
+            ),
+        ),
+    ]
+    style.info_section(builder, rows)
+    style.list_section(
+        builder,
+        style.label("director"),
+        [LabeledValue(universe.people[p].name, "directed_by") for p in episode.director_ids],
+        "directors",
+    )
+    style.list_section(
+        builder,
+        style.label("cast"),
+        [LabeledValue(universe.people[p].name, "has_cast_member") for p in episode.cast_ids],
+        "cast",
+    )
+    style.close_main(builder, opened)
+    style.end_page(builder)
+    return GeneratedPage(
+        page_id=f"imdb:{episode_id}",
+        html=builder.html(),
+        emissions=builder.emissions,
+        topic_entity_id=episode_id,
+        topic_name=episode.title,
+    )
+
+
+def _person_page(
+    universe: MovieUniverse,
+    person_id: str,
+    style: SiteStyle,
+    page_rng: random.Random,
+    roles: dict[str, list[str]],
+) -> GeneratedPage:
+    person = universe.people[person_id]
+    builder = PageBuilder()
+    style.start_page(builder, page_rng)
+    opened = style.open_main(builder)
+    style.title_block(builder, person.name, "name")
+
+    rows = [
+        InfoRow(
+            style.label("born"),
+            (
+                LabeledValue(
+                    style.render_date(person.birth_date),
+                    "birth_date",
+                    canonical=person.birth_date,
+                ),
+            ),
+        ),
+        InfoRow(
+            style.label("birthplace"),
+            (LabeledValue(person.birthplace, "place_of_birth"),),
+        ),
+    ]
+    if person.aliases:
+        rows.append(
+            InfoRow(
+                style.label("alias"),
+                tuple(LabeledValue(a, "alias") for a in person.aliases),
+            )
+        )
+    style.info_section(builder, rows)
+
+    # "Known For": the person's most famous work — no predicate (hazard).
+    known_for = (roles.get("acted_in", []) + roles.get("director_of", []))[:4]
+    if known_for:
+        builder.open("div", class_="known-for", id="knownfor")
+        builder.leaf("h3", style.label("known_for"), class_="section-head")
+        builder.open("div", class_="kf-items")
+        for film_id in known_for:
+            builder.leaf("span", universe.films[film_id].title, class_="kf-title")
+        builder.close("div")
+        builder.close("div")
+
+    # Role-sectioned filmography.  Character names sometimes reuse the
+    # person's alias — the alias hazard that breaks CERES-Topic (Table 5).
+    role_sections = (
+        ("acted_in", "Actor", "actor"),
+        ("director_of", "Director", "director"),
+        ("writer_of", "Writer", "writer"),
+        ("producer_of", "Producer", "producer"),
+    )
+    builder.open("div", class_="filmography", id="filmography")
+    builder.leaf("h3", style.label("filmography"), class_="section-head")
+    for predicate, heading, css in role_sections:
+        film_ids = roles.get(predicate, [])
+        if not film_ids:
+            continue
+        builder.open("div", class_=f"filmo-{css}")
+        builder.leaf("h4", heading, class_="filmo-head")
+        builder.open("ul", class_=f"filmo-list-{css}")
+        for film_id in film_ids:
+            film = universe.films[film_id]
+            builder.open("li", class_="filmo-row")
+            builder.leaf("a", film.title, predicate=predicate, href="#")
+            builder.leaf("span", film.release_year, class_="filmo-year")
+            if predicate == "acted_in":
+                if person.aliases and page_rng.random() < 0.5:
+                    character = person.aliases[0]
+                else:
+                    character = f"{page_rng.choice(('Dr.', 'Agent', 'Captain'))} {person.name.split()[-1]}"
+                builder.leaf("span", f"as {character}", class_="filmo-char")
+            builder.close("li")
+        builder.close("ul")
+        builder.close("div")
+    builder.close("div")
+
+    # "Projects in Development": includes the person's produced/written
+    # films (KB facts) in a section that asserts nothing (hazard for
+    # producer_of / writer_of, Section 5.4).
+    development = (roles.get("producer_of", []) + roles.get("writer_of", []))[:2]
+    if development and page_rng.random() < 0.45:
+        builder.open("div", class_="in-development", id="development")
+        builder.leaf("h3", "Projects in Development", class_="section-head")
+        builder.open("ul", class_="dev-list")
+        for film_id in development:
+            builder.open("li", class_="dev-item")
+            builder.leaf("span", universe.films[film_id].title, class_="dev-title")
+            builder.close("li")
+        builder.close("ul")
+        builder.close("div")
+
+    # People-recommendation rail (no truth).
+    other_people = [p for p in universe.people if p != person_id]
+    picks = page_rng.sample(other_people, min(4, len(other_people)))
+    style.sidebar_block(
+        builder,
+        style.label("related"),
+        [("You may also like", [LabeledValue(universe.people[p].name, None) for p in picks])],
+    )
+
+    style.close_main(builder, opened)
+    style.end_page(builder)
+    return GeneratedPage(
+        page_id=f"imdb:{person_id}",
+        html=builder.html(),
+        emissions=builder.emissions,
+        topic_entity_id=person_id,
+        topic_name=person.name,
+    )
+
+
+def _person_roles(universe: MovieUniverse) -> dict[str, dict[str, list[str]]]:
+    """person id -> predicate -> film ids, from the universe's film records."""
+    roles: dict[str, dict[str, list[str]]] = {pid: {} for pid in universe.people}
+    for film in universe.films.values():
+        for pid in film.cast_ids:
+            roles[pid].setdefault("acted_in", []).append(film.id)
+        for pid in film.director_ids:
+            roles[pid].setdefault("director_of", []).append(film.id)
+        for pid in film.writer_ids:
+            roles[pid].setdefault("writer_of", []).append(film.id)
+        for pid in film.producer_ids:
+            roles[pid].setdefault("producer_of", []).append(film.id)
+    return roles
+
+
+def _biased_facts(universe: MovieUniverse) -> list[Fact]:
+    """Universe facts with the paper's KB bias (footnote 10) applied:
+    cast facts only for principal cast members."""
+    principal: dict[str, frozenset[str]] = {
+        film.id: frozenset(film.principal_cast_ids) for film in universe.films.values()
+    }
+    kept: list[Fact] = []
+    for fact in universe.facts():
+        if fact.predicate == "has_cast_member" and fact.subject in principal:
+            if fact.value.value not in principal[fact.subject]:
+                continue
+        if fact.predicate == "acted_in" and fact.value.value in principal:
+            if fact.subject not in principal[fact.value.value]:
+                continue
+        kept.append(fact)
+    return kept
+
+
+def generate_imdb(
+    seed: int = 0,
+    n_films: int = 60,
+    n_people: int = 50,
+    n_episodes: int = 20,
+    kb_coverage: dict[str, float] | None = None,
+) -> IMDbDataset:
+    """Generate the synthetic IMDb testbed.
+
+    Args:
+        n_films / n_people / n_episodes: page counts per population (the
+            universe is larger; pages cover a subset).
+        kb_coverage: per-predicate coverage override for the seed KB; the
+            default reproduces the paper's bias — full genre/director
+            coverage, reduced producer/writer coverage, principal-only cast.
+    """
+    universe = MovieUniverse(
+        seed=seed,
+        n_people=max(160, n_people * 3),
+        n_films=max(120, n_films * 2),
+        n_series=8,
+        episodes_per_series=6,
+    )
+    style = SiteStyle.generate("imdb", seed)
+    roles = _person_roles(universe)
+
+    film_ids = list(universe.films)[:n_films]
+    episode_ids = list(universe.episodes)[:n_episodes]
+    # Pages cover the most-credited people — a blend of prolific actors,
+    # directors, and writers, like the paper's crawl of prominent pages.
+    person_ids = sorted(
+        universe.people,
+        key=lambda pid: -sum(len(films) for films in roles[pid].values()),
+    )[:n_people]
+
+    dataset = IMDbDataset(universe)
+    for film_id in film_ids:
+        page_rng = random.Random(f"imdb:{film_id}:{seed}")
+        dataset.film_pages.append(_film_page(universe, film_id, style, page_rng))
+    for episode_id in episode_ids:
+        page_rng = random.Random(f"imdb:{episode_id}:{seed}")
+        dataset.film_pages.append(_episode_page(universe, episode_id, style, page_rng))
+    for person_id in person_ids:
+        page_rng = random.Random(f"imdb:{person_id}:{seed}")
+        dataset.person_pages.append(
+            _person_page(universe, person_id, style, page_rng, roles[person_id])
+        )
+
+    coverage = {
+        "producer_of": 0.5,
+        "writer_of": 0.7,
+        "written_by": 0.7,
+        "mpaa_rating": 0.0,
+    }
+    if kb_coverage:
+        coverage.update(kb_coverage)
+    dataset.kb = kb_from_universe(
+        universe.entities(),
+        _biased_facts(universe),
+        MOVIE_ONTOLOGY,
+        coverage=coverage,
+        seed=seed,
+    )
+    return dataset

@@ -1,0 +1,211 @@
+"""Deterministic synthetic name and title generation.
+
+Every generator draws from fixed word banks through an explicit
+``random.Random``, so a universe built from the same seed is identical
+bit-for-bit across runs — a requirement for reproducible experiments.
+
+The banks are sized so that thousands of distinct entities can be
+generated without collisions; generators retry with numbered suffixes when
+a collision does occur (mirroring real-world "Film Title II" conventions,
+which incidentally exercises the fuzzy matcher's parenthetical handling).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "PersonNamer",
+    "TitleNamer",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "GENRES",
+    "LANGUAGE_LABELS",
+]
+
+FIRST_NAMES = (
+    "Ada", "Alan", "Amara", "Andre", "Anika", "Arjun", "Astrid", "Benicio",
+    "Bruno", "Camille", "Carlos", "Chiara", "Dara", "Dmitri", "Elena",
+    "Emeka", "Esther", "Farah", "Felix", "Greta", "Hana", "Hugo", "Imani",
+    "Ingrid", "Isaac", "Ivo", "Jasper", "Jun", "Kaia", "Kenji", "Lars",
+    "Leila", "Liam", "Lucia", "Magnus", "Mai", "Marco", "Mina", "Nadia",
+    "Nico", "Noor", "Olga", "Omar", "Paulo", "Priya", "Quentin", "Rafael",
+    "Renata", "Rohan", "Sanna", "Sergei", "Silvia", "Soren", "Tala",
+    "Tomas", "Uma", "Viktor", "Wanda", "Xavier", "Yara", "Yusuf", "Zofia",
+)
+
+LAST_NAMES = (
+    "Abara", "Almeida", "Anders", "Barros", "Bergman", "Bianchi", "Borg",
+    "Castellano", "Chen", "Dimitrov", "Dubois", "Eriksen", "Farouk",
+    "Fernandez", "Fiorelli", "Fischer", "Gallo", "Haddad", "Hansen",
+    "Havel", "Holt", "Ibrahim", "Ito", "Jansen", "Jelinek", "Kaur",
+    "Kovac", "Kowalski", "Kristjans", "Larsen", "Lindgren", "Lombardi",
+    "Marchetti", "Mbeki", "Meyer", "Moreau", "Moretti", "Nakamura",
+    "Novak", "Nwosu", "Okafor", "Olsen", "Park", "Pereira", "Petrov",
+    "Ricci", "Rosales", "Santos", "Schmidt", "Silva", "Sorensen", "Suzuki",
+    "Tanaka", "Toussaint", "Urbanek", "Vargas", "Villanueva", "Weber",
+    "Yamamoto", "Zhang", "Zielinski",
+)
+
+CITIES = (
+    "Brooklyn", "Chicago", "Copenhagen", "Reykjavik", "Prague", "Milan",
+    "Lagos", "Mumbai", "Jakarta", "Bratislava", "Seoul", "Osaka",
+    "Marseille", "Valparaiso", "Porto", "Krakow", "Accra", "Nairobi",
+    "Hanoi", "Montreal", "Melbourne", "Galway", "Bergen", "Tampere",
+    "Ghent", "Graz", "Basel", "Gdansk", "Coimbra", "Thessaloniki",
+)
+
+GENRES = (
+    "Drama", "Comedy", "Thriller", "Documentary", "Horror", "Romance",
+    "Action", "Animation", "Mystery", "Western", "Musical", "Biography",
+    "Adventure", "Fantasy", "Crime", "War", "History", "Sport",
+)
+
+_TITLE_ADJECTIVES = (
+    "Silent", "Crimson", "Golden", "Broken", "Hidden", "Endless", "Last",
+    "First", "Burning", "Frozen", "Distant", "Electric", "Hollow",
+    "Midnight", "Paper", "Scarlet", "Velvet", "Wandering", "Winter",
+    "Forgotten", "Restless", "Savage", "Tender", "Quiet", "Luminous",
+)
+
+_TITLE_NOUNS = (
+    "River", "Harbor", "Garden", "Mirror", "Station", "Empire", "Voyage",
+    "Letter", "Shadow", "Orchard", "Compass", "Lantern", "Bridge",
+    "Harvest", "Island", "Signal", "Archive", "Carousel", "Meridian",
+    "Monsoon", "Parade", "Quarry", "Sonata", "Threshold", "Vineyard",
+    "Waltz", "Beacon", "Cathedral", "Daybreak", "Ember",
+)
+
+_TITLE_PATTERNS = (
+    "The {adj} {noun}",
+    "{adj} {noun}",
+    "The {noun} of {noun2}",
+    "{noun} and {noun2}",
+    "A {adj} {noun}",
+    "{adj} {noun} {roman}",
+)
+
+_ROMAN = ("II", "III", "IV")
+
+#: Per-language label vocabularies used by the multi-lingual CommonCrawl
+#: site generator.  Keys are semantic slots; values are the visible labels.
+LANGUAGE_LABELS: dict[str, dict[str, str]] = {
+    "en": {
+        "director": "Director", "cast": "Cast", "genre": "Genre",
+        "release_date": "Release Date", "year": "Year", "writer": "Writer",
+        "producer": "Producer", "composer": "Music by", "title": "Title",
+        "born": "Born", "birthplace": "Place of Birth", "alias": "Also Known As",
+        "related": "People also liked", "known_for": "Known For",
+        "filmography": "Filmography", "series": "Series", "season": "Season",
+        "episode": "Episode",
+    },
+    "it": {
+        "director": "Regia", "cast": "Interpreti", "genre": "Genere",
+        "release_date": "Data di uscita", "year": "Anno", "writer": "Sceneggiatura",
+        "producer": "Produttore", "composer": "Musiche", "title": "Titolo",
+        "born": "Nato", "birthplace": "Luogo di nascita", "alias": "Alias",
+        "related": "Film correlati", "known_for": "Noto per",
+        "filmography": "Filmografia", "series": "Serie", "season": "Stagione",
+        "episode": "Episodio",
+    },
+    "da": {
+        "director": "Instruktør", "cast": "Medvirkende", "genre": "Genre",
+        "release_date": "Premiere", "year": "År", "writer": "Manuskript",
+        "producer": "Producer", "composer": "Musik", "title": "Titel",
+        "born": "Født", "birthplace": "Fødested", "alias": "Også kendt som",
+        "related": "Relaterede film", "known_for": "Kendt for",
+        "filmography": "Filmografi", "series": "Serie", "season": "Sæson",
+        "episode": "Afsnit",
+    },
+    "cs": {
+        "director": "Režie", "cast": "Hrají", "genre": "Žánr",
+        "release_date": "Premiéra", "year": "Rok", "writer": "Scénář",
+        "producer": "Producent", "composer": "Hudba", "title": "Název",
+        "born": "Narozen", "birthplace": "Místo narození", "alias": "Alias",
+        "related": "Podobné filmy", "known_for": "Známý pro",
+        "filmography": "Filmografie", "series": "Seriál", "season": "Sezóna",
+        "episode": "Epizoda",
+    },
+    "is": {
+        "director": "Leikstjóri", "cast": "Leikarar", "genre": "Tegund",
+        "release_date": "Frumsýning", "year": "Ár", "writer": "Handrit",
+        "producer": "Framleiðandi", "composer": "Tónlist", "title": "Titill",
+        "born": "Fæddur", "birthplace": "Fæðingarstaður", "alias": "Einnig þekktur",
+        "related": "Svipaðar myndir", "known_for": "Þekktur fyrir",
+        "filmography": "Kvikmyndaskrá", "series": "Þáttaröð", "season": "Tímabil",
+        "episode": "Þáttur",
+    },
+    "id": {
+        "director": "Sutradara", "cast": "Pemeran", "genre": "Genre",
+        "release_date": "Tanggal rilis", "year": "Tahun", "writer": "Penulis",
+        "producer": "Produser", "composer": "Musik", "title": "Judul",
+        "born": "Lahir", "birthplace": "Tempat lahir", "alias": "Nama lain",
+        "related": "Film terkait", "known_for": "Dikenal untuk",
+        "filmography": "Filmografi", "series": "Seri", "season": "Musim",
+        "episode": "Episode",
+    },
+    "sk": {
+        "director": "Réžia", "cast": "Hrajú", "genre": "Žáner",
+        "release_date": "Premiéra", "year": "Rok", "writer": "Scenár",
+        "producer": "Producent", "composer": "Hudba", "title": "Názov",
+        "born": "Narodený", "birthplace": "Miesto narodenia", "alias": "Alias",
+        "related": "Podobné filmy", "known_for": "Známy pre",
+        "filmography": "Filmografia", "series": "Seriál", "season": "Sezóna",
+        "episode": "Epizóda",
+    },
+}
+
+
+class PersonNamer:
+    """Generates unique person names."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def next(self) -> str:
+        for _ in range(200):
+            name = f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Exhausted simple combinations: add a middle initial.
+        while True:
+            initial = chr(ord("A") + self._rng.randrange(26))
+            name = (
+                f"{self._rng.choice(FIRST_NAMES)} {initial}. "
+                f"{self._rng.choice(LAST_NAMES)}"
+            )
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+
+class TitleNamer:
+    """Generates unique work titles (films, books, series, episodes)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def next(self) -> str:
+        for _ in range(300):
+            pattern = self._rng.choice(_TITLE_PATTERNS)
+            title = pattern.format(
+                adj=self._rng.choice(_TITLE_ADJECTIVES),
+                noun=self._rng.choice(_TITLE_NOUNS),
+                noun2=self._rng.choice(_TITLE_NOUNS),
+                roman=self._rng.choice(_ROMAN),
+            )
+            if title not in self._used:
+                self._used.add(title)
+                return title
+        # Numbered fallback keeps generation total.
+        base = f"{self._rng.choice(_TITLE_ADJECTIVES)} {self._rng.choice(_TITLE_NOUNS)}"
+        counter = 2
+        while f"{base} {counter}" in self._used:
+            counter += 1
+        title = f"{base} {counter}"
+        self._used.add(title)
+        return title

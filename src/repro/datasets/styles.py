@@ -1,0 +1,255 @@
+"""Per-site template styles and reusable page blocks.
+
+Each synthetic website gets a :class:`SiteStyle` derived deterministically
+from its name: distinct class names, layout family (table / definition
+list / div rows), list rendering, chrome (nav, footer, ads), label strings
+(optionally in a non-English language), and a site-wide date format.
+Pages within a site share the style — that is what makes them a
+*template* — while sites differ enough that an extractor trained on one
+site is useless on another, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.names import LANGUAGE_LABELS
+from repro.datasets.render import PageBuilder
+from repro.kb.literals import date_variants
+
+__all__ = ["SiteStyle", "LabeledValue", "InfoRow"]
+
+_AD_TEXTS = (
+    "Try StreamBox free for 30 days",
+    "Subscribe to our newsletter",
+    "Download our mobile app",
+    "Win tickets to the premiere",
+    "Shop the collection",
+)
+
+_NAV_BANKS = (
+    ("Home", "Browse", "About", "Contact"),
+    ("Start", "Catalog", "News", "Help"),
+    ("Main", "Archive", "Community", "FAQ"),
+    ("Index", "Search", "Top Lists", "Login"),
+)
+
+_FOOTER_TEXTS = (
+    "Terms of Service",
+    "Privacy Policy",
+    "© 2017 All rights reserved",
+)
+
+
+@dataclass(frozen=True)
+class LabeledValue:
+    """One value to render: surface text, truth predicate, canonical form."""
+
+    text: str
+    predicate: str | None = None
+    canonical: str | None = None
+
+
+@dataclass(frozen=True)
+class InfoRow:
+    """A labeled key-value row of an infobox."""
+
+    label: str
+    values: tuple[LabeledValue, ...]
+
+
+@dataclass
+class SiteStyle:
+    """All style decisions for one site's template."""
+
+    site_name: str
+    cls: str  # class-name prefix
+    layout: str  # "table" | "dl" | "divs"
+    list_style: str  # "ul" | "spans"
+    wrapper_depth: int
+    title_tag: str
+    label_suffix: str
+    date_format: int
+    language: str
+    nav_items: tuple[str, ...]
+    has_ad_banner: bool
+    has_sidebar: bool
+
+    @classmethod
+    def generate(
+        cls, site_name: str, seed: int, language: str = "en"
+    ) -> SiteStyle:
+        rng = random.Random(f"{site_name}:{seed}")
+        prefix = "".join(c for c in site_name.lower() if c.isalpha())[:4] or "site"
+        return cls(
+            site_name=site_name,
+            cls=prefix,
+            layout=rng.choice(("table", "dl", "divs")),
+            list_style=rng.choice(("ul", "spans")),
+            wrapper_depth=rng.randint(0, 2),
+            title_tag=rng.choice(("h1", "h2")),
+            label_suffix=rng.choice((":", "")),
+            date_format=rng.randrange(6),
+            language=language,
+            nav_items=rng.choice(_NAV_BANKS),
+            has_ad_banner=rng.random() < 0.5,
+            has_sidebar=rng.random() < 0.4,
+        )
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def label(self, slot: str) -> str:
+        """The visible label for a semantic slot in the site's language."""
+        vocab = LANGUAGE_LABELS.get(self.language, LANGUAGE_LABELS["en"])
+        base = vocab.get(slot, slot.replace("_", " ").title())
+        return base + self.label_suffix
+
+    def render_date(self, iso_date: str) -> str:
+        """The site's display format for an ISO date."""
+        variants = date_variants(iso_date)
+        return variants[self.date_format % len(variants)]
+
+    # -- page chrome ------------------------------------------------------------
+
+    def start_page(self, builder: PageBuilder, page_rng: random.Random) -> None:
+        """Open html/body and render header chrome (nav, optional ad)."""
+        builder.open("html").open("head")
+        builder.close("head")
+        builder.open("body", class_=f"{self.cls}-body")
+        builder.open("div", class_=f"{self.cls}-header")
+        builder.open("ul", class_="nav")
+        for item in self.nav_items:
+            builder.leaf("li", item, class_="nav-item")
+        builder.close("ul")
+        if self.has_ad_banner and page_rng.random() < 0.7:
+            builder.leaf(
+                "div", page_rng.choice(_AD_TEXTS), class_="ad-banner", id="top-ad"
+            )
+        builder.close("div")
+
+    def end_page(self, builder: PageBuilder) -> None:
+        builder.open("div", class_=f"{self.cls}-footer")
+        for text in _FOOTER_TEXTS:
+            builder.leaf("span", text, class_="foot")
+        builder.close("div")
+        builder.close("body").close("html")
+
+    def open_main(self, builder: PageBuilder) -> int:
+        """Open the main content container (plus wrapper divs); returns the
+        number of opened elements for :meth:`close_main`."""
+        for level in range(self.wrapper_depth):
+            builder.open("div", class_=f"wrap{level}")
+        builder.open("div", class_=f"{self.cls}-main", id="content")
+        return self.wrapper_depth + 1
+
+    def close_main(self, builder: PageBuilder, opened: int) -> None:
+        for _ in range(opened):
+            builder.close()
+
+    # -- content blocks -------------------------------------------------------------
+
+    def title_block(
+        self, builder: PageBuilder, title: str, predicate: str = "name"
+    ) -> None:
+        builder.open(self.title_tag, class_=f"{self.cls}-title", itemprop="name")
+        builder.text(title, predicate)
+        builder.close(self.title_tag)
+
+    def info_section(self, builder: PageBuilder, rows: list[InfoRow]) -> None:
+        """The infobox: labeled key-value rows in the site's layout."""
+        if self.layout == "table":
+            builder.open("table", class_=f"{self.cls}-info")
+            for row in rows:
+                builder.open("tr", class_="info-row")
+                builder.leaf("td", row.label, class_="info-label")
+                builder.open("td", class_="info-value")
+                self._values(builder, row.values)
+                builder.close("td")
+                builder.close("tr")
+            builder.close("table")
+        elif self.layout == "dl":
+            builder.open("dl", class_=f"{self.cls}-info")
+            for row in rows:
+                builder.leaf("dt", row.label, class_="info-label")
+                builder.open("dd", class_="info-value")
+                self._values(builder, row.values)
+                builder.close("dd")
+            builder.close("dl")
+        else:
+            builder.open("div", class_=f"{self.cls}-info")
+            for row in rows:
+                builder.open("div", class_="info-row")
+                builder.leaf("span", row.label, class_="info-label")
+                builder.open("span", class_="info-value")
+                self._values(builder, row.values)
+                builder.close("span")
+                builder.close("div")
+            builder.close("div")
+
+    def _values(self, builder: PageBuilder, values: tuple[LabeledValue, ...]) -> None:
+        for value in values:
+            builder.leaf(
+                "span",
+                value.text,
+                predicate=value.predicate,
+                canonical=value.canonical,
+                class_="val",
+            )
+
+    def list_section(
+        self,
+        builder: PageBuilder,
+        heading: str,
+        items: list[LabeledValue],
+        section_class: str,
+    ) -> None:
+        """A headed list section (cast lists, filmographies, genres)."""
+        builder.open("div", class_=f"{self.cls}-{section_class}")
+        builder.leaf("h3", heading, class_="section-head")
+        if self.list_style == "ul":
+            builder.open("ul", class_=f"{section_class}-list")
+            for item in items:
+                builder.open("li", class_=f"{section_class}-item")
+                builder.leaf(
+                    "a", item.text, predicate=item.predicate,
+                    canonical=item.canonical, href="#",
+                )
+                builder.close("li")
+            builder.close("ul")
+        else:
+            builder.open("div", class_=f"{section_class}-list")
+            for item in items:
+                builder.leaf(
+                    "span", item.text, predicate=item.predicate,
+                    canonical=item.canonical, class_=f"{section_class}-item",
+                )
+            builder.close("div")
+        builder.close("div")
+
+    def sidebar_block(
+        self,
+        builder: PageBuilder,
+        heading: str,
+        groups: list[tuple[str, list[LabeledValue]]],
+    ) -> None:
+        """A sidebar/recommendation rail: headed groups of related items.
+
+        This is the annotation-hazard block — recommendation content is
+        *not* asserted about the page topic, so its values carry
+        ``predicate=None`` truth unless the caller says otherwise.
+        """
+        builder.open("div", class_=f"{self.cls}-sidebar", id="related")
+        builder.leaf("h3", heading, class_="side-head")
+        for group_title, items in groups:
+            builder.open("div", class_="side-group")
+            builder.leaf("h4", group_title, class_="side-title")
+            builder.open("div", class_="side-items")
+            for item in items:
+                builder.leaf(
+                    "span", item.text, predicate=item.predicate,
+                    canonical=item.canonical, class_="side-item",
+                )
+            builder.close("div")
+            builder.close("div")
+        builder.close("div")

@@ -1,0 +1,30 @@
+"""DOM tree, HTML parser, XPath engine, and serializer (lxml substitute)."""
+
+from repro.dom.node import ElementNode, Node, TextNode
+from repro.dom.parser import Document, parse_html
+from repro.dom.serialize import to_html
+from repro.dom.xpath import (
+    XPathPattern,
+    evaluate_xpath,
+    format_steps,
+    generalize_paths,
+    parse_xpath,
+    pattern_matches,
+    xpath_steps,
+)
+
+__all__ = [
+    "ElementNode",
+    "Node",
+    "TextNode",
+    "Document",
+    "parse_html",
+    "to_html",
+    "XPathPattern",
+    "evaluate_xpath",
+    "format_steps",
+    "generalize_paths",
+    "parse_xpath",
+    "pattern_matches",
+    "xpath_steps",
+]

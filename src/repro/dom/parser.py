@@ -1,0 +1,200 @@
+"""HTML → DOM tree parsing.
+
+Built on the standard library's :class:`html.parser.HTMLParser`.  The paper
+used lxml; this parser provides the same data model (see
+:mod:`repro.dom.node`) for the well-formed-ish HTML that semi-structured
+template engines emit.  It handles:
+
+* void elements (``<br>``, ``<img>``, …) with or without self-closing
+  slashes,
+* implicit closing of ``<p>``/``<li>``/``<tr>``/``<td>``/… when a sibling
+  opens,
+* stray end tags (ignored) and unclosed tags at EOF (auto-closed),
+* merging of adjacent text runs into a single :class:`TextNode`.
+
+The resulting :class:`Document` exposes ``text_fields()`` — the
+document-order list of visible, non-whitespace text nodes that CERES
+annotates and classifies.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+from repro.dom.node import NON_CONTENT_ELEMENTS, VOID_ELEMENTS, ElementNode, TextNode
+
+__all__ = ["Document", "parse_html"]
+
+#: tag -> set of open tags it implicitly closes when encountered.
+_IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "p": frozenset({"p"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "option": frozenset({"option"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "thead": frozenset({"tr", "td", "th"}),
+    "tbody": frozenset({"tr", "td", "th", "thead"}),
+}
+
+
+class Document:
+    """A parsed HTML page.
+
+    Attributes:
+        root: the ``<html>`` element (or a synthetic root for fragments).
+        url: optional source identifier, carried through for reporting.
+    """
+
+    def __init__(self, root: ElementNode, url: str = "") -> None:
+        self.root = root
+        self.url = url
+        self._text_fields: list[TextNode] | None = None
+        self._xpath_index: dict[str, ElementNode | TextNode] | None = None
+
+    def __repr__(self) -> str:
+        return f"<Document url={self.url!r} fields={len(self.text_fields())}>"
+
+    def text_fields(self) -> list[TextNode]:
+        """Document-order visible text nodes with non-whitespace content.
+
+        The list is computed once and cached; CERES iterates it many times
+        (matching, annotation, feature extraction, extraction).
+        """
+        if self._text_fields is None:
+            self._text_fields = [
+                node for node in self.root.iter_text_nodes() if node.text.strip()
+            ]
+        return self._text_fields
+
+    def iter_elements(self):
+        """Document-order iteration over all elements."""
+        return self.root.iter_elements()
+
+    def node_at(self, xpath: str):
+        """Return the node at an absolute XPath, or ``None``.
+
+        Both element paths and ``.../text()[i]`` paths are supported.  An
+        index over all node XPaths is built lazily on first use.
+        """
+        if self._xpath_index is None:
+            index: dict[str, ElementNode | TextNode] = {}
+            for element in self.root.iter_elements():
+                index[element.xpath] = element
+                for child in element.children:
+                    if child.is_text:
+                        index[child.xpath] = child
+            self._xpath_index = index
+        return self._xpath_index.get(xpath)
+
+
+class _TreeBuilder(HTMLParser):
+    """Incremental DOM construction driven by HTMLParser events."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.synthetic_root = ElementNode("#fragment")
+        self._stack: list[ElementNode] = [self.synthetic_root]
+        self._pending_text: list[str] = []
+
+    # -- text buffering -------------------------------------------------
+
+    def _flush_text(self) -> None:
+        if not self._pending_text:
+            return
+        text = "".join(self._pending_text)
+        self._pending_text.clear()
+        parent = self._stack[-1]
+        # Merge with a preceding text sibling if one exists (HTMLParser may
+        # deliver one logical run as several handle_data calls).
+        if parent.children and parent.children[-1].is_text:
+            last = parent.children[-1]
+            last.text += text
+        else:
+            if not text:
+                return
+            parent.append(TextNode(text))
+
+    # -- HTMLParser callbacks --------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        self._flush_text()
+        closers = _IMPLICIT_CLOSERS.get(tag)
+        if closers:
+            while len(self._stack) > 1 and self._stack[-1].tag in closers:
+                self._stack.pop()
+        element = ElementNode(tag, {k: (v or "") for k, v in attrs})
+        self._stack[-1].append(element)
+        if tag not in VOID_ELEMENTS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        self._flush_text()
+        element = ElementNode(tag, {k: (v or "") for k, v in attrs})
+        self._stack[-1].append(element)
+
+    def handle_endtag(self, tag: str) -> None:
+        self._flush_text()
+        if tag in VOID_ELEMENTS:
+            return
+        # Pop to the matching open tag; ignore stray end tags entirely.
+        for i in range(len(self._stack) - 1, 0, -1):
+            if self._stack[i].tag == tag:
+                del self._stack[i:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data:
+            self._pending_text.append(data)
+
+    def handle_comment(self, data: str) -> None:
+        # Comments carry no extractable content; drop them.
+        self._flush_text()
+
+    def close(self) -> None:
+        super().close()
+        self._flush_text()
+        del self._stack[1:]
+
+
+def parse_html(html: str, url: str = "") -> Document:
+    """Parse an HTML string into a :class:`Document`.
+
+    If the markup contains an ``<html>`` element it becomes the document
+    root; otherwise the synthetic fragment root is used (useful in tests
+    operating on snippets).
+    """
+    builder = _TreeBuilder()
+    builder.feed(html)
+    builder.close()
+    root = builder.synthetic_root
+    for child in root.element_children():
+        if child.tag == "html":
+            # Detach so the <html> element is a true root with depth 0 and
+            # an xpath of /html[1].
+            child.parent = None
+            child.tag_index = 1
+            return Document(child, url=url)
+    return Document(root, url=url)
+
+
+def strip_non_content(document: Document) -> int:
+    """Remove script/style subtrees in place; returns number removed.
+
+    Parsing keeps non-content elements (their presence can matter for
+    sibling indices); this helper exists for callers who want physically
+    smaller trees, e.g. before serializing corpora to disk.
+    """
+    removed = 0
+    for element in list(document.root.iter_elements()):
+        kept = []
+        for child in element.children:
+            if isinstance(child, ElementNode) and child.tag in NON_CONTENT_ELEMENTS:
+                removed += 1
+            else:
+                kept.append(child)
+        if len(kept) != len(element.children):
+            element.children = kept
+    return removed

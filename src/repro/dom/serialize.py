@@ -1,0 +1,43 @@
+"""DOM → HTML serialization.
+
+Primarily used by tests (parse → serialize → parse stability) and for
+debugging generated pages.  Serialization escapes text and attribute
+values, renders void elements without closing tags, and emits no
+insignificant whitespace, so a serialized tree re-parses to an identical
+structure.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.dom.node import VOID_ELEMENTS, ElementNode, TextNode
+
+__all__ = ["to_html"]
+
+
+def to_html(node: ElementNode | TextNode) -> str:
+    """Serialize a node (and its subtree) to an HTML string."""
+    parts: list[str] = []
+    _serialize(node, parts)
+    return "".join(parts)
+
+
+def _serialize(node: ElementNode | TextNode, parts: list[str]) -> None:
+    if isinstance(node, TextNode):
+        parts.append(escape(node.text, quote=False))
+        return
+    if node.tag == "#fragment":
+        for child in node.children:
+            _serialize(child, parts)
+        return
+    attrs = "".join(
+        f' {name}="{escape(value, quote=True)}"' for name, value in node.attrs.items()
+    )
+    if node.tag in VOID_ELEMENTS:
+        parts.append(f"<{node.tag}{attrs}>")
+        return
+    parts.append(f"<{node.tag}{attrs}>")
+    for child in node.children:
+        _serialize(child, parts)
+    parts.append(f"</{node.tag}>")

@@ -1,0 +1,166 @@
+"""Absolute XPath parsing, evaluation, and generalization.
+
+CERES manipulates XPaths in three ways:
+
+* **as node identities** — every node is addressed by its absolute XPath
+  (``/html[1]/body[1]/div[2]/span[1]/text()[1]``);
+* **as cluster members** — relation annotation clusters mention XPaths by
+  Levenshtein distance over their steps (Section 3.2.2);
+* **as patterns** — negative-example filtering (Section 4.1) and the
+  Vertex++ baseline generalize a set of XPaths into a pattern that wildcards
+  the indices at which the set disagrees ("differ only in indices of their
+  XPaths … part of the same list").
+
+A *step* is ``(tag, index)`` with ``index=None`` meaning wildcard.  The
+text-node pseudo-step uses tag ``"text()"``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dom.node import ElementNode, TextNode
+
+__all__ = [
+    "XPathPattern",
+    "parse_xpath",
+    "format_steps",
+    "xpath_steps",
+    "evaluate_xpath",
+    "generalize_paths",
+    "pattern_matches",
+]
+
+_STEP_RE = re.compile(r"([^/\[\]]+)(?:\[(\d+|\*)\])?$")
+
+Step = tuple[str, int | None]
+XPathPattern = tuple[Step, ...]
+
+
+def parse_xpath(xpath: str) -> XPathPattern:
+    """Parse an absolute XPath string into a tuple of ``(tag, index)`` steps.
+
+    A missing or ``*`` index parses as ``None`` (wildcard).
+
+    >>> parse_xpath("/html[1]/body[1]/div[*]")
+    (('html', 1), ('body', 1), ('div', None))
+    """
+    if not xpath.startswith("/"):
+        raise ValueError(f"not an absolute XPath: {xpath!r}")
+    steps: list[Step] = []
+    for raw in xpath.strip("/").split("/"):
+        match = _STEP_RE.match(raw)
+        if not match:
+            raise ValueError(f"malformed XPath step {raw!r} in {xpath!r}")
+        tag, index = match.groups()
+        if index is None or index == "*":
+            steps.append((tag, None))
+        else:
+            steps.append((tag, int(index)))
+    return tuple(steps)
+
+
+def format_steps(steps: XPathPattern) -> str:
+    """Render steps back into an XPath string (wildcards as ``[*]``).
+
+    >>> format_steps((("html", 1), ("div", None)))
+    '/html[1]/div[*]'
+    """
+    parts = []
+    for tag, index in steps:
+        parts.append(f"{tag}[{index if index is not None else '*'}]")
+    return "/" + "/".join(parts)
+
+
+def xpath_steps(node: ElementNode | TextNode) -> XPathPattern:
+    """Steps of a live node's absolute XPath (cheap: no string round-trip)."""
+    steps: list[Step] = []
+    current = node
+    while current is not None:
+        if isinstance(current, TextNode):
+            steps.append(("text()", current.text_index))
+        else:
+            steps.append((current.tag, current.tag_index))
+        current = current.parent
+    steps.reverse()
+    return tuple(steps)
+
+
+def evaluate_xpath(root: ElementNode, xpath: str | XPathPattern):
+    """Return the node at an absolute (non-wildcard) XPath, or ``None``.
+
+    The first step must match the root element.  Supports a trailing
+    ``text()[i]`` step, returning the i-th text-node child.
+    """
+    steps = parse_xpath(xpath) if isinstance(xpath, str) else xpath
+    if not steps:
+        return None
+    tag, index = steps[0]
+    if tag != root.tag or (index is not None and index != root.tag_index):
+        return None
+    current: ElementNode | None = root
+    for tag, index in steps[1:]:
+        if current is None:
+            return None
+        if tag == "text()":
+            wanted = 1 if index is None else index
+            for child in current.children:
+                if child.is_text and child.text_index == wanted:
+                    return child
+            return None
+        found = None
+        for child in current.children:
+            if isinstance(child, ElementNode) and child.tag == tag:
+                if index is None or child.tag_index == index:
+                    found = child
+                    break
+        current = found
+    return current
+
+
+def generalize_paths(paths: list[XPathPattern]) -> XPathPattern | None:
+    """Generalize same-shape paths by wildcarding disagreeing indices.
+
+    Returns ``None`` when the paths differ in length or in any tag —
+    generalization is only meaningful for nodes produced by the same
+    template list.  With a single path, that path is returned unchanged.
+
+    >>> a = parse_xpath("/html[1]/div[1]/span[2]")
+    >>> b = parse_xpath("/html[1]/div[1]/span[5]")
+    >>> format_steps(generalize_paths([a, b]))
+    '/html[1]/div[1]/span[*]'
+    """
+    if not paths:
+        return None
+    first = paths[0]
+    for other in paths[1:]:
+        if len(other) != len(first):
+            return None
+        for (tag_a, _), (tag_b, _) in zip(first, other):
+            if tag_a != tag_b:
+                return None
+    generalized: list[Step] = []
+    for position, (tag, index) in enumerate(first):
+        agreed: int | None = index
+        for other in paths[1:]:
+            if other[position][1] != agreed:
+                agreed = None
+                break
+        generalized.append((tag, agreed))
+    return tuple(generalized)
+
+
+def pattern_matches(pattern: XPathPattern, path: XPathPattern) -> bool:
+    """True if ``path`` matches ``pattern`` (wildcards match any index).
+
+    ``path`` itself may not contain wildcards in matched positions — a
+    concrete index is required wherever the pattern specifies one.
+    """
+    if len(pattern) != len(path):
+        return False
+    for (pattern_tag, pattern_index), (path_tag, path_index) in zip(pattern, path):
+        if pattern_tag != path_tag:
+            return False
+        if pattern_index is not None and pattern_index != path_index:
+            return False
+    return True

@@ -1,0 +1,21 @@
+"""Evaluation: scoring protocols, report rendering, experiment runners."""
+
+from repro.evaluation.report import format_number, format_prf, format_table
+from repro.evaluation.scoring import (
+    annotation_scores,
+    extraction_precision,
+    node_level_scores,
+    page_hit_scores,
+    topic_scores,
+)
+
+__all__ = [
+    "format_number",
+    "format_prf",
+    "format_table",
+    "annotation_scores",
+    "extraction_precision",
+    "node_level_scores",
+    "page_hit_scores",
+    "topic_scores",
+]

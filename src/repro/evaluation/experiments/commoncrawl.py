@@ -1,0 +1,300 @@
+"""CommonCrawl experiments: Tables 2, 8, 9 and Figure 6 of the paper."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline, CeresResult
+from repro.datasets.commoncrawl import (
+    CommonCrawlDataset,
+    DEFAULT_SITES,
+    generate_commoncrawl,
+)
+from repro.datasets.entities import MovieUniverse
+from repro.datasets.kbgen import kb_from_universe
+from repro.evaluation.report import format_number, format_prf, format_table
+from repro.evaluation.scoring import extraction_precision
+from repro.kb.ontology import NAME_PREDICATE
+
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "SiteOutcome",
+    "Table8Result",
+    "run_table8",
+    "Table9Result",
+    "run_table9",
+    "Figure6Result",
+    "run_figure6",
+]
+
+
+# --------------------------------------------------------------------------
+# Table 2: seed-KB profile
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Result:
+    rows: list[list[str]] = field(default_factory=list)
+    total_triples: int = 0
+
+    def format(self) -> str:
+        table = format_table(
+            ["Entity Type", "#Instances", "#Predicates"],
+            self.rows,
+            title="Table 2: seed KB for the Movie vertical (synthetic analogue)",
+        )
+        return f"{table}\nTotal triples: {format_number(self.total_triples)}"
+
+
+def run_table2(seed: int = 0, universe: MovieUniverse | None = None) -> Table2Result:
+    if universe is None:
+        universe = MovieUniverse(seed=seed, n_people=500, n_films=400, n_series=14,
+                                 episodes_per_series=8)
+    kb = kb_from_universe(
+        universe.entities(), universe.facts(), universe.ontology, seed=seed
+    )
+    result = Table2Result(total_triples=len(kb))
+    type_counts: Counter[str] = Counter(e.type for e in kb.entities.values())
+    predicates_by_type: dict[str, set[str]] = defaultdict(set)
+    for triple in kb.triples:
+        subject_type = kb.entity(triple.subject).type
+        predicates_by_type[subject_type].add(triple.predicate)
+    display = {"person": "Person", "film": "Film", "series": "TV Series",
+               "episode": "TV Episode"}
+    for type_name in ("person", "film", "series", "episode"):
+        result.rows.append(
+            [
+                display[type_name],
+                format_number(type_counts.get(type_name, 0)),
+                str(len(predicates_by_type.get(type_name, set()))),
+            ]
+        )
+    return result
+
+
+# --------------------------------------------------------------------------
+# Table 8: per-site breakdown
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SiteOutcome:
+    """One row of Table 8."""
+
+    name: str
+    focus: str
+    n_pages: int
+    n_annotated_pages: int
+    n_annotations: int
+    n_extractions: int
+    extracted_to_annotated_pages: float
+    extraction_to_annotation: float
+    precision: float | None  # None when nothing was extracted
+    result: CeresResult | None = None
+
+
+@dataclass
+class Table8Result:
+    sites: list[SiteOutcome] = field(default_factory=list)
+
+    def totals(self) -> SiteOutcome:
+        total_correct = 0
+        total_scored = 0
+        n_pages = n_ann_pages = n_ann = n_ext = 0
+        for site in self.sites:
+            n_pages += site.n_pages
+            n_ann_pages += site.n_annotated_pages
+            n_ann += site.n_annotations
+            n_ext += site.n_extractions
+            if site.precision is not None:
+                total_correct += round(site.precision * site.n_extractions)
+                total_scored += site.n_extractions
+        return SiteOutcome(
+            name="Total",
+            focus="-",
+            n_pages=n_pages,
+            n_annotated_pages=n_ann_pages,
+            n_annotations=n_ann,
+            n_extractions=n_ext,
+            extracted_to_annotated_pages=0.0,
+            extraction_to_annotation=(n_ext / n_ann) if n_ann else 0.0,
+            precision=(total_correct / total_scored) if total_scored else None,
+        )
+
+    def format(self) -> str:
+        rows = []
+        ordered = sorted(
+            self.sites, key=lambda s: (-(s.precision if s.precision is not None else -1))
+        )
+        for site in ordered + [self.totals()]:
+            rows.append(
+                [
+                    site.name,
+                    site.focus,
+                    format_number(site.n_pages),
+                    format_number(site.n_annotated_pages),
+                    format_number(site.n_annotations),
+                    format_number(site.n_extractions),
+                    f"{site.extraction_to_annotation:.2f}",
+                    format_prf(site.precision),
+                ]
+            )
+        return format_table(
+            ["Website", "Focus", "#Pages", "#AnnPages", "#Annotations",
+             "#Extractions", "Ext:Ann", "Precision"],
+            rows,
+            title="Table 8: long-tail movie websites at confidence 0.5",
+        )
+
+
+def run_table8(
+    seed: int = 0,
+    sites=DEFAULT_SITES,
+    dataset: CommonCrawlDataset | None = None,
+    threshold: float = 0.5,
+) -> tuple[Table8Result, CommonCrawlDataset, dict[str, CeresResult]]:
+    """Run the full pipeline over every long-tail site.
+
+    Returns the table, the dataset, and per-site pipeline results so that
+    Table 9 and Figure 6 can reuse the (expensive) runs.
+    """
+    config = CeresConfig(confidence_threshold=threshold)
+    if dataset is None:
+        dataset = generate_commoncrawl(seed, sites)
+    table = Table8Result()
+    results: dict[str, CeresResult] = {}
+    for site in dataset.sites:
+        pipeline = CeresPipeline(dataset.kb, config)
+        documents = [p.document for p in site.pages]
+        # The paper annotates and extracts over the full site (no split).
+        result = pipeline.run(documents, documents)
+        results[site.name] = result
+        correct, total = extraction_precision(result.extractions, site.pages)
+        extracted_pages = {e.page_index for e in result.extractions}
+        annotated_pages = {p.page_index for p in result.annotated_pages}
+        table.sites.append(
+            SiteOutcome(
+                name=site.name,
+                focus=site.config.focus,
+                n_pages=len(site.pages),
+                n_annotated_pages=len(result.annotated_pages),
+                n_annotations=result.annotation_count,
+                n_extractions=total,
+                extracted_to_annotated_pages=(
+                    len(extracted_pages) / len(annotated_pages)
+                    if annotated_pages
+                    else 0.0
+                ),
+                extraction_to_annotation=(
+                    total / result.annotation_count if result.annotation_count else 0.0
+                ),
+                precision=(correct / total) if total else None,
+                result=result,
+            )
+        )
+    return table, dataset, results
+
+
+# --------------------------------------------------------------------------
+# Table 9: top predicates
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table9Result:
+    #: predicate -> (#annotations, #extractions, precision|None)
+    rows: dict[str, tuple[int, int, float | None]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        ordered = sorted(self.rows.items(), key=lambda kv: -kv[1][1])[:10]
+        body = [
+            [predicate, format_number(ann), format_number(ext), format_prf(precision)]
+            for predicate, (ann, ext, precision) in ordered
+        ]
+        return format_table(
+            ["Predicate", "#Annotations", "#Extractions", "Precision"],
+            body,
+            title="Table 9: most-extracted predicates on the long-tail corpus",
+        )
+
+
+def run_table9(
+    dataset: CommonCrawlDataset,
+    results: dict[str, "CeresResult"],
+) -> Table9Result:
+    annotations: Counter[str] = Counter()
+    extractions: Counter[str] = Counter()
+    correct: Counter[str] = Counter()
+    for site in dataset.sites:
+        result = results.get(site.name)
+        if result is None:
+            continue
+        for page in result.annotated_pages:
+            for annotation in page.annotations:
+                annotations[annotation.predicate] += 1
+        for extraction in result.extractions:
+            extractions[extraction.predicate] += 1
+            page = site.pages[extraction.page_index]
+            emission = page.emission_for_node(extraction.node)
+            if emission is not None and emission.predicate == extraction.predicate:
+                correct[extraction.predicate] += 1
+    table = Table9Result()
+    for predicate in set(annotations) | set(extractions):
+        if predicate == NAME_PREDICATE:
+            continue
+        n_ext = extractions[predicate]
+        table.rows[predicate] = (
+            annotations[predicate],
+            n_ext,
+            (correct[predicate] / n_ext) if n_ext else None,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------
+# Figure 6: precision vs number of extractions across thresholds
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6Result:
+    #: (threshold, #extractions, precision)
+    points: list[tuple[float, int, float]] = field(default_factory=list)
+
+    def format(self) -> str:
+        rows = [
+            [f"{threshold:.2f}", format_number(count), format_prf(precision)]
+            for threshold, count, precision in self.points
+        ]
+        return format_table(
+            ["Confidence threshold", "#Extractions", "Precision"],
+            rows,
+            title="Figure 6: precision / volume trade-off on the long-tail corpus",
+        )
+
+
+def run_figure6(
+    dataset: CommonCrawlDataset,
+    results: dict[str, "CeresResult"],
+    thresholds: tuple[float, ...] = (0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.95),
+) -> Figure6Result:
+    figure = Figure6Result()
+    for threshold in thresholds:
+        total = 0
+        correct = 0
+        for site in dataset.sites:
+            result = results.get(site.name)
+            if result is None:
+                continue
+            extractions = result.extractions_at(threshold)
+            c, t = extraction_precision(extractions, site.pages)
+            correct += c
+            total += t
+        figure.points.append(
+            (threshold, total, (correct / total) if total else 0.0)
+        )
+    return figure

@@ -1,0 +1,246 @@
+"""IMDb experiments: Tables 5, 6, and 7 of the paper.
+
+The IMDb testbed compares CERES-Full against CERES-Topic on a complex
+multi-relation site, measuring extraction quality (Table 5), annotation
+quality (Table 6), and topic-identification accuracy (Table 7) on the
+film/TV and person page populations separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.ceres_topic import make_ceres_topic_pipeline
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.datasets.imdb import (
+    FILM_PREDICATES,
+    IMDbDataset,
+    PERSON_PREDICATES,
+    generate_imdb,
+)
+from repro.evaluation.experiments.common import SiteRun, split_pages
+from repro.evaluation.report import format_prf, format_table
+from repro.evaluation.scoring import annotation_scores, node_level_scores, topic_scores
+from repro.ml.metrics import PRF
+
+__all__ = [
+    "Table5Result",
+    "run_table5",
+    "Table6Result",
+    "run_table6",
+    "Table7Result",
+    "run_table7",
+]
+
+#: Paper-reported "All Extractions" rows for shape reference.
+PAPER_TABLE5_ALL = {
+    ("person", "topic"): (0.36, 0.65, 0.46),
+    ("person", "full"): (0.93, 0.68, 0.79),
+    ("film", "topic"): (0.88, 0.59, 0.70),
+    ("film", "full"): (0.99, 0.65, 0.78),
+}
+
+
+def _domain_predicates(domain: str) -> list[str]:
+    return FILM_PREDICATES if domain == "film" else PERSON_PREDICATES
+
+
+def _run_domain(
+    dataset: IMDbDataset,
+    domain: str,
+    system: str,
+    config: CeresConfig,
+    seed: int,
+) -> tuple[SiteRun, object]:
+    """Run one system on one IMDb domain; returns the run + pipeline result."""
+    pages = dataset.film_pages if domain == "film" else dataset.person_pages
+    train_pages, eval_pages = split_pages(pages, seed)
+    kb = dataset.kb
+    assert kb is not None
+    if system == "full":
+        pipeline = CeresPipeline(kb, config)
+    else:
+        pipeline = make_ceres_topic_pipeline(kb, config)
+    result = pipeline.run(
+        [p.document for p in train_pages], [p.document for p in eval_pages]
+    )
+    run = SiteRun(train_pages, eval_pages, result.extractions, result.candidates, result)
+    return run, result
+
+
+# --------------------------------------------------------------------------
+# Table 5: extraction quality
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table5Result:
+    #: domain -> predicate -> {"topic": PRF, "full": PRF}
+    scores: dict[str, dict[str, dict[str, PRF]]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = []
+        for domain, predicates in self.scores.items():
+            totals = {"topic": PRF(), "full": PRF()}
+            for predicate, systems in predicates.items():
+                cells = [domain, predicate]
+                for key in ("topic", "full"):
+                    score = systems[key]
+                    totals[key] += score
+                    if score.defined:
+                        cells.extend(format_prf(v) for v in score.as_tuple())
+                    else:
+                        cells.extend(["NA"] * 3)
+                rows.append(cells)
+            all_row = [domain, "All Extractions"]
+            for key in ("topic", "full"):
+                all_row.extend(format_prf(v) for v in totals[key].as_tuple())
+            rows.append(all_row)
+            paper_topic = PAPER_TABLE5_ALL[(domain, "topic")]
+            paper_full = PAPER_TABLE5_ALL[(domain, "full")]
+            rows.append(
+                [domain, "All (paper)*"]
+                + [format_prf(v) for v in paper_topic]
+                + [format_prf(v) for v in paper_full]
+            )
+        return format_table(
+            ["Domain", "Predicate", "Topic P", "Topic R", "Topic F1",
+             "Full P", "Full R", "Full F1"],
+            rows,
+            title="Table 5: IMDb extraction quality — CERES-Topic vs CERES-Full",
+        )
+
+
+def run_table5(
+    seed: int = 0,
+    n_films: int = 50,
+    n_people: int = 40,
+    n_episodes: int = 16,
+    dataset: IMDbDataset | None = None,
+) -> Table5Result:
+    config = CeresConfig()
+    if dataset is None:
+        dataset = generate_imdb(seed, n_films, n_people, n_episodes)
+    result = Table5Result()
+    for domain in ("person", "film"):
+        predicates = _domain_predicates(domain)
+        result.scores[domain] = {p: {} for p in predicates}
+        for system in ("topic", "full"):
+            run, _ = _run_domain(dataset, domain, system, config, seed)
+            scores = node_level_scores(
+                run.extractions, run.eval_pages, predicates, run.candidates,
+                config.confidence_threshold,
+            )
+            for predicate in predicates:
+                result.scores[domain][predicate][system] = scores.get(predicate, PRF())
+    return result
+
+
+# --------------------------------------------------------------------------
+# Table 6: annotation quality
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table6Result:
+    scores: dict[str, dict[str, dict[str, PRF]]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = []
+        for domain, predicates in self.scores.items():
+            totals = {"topic": PRF(), "full": PRF()}
+            for predicate, systems in predicates.items():
+                cells = [domain, predicate]
+                for key in ("topic", "full"):
+                    score = systems[key]
+                    totals[key] += score
+                    if score.defined:
+                        cells.extend(format_prf(v) for v in score.as_tuple())
+                    else:
+                        cells.extend(["NA"] * 3)
+                rows.append(cells)
+            all_row = [domain, "All Annotations"]
+            for key in ("topic", "full"):
+                all_row.extend(format_prf(v) for v in totals[key].as_tuple())
+            rows.append(all_row)
+        return format_table(
+            ["Domain", "Predicate", "Topic P", "Topic R", "Topic F1",
+             "Full P", "Full R", "Full F1"],
+            rows,
+            title="Table 6: IMDb annotation quality — CERES-Topic vs CERES-Full",
+        )
+
+
+def run_table6(
+    seed: int = 0,
+    n_films: int = 50,
+    n_people: int = 40,
+    n_episodes: int = 16,
+    dataset: IMDbDataset | None = None,
+) -> Table6Result:
+    config = CeresConfig()
+    if dataset is None:
+        dataset = generate_imdb(seed, n_films, n_people, n_episodes)
+    kb = dataset.kb
+    assert kb is not None
+    result = Table6Result()
+    for domain in ("person", "film"):
+        predicates = [p for p in _domain_predicates(domain) if p != "name"]
+        result.scores[domain] = {p: {} for p in predicates}
+        pages = dataset.film_pages if domain == "film" else dataset.person_pages
+        train_pages, _ = split_pages(pages, seed)
+        for system in ("topic", "full"):
+            if system == "full":
+                pipeline = CeresPipeline(kb, config)
+            else:
+                pipeline = make_ceres_topic_pipeline(kb, config)
+            annotated = pipeline.annotate([p.document for p in train_pages])
+            scores = annotation_scores(
+                annotated.annotated_pages, train_pages, kb, predicates
+            )
+            for predicate in predicates:
+                result.scores[domain][predicate][system] = scores.get(predicate, PRF())
+    return result
+
+
+# --------------------------------------------------------------------------
+# Table 7: topic identification accuracy
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Table7Result:
+    scores: dict[str, PRF] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = [
+            [domain] + [format_prf(v) for v in score.as_tuple()]
+            for domain, score in self.scores.items()
+        ]
+        return format_table(
+            ["Domain", "P", "R", "F1"],
+            rows,
+            title="Table 7: IMDb topic identification accuracy",
+        )
+
+
+def run_table7(
+    seed: int = 0,
+    n_films: int = 50,
+    n_people: int = 40,
+    n_episodes: int = 16,
+    dataset: IMDbDataset | None = None,
+) -> Table7Result:
+    config = CeresConfig()
+    if dataset is None:
+        dataset = generate_imdb(seed, n_films, n_people, n_episodes)
+    kb = dataset.kb
+    assert kb is not None
+    result = Table7Result()
+    for domain in ("person", "film"):
+        pages = dataset.film_pages if domain == "film" else dataset.person_pages
+        pipeline = CeresPipeline(kb, config)
+        annotated = pipeline.annotate([p.document for p in pages])
+        result.scores[domain] = topic_scores(annotated.topics, pages, kb)
+    return result

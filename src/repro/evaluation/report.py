@@ -1,0 +1,51 @@
+"""ASCII table rendering for experiment reports.
+
+All benchmark harnesses print their tables through this module so that
+``bench_output.txt`` reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_prf", "format_number"]
+
+
+def format_prf(value: float | None) -> str:
+    """Render a precision/recall/F1 value; ``None`` renders as NA."""
+    if value is None:
+        return "NA"
+    return f"{value:.2f}"
+
+
+def format_number(value: int | float | None) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return f"{value:,}"
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule.
+
+    >>> print(format_table(["a", "b"], [["1", "22"]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

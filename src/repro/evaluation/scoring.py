@@ -1,0 +1,258 @@
+"""Scoring extractions, annotations, and topic assignments against truth.
+
+Three scoring regimes, matching the paper's three evaluation protocols:
+
+* **Node-level** (Tables 4-6, 8, 9): an extraction/annotation is correct
+  iff the *specific DOM node* it points to asserts that predicate in the
+  generated page's ground truth.  This is the strictest regime — matching
+  the right string in the wrong page region (a recommendation block) is a
+  false positive, exactly as in the paper's manual verification ("we do
+  not confirm which text fields provided the extraction" is their relaxed
+  CommonCrawl protocol; we hold ourselves to the stricter one).
+
+* **Page-hit** (Table 3, the Hao et al. protocol): one prediction per
+  predicate per page; a page counts as a hit when the predicted string
+  matches any truth surface for that predicate on the page.
+
+* **Annotation recall vs the KB** (Table 6): recall denominators count
+  only facts *the KB knows* — an unannotated fact the KB never contained
+  is not a miss.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.annotation.types import AnnotatedPage, TopicResult
+from repro.core.extraction.extractor import Extraction, PageCandidates
+from repro.datasets.render import GeneratedPage
+from repro.kb.ontology import NAME_PREDICATE
+from repro.kb.store import KnowledgeBase
+from repro.ml.metrics import PRF
+from repro.text.normalize import normalize_text
+
+__all__ = [
+    "node_level_scores",
+    "page_hit_scores",
+    "annotation_scores",
+    "topic_scores",
+    "extraction_precision",
+]
+
+
+def _gold_instances(
+    page: GeneratedPage, predicates: set[str] | None
+) -> set[tuple[str, str]]:
+    """Distinct (predicate, normalized object) asserted by a page."""
+    gold: set[tuple[str, str]] = set()
+    for predicate, values in page.truth.objects.items():
+        if predicates is not None and predicate not in predicates:
+            continue
+        for value in values:
+            gold.add((predicate, normalize_text(value)))
+    return gold
+
+
+def node_level_scores(
+    extractions: list[Extraction],
+    pages: list[GeneratedPage],
+    predicates: list[str] | None = None,
+    candidates: list[PageCandidates] | None = None,
+    threshold: float = 0.5,
+) -> dict[str, PRF]:
+    """Per-predicate node-level P/R/F1 over an evaluation page set.
+
+    ``extractions[i].page_index`` indexes into ``pages``.  When
+    ``candidates`` is supplied, the ``name`` predicate is scored from each
+    page's identified subject; otherwise ``name`` is skipped.
+    """
+    wanted = set(predicates) if predicates is not None else None
+    scores: dict[str, PRF] = defaultdict(PRF)
+    correct_instances: set[tuple[int, str, str]] = set()
+
+    for extraction in extractions:
+        predicate = extraction.predicate
+        if wanted is not None and predicate not in wanted:
+            continue
+        page = pages[extraction.page_index]
+        emission = page.emission_for_node(extraction.node)
+        if emission is not None and emission.predicate == predicate:
+            scores[predicate].tp += 1
+            correct_instances.add(
+                (
+                    extraction.page_index,
+                    predicate,
+                    normalize_text(emission.object_value or extraction.object),
+                )
+            )
+        else:
+            scores[predicate].fp += 1
+
+    for page_index, page in enumerate(pages):
+        for predicate, value in _gold_instances(page, wanted):
+            if predicate == NAME_PREDICATE:
+                continue
+            if (page_index, predicate, value) not in correct_instances:
+                scores[predicate].fn += 1
+
+    if candidates is not None and (wanted is None or NAME_PREDICATE in wanted):
+        name_score = PRF()
+        by_page = {c.page_index: c for c in candidates}
+        for page_index, page in enumerate(pages):
+            if page.topic_name is None:
+                continue
+            candidate = by_page.get(page_index)
+            predicted = (
+                candidate.subject
+                if candidate is not None and candidate.name_confidence >= threshold
+                else None
+            )
+            if predicted is None:
+                name_score.fn += 1
+            elif normalize_text(predicted) == normalize_text(page.topic_name):
+                name_score.tp += 1
+            else:
+                name_score.fp += 1
+                name_score.fn += 1
+        scores[NAME_PREDICATE] = name_score
+    return dict(scores)
+
+
+def page_hit_scores(
+    extractions: list[Extraction],
+    pages: list[GeneratedPage],
+    predicates: list[str],
+    candidates: list[PageCandidates] | None = None,
+    threshold: float = 0.5,
+) -> dict[str, PRF]:
+    """Hao et al. page-hit scoring: one prediction per predicate per page.
+
+    For each (page, predicate): the system's highest-confidence prediction
+    is compared by string against the page's truth surfaces.
+    """
+    best: dict[tuple[int, str], Extraction] = {}
+    for extraction in extractions:
+        key = (extraction.page_index, extraction.predicate)
+        current = best.get(key)
+        if current is None or extraction.confidence > current.confidence:
+            best[key] = extraction
+
+    scores: dict[str, PRF] = {p: PRF() for p in predicates}
+    by_page = {c.page_index: c for c in (candidates or [])}
+    for page_index, page in enumerate(pages):
+        for predicate in predicates:
+            if predicate == NAME_PREDICATE:
+                truth_surfaces = (
+                    {normalize_text(page.topic_name)} if page.topic_name else set()
+                )
+                candidate = by_page.get(page_index)
+                predicted = (
+                    candidate.subject
+                    if candidate is not None and candidate.name_confidence >= threshold
+                    else None
+                )
+            else:
+                truth_surfaces = {
+                    normalize_text(s)
+                    for s in page.truth.surfaces.get(predicate, set())
+                }
+                hit = best.get((page_index, predicate))
+                predicted = hit.object if hit is not None else None
+            if predicted is None:
+                if truth_surfaces:
+                    scores[predicate].fn += 1
+                continue
+            if normalize_text(predicted) in truth_surfaces:
+                scores[predicate].tp += 1
+            else:
+                scores[predicate].fp += 1
+                if truth_surfaces:
+                    scores[predicate].fn += 1
+    return scores
+
+
+def annotation_scores(
+    annotated_pages: list[AnnotatedPage],
+    pages: list[GeneratedPage],
+    kb: KnowledgeBase,
+    predicates: list[str] | None = None,
+) -> dict[str, PRF]:
+    """Annotation quality (Table 6).
+
+    Precision: an annotation is correct iff its node asserts that
+    predicate.  Recall: "the fraction of facts from KB that were correctly
+    annotated" — for each annotated page, the gold set is the page's truth
+    instances that the KB also contains for the true topic entity.
+    """
+    wanted = set(predicates) if predicates is not None else None
+    scores: dict[str, PRF] = defaultdict(PRF)
+
+    for annotated in annotated_pages:
+        page = pages[annotated.page_index]
+        correct: set[tuple[str, str]] = set()
+        for annotation in annotated.annotations:
+            predicate = annotation.predicate
+            if wanted is not None and predicate not in wanted:
+                continue
+            emission = page.emission_for_node(annotation.node)
+            if emission is not None and emission.predicate == predicate:
+                scores[predicate].tp += 1
+                correct.add((predicate, normalize_text(emission.object_value or "")))
+            else:
+                scores[predicate].fp += 1
+
+        # Gold: page truth ∩ KB facts about the true topic.
+        true_topic = page.topic_entity_id
+        if true_topic is None or true_topic not in kb.entities:
+            continue
+        kb_values: dict[str, set[str]] = defaultdict(set)
+        for triple in kb.triples_for_subject(true_topic):
+            for surface in kb.object_surfaces(triple):
+                kb_values[triple.predicate].add(normalize_text(surface))
+        for predicate, values in page.truth.objects.items():
+            if wanted is not None and predicate not in wanted:
+                continue
+            for value in values:
+                normalized = normalize_text(value)
+                if normalized in kb_values.get(predicate, set()):
+                    if (predicate, normalized) not in correct:
+                        scores[predicate].fn += 1
+    return dict(scores)
+
+
+def topic_scores(
+    topics: dict[int, TopicResult],
+    pages: list[GeneratedPage],
+    kb: KnowledgeBase,
+) -> PRF:
+    """Topic identification accuracy (Table 7).
+
+    Precision over assigned pages; recall over pages whose true topic
+    exists in the KB (the paper's "strong keys" subset).
+    """
+    score = PRF()
+    for page_index, page in enumerate(pages):
+        truth = page.topic_entity_id
+        assigned = topics.get(page_index)
+        if assigned is not None:
+            if truth is not None and assigned.entity_id == truth:
+                score.tp += 1
+            else:
+                score.fp += 1
+        if truth is not None and truth in kb.entities:
+            if assigned is None or assigned.entity_id != truth:
+                score.fn += 1
+    return score
+
+
+def extraction_precision(
+    extractions: list[Extraction], pages: list[GeneratedPage]
+) -> tuple[int, int]:
+    """(correct, total) over node-level truth — the Table 8 per-site metric."""
+    correct = 0
+    for extraction in extractions:
+        page = pages[extraction.page_index]
+        emission = page.emission_for_node(extraction.node)
+        if emission is not None and emission.predicate == extraction.predicate:
+            correct += 1
+    return correct, len(extractions)

@@ -1,0 +1,14 @@
+"""Knowledge fusion over multi-site extractions (the paper's future work).
+
+Section 5.5.1: "We leave for future work to investigate how many of these
+aforementioned mistakes can be solved by applying knowledge fusion [10, 11]
+on the extraction results."  This package implements a Knowledge-Vault-style
+fusion layer: extractions from many sites vote on each candidate fact, and
+cross-site agreement separates template artifacts (one site extracting the
+same wrong region everywhere) from true facts (asserted independently by
+several sites).
+"""
+
+from repro.fusion.fuse import FusedFact, fuse_extractions
+
+__all__ = ["FusedFact", "fuse_extractions"]

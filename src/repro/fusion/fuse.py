@@ -1,0 +1,106 @@
+"""Cross-site fusion of extracted triples.
+
+The model follows the Knowledge Vault line ([10, 11]): treat each site as
+a noisy source and score a candidate fact by a noisy-OR over the
+confidences of its supporting extractions, damped per source so that one
+site repeating an error a hundred times cannot outvote two independent
+sites asserting the truth once:
+
+    score(f) = 1 - Π_sites (1 - site_confidence(f))
+    site_confidence(f) = max confidence of f's extractions on that site
+
+Facts are keyed by normalized ``(subject, predicate, object)``; surface
+variation between sites ("June 30, 1989" vs "1989-06-30") is bridged by
+the same normalization used for KB matching.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.extraction.extractor import Extraction
+from repro.text.normalize import normalize_text
+
+__all__ = ["FusedFact", "fuse_extractions"]
+
+FactKey = tuple[str, str, str]
+
+
+@dataclass
+class FusedFact:
+    """One candidate fact with its cross-site support."""
+
+    subject: str
+    predicate: str
+    object: str
+    #: site name -> best extraction confidence on that site.
+    site_support: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_support)
+
+    @property
+    def score(self) -> float:
+        """Noisy-OR over per-site confidences."""
+        remaining = 1.0
+        for confidence in self.site_support.values():
+            remaining *= 1.0 - min(max(confidence, 0.0), 0.999999)
+        return 1.0 - remaining
+
+    def key(self) -> FactKey:
+        return (
+            normalize_text(self.subject),
+            self.predicate,
+            normalize_text(self.object),
+        )
+
+
+def fuse_extractions(
+    extractions_by_site: dict[str, list[Extraction]],
+    min_score: float = 0.0,
+    min_sites: int = 1,
+) -> list[FusedFact]:
+    """Fuse per-site extraction lists into scored candidate facts.
+
+    Args:
+        extractions_by_site: site name -> extractions from that site.
+        min_score: drop fused facts scoring below this.
+        min_sites: require support from at least this many distinct sites
+            (2+ filters single-site template artifacts).
+
+    Returns:
+        Fused facts sorted by descending score, then by key for
+        determinism.
+    """
+    facts: dict[FactKey, FusedFact] = {}
+    for site, extractions in extractions_by_site.items():
+        best_on_site: dict[FactKey, Extraction] = {}
+        for extraction in extractions:
+            key = (
+                normalize_text(extraction.subject),
+                extraction.predicate,
+                normalize_text(extraction.object),
+            )
+            current = best_on_site.get(key)
+            if current is None or extraction.confidence > current.confidence:
+                best_on_site[key] = extraction
+        for key, extraction in best_on_site.items():
+            fact = facts.get(key)
+            if fact is None:
+                fact = FusedFact(
+                    extraction.subject, extraction.predicate, extraction.object
+                )
+                facts[key] = fact
+            fact.site_support[site] = max(
+                fact.site_support.get(site, 0.0), extraction.confidence
+            )
+
+    fused = [
+        fact
+        for fact in facts.values()
+        if fact.n_sites >= min_sites and fact.score >= min_score
+    ]
+    fused.sort(key=lambda f: (-f.score, f.key()))
+    return fused

@@ -1,0 +1,23 @@
+"""Knowledge base: entities, triples, ontology, store, and page matching."""
+
+from repro.kb.literals import date_variants, literal_variants, number_variants
+from repro.kb.matcher import PageMatch, PageMatcher
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL, Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Triple, Value
+
+__all__ = [
+    "date_variants",
+    "literal_variants",
+    "number_variants",
+    "PageMatch",
+    "PageMatcher",
+    "NAME_PREDICATE",
+    "OTHER_LABEL",
+    "Ontology",
+    "Predicate",
+    "KnowledgeBase",
+    "Entity",
+    "Triple",
+    "Value",
+]

@@ -1,0 +1,81 @@
+"""Literal value variant generation.
+
+Webpages render the same literal in many formats: a release date stored as
+``1989-06-30`` may appear as ``June 30, 1989`` or ``30 June 1989``; a
+weight stored as ``240`` may appear as ``240 lbs``.  The KB indexes every
+variant of a literal object so that page mentions in any format resolve to
+the canonical triple (this mirrors the attribute-value matching of Gulhane
+et al. [18] that the paper's annotation step builds on).
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import date
+
+__all__ = ["date_variants", "number_variants", "literal_variants"]
+
+_ISO_DATE_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+
+MONTH_NAMES = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+
+#: Unit suffixes attached to bare numbers on real pages.
+_NUMBER_UNITS = ("lbs", "kg", "min", "pages")
+
+
+def date_variants(text: str) -> list[str]:
+    """Render an ISO date in the formats long-tail websites use.
+
+    Returns just ``[text]`` when the input is not a valid ISO date.
+
+    >>> date_variants("1989-06-30")[:3]
+    ['1989-06-30', 'June 30, 1989', '30 June 1989']
+    """
+    match = _ISO_DATE_RE.match(text.strip())
+    if not match:
+        return [text]
+    year, month, day = (int(g) for g in match.groups())
+    try:
+        date(year, month, day)
+    except ValueError:
+        return [text]
+    month_name = MONTH_NAMES[month - 1]
+    return [
+        text.strip(),
+        f"{month_name} {day}, {year}",
+        f"{day} {month_name} {year}",
+        f"{day:02d}/{month:02d}/{year}",
+        f"{month:02d}/{day:02d}/{year}",
+        f"{day}. {month}. {year}",  # central-European format
+    ]
+
+
+def number_variants(text: str) -> list[str]:
+    """Variants of a bare number: unit-suffixed and comma-grouped forms.
+
+    >>> "240 lbs" in number_variants("240")
+    True
+    """
+    stripped = text.strip()
+    if not _NUMBER_RE.match(stripped):
+        return [text]
+    variants = [stripped]
+    variants.extend(f"{stripped} {unit}" for unit in _NUMBER_UNITS)
+    if "." not in stripped and len(stripped) > 3:
+        grouped = f"{int(stripped):,}"
+        if grouped != stripped:
+            variants.append(grouped)
+    return variants
+
+
+def literal_variants(text: str, range_kind: str = "string") -> list[str]:
+    """All surface variants of a literal, dispatched on its range kind."""
+    if range_kind == "date":
+        return date_variants(text)
+    if range_kind == "number":
+        return number_variants(text)
+    return [text]

@@ -1,0 +1,80 @@
+"""Ontology: the predicate vocabulary CERES extracts against.
+
+The ontology "defines the semantics of the relation predicates"
+(Section 2.1).  CERES only extracts predicates present in the ontology;
+everything else on a page is the ``OTHER`` class.  Each predicate records
+whether it is single- or multi-valued — multi-valued predicates (cast
+lists, genres) are the hard case for annotation (Section 5.4) — and the
+kind of its object values, which controls literal variant matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Predicate", "Ontology", "NAME_PREDICATE", "OTHER_LABEL"]
+
+#: The synthetic predicate assigned to the topic-entity node (Section 4:
+#: "the DOM node that contains the topic entity is considered as expressing
+#: the 'name' relation").
+NAME_PREDICATE = "name"
+
+#: Classifier label for nodes expressing no ontology relation.
+OTHER_LABEL = "OTHER"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A relation predicate.
+
+    Attributes:
+        name: predicate identifier (e.g. ``"directed_by"``).
+        domain: subject entity type.
+        range_kind: one of ``"entity"``, ``"string"``, ``"date"``,
+            ``"number"`` — drives literal variant generation when matching
+            object values on pages.
+        multi_valued: True when a subject may hold many objects
+            (cast members, genres); False for functional predicates
+            (birth date, ISBN).
+    """
+
+    name: str
+    domain: str = ""
+    range_kind: str = "entity"
+    multi_valued: bool = False
+
+
+class Ontology:
+    """An ordered collection of predicates."""
+
+    def __init__(self, predicates: list[Predicate]) -> None:
+        self._by_name: dict[str, Predicate] = {}
+        for predicate in predicates:
+            if predicate.name in self._by_name:
+                raise ValueError(f"duplicate predicate {predicate.name!r}")
+            self._by_name[predicate.name] = predicate
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> Predicate:
+        return self._by_name[name]
+
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def multi_valued(self) -> set[str]:
+        """Names of multi-valued predicates."""
+        return {p.name for p in self._by_name.values() if p.multi_valued}
+
+    def merged_with(self, other: Ontology) -> Ontology:
+        """Union of two ontologies (first definition wins on conflicts)."""
+        merged = list(self._by_name.values())
+        merged.extend(p for p in other if p.name not in self._by_name)
+        return Ontology(merged)

@@ -1,0 +1,143 @@
+"""The seed knowledge base: triple store with the indexes CERES needs.
+
+The KB serves four access patterns, each backed by a dedicated index:
+
+1. *string → entities* — fuzzy matching of page text fields against entity
+   surface forms (topic identification step 1);
+2. *subject → object keys* — the candidate-topic Jaccard score
+   (Equation 1) compares the page's matched value set against each
+   candidate's object set;
+3. *subject → triples* — relation annotation retrieves all facts about the
+   identified topic;
+4. *string frequency* — the uniqueness stoplist ("strings appearing in a
+   large percentage (e.g., 0.01%) of triples" are never topic candidates).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.kb.literals import literal_variants
+from repro.kb.ontology import Ontology
+from repro.kb.triple import Entity, Triple, Value
+from repro.text.fuzzy import StringIndex
+from repro.text.normalize import normalize_text
+
+__all__ = ["KnowledgeBase"]
+
+ValueKey = tuple[str, str]
+
+
+class KnowledgeBase:
+    """An in-memory triple store over a fixed ontology."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self.entities: dict[str, Entity] = {}
+        self.triples: list[Triple] = []
+        self._by_subject: dict[str, list[Triple]] = defaultdict(list)
+        self._object_keys_by_subject: dict[str, set[ValueKey]] = defaultdict(set)
+        self._entity_index = StringIndex()  # surface -> entity ids
+        self._value_index = StringIndex()  # surface -> value keys (entities + literals)
+        self._string_triple_counts: Counter[str] = Counter()
+        self._entities_by_type: dict[str, list[str]] = defaultdict(list)
+
+    # -- construction -----------------------------------------------------
+
+    def add_entity(self, entity: Entity) -> None:
+        """Register an entity and index its surface forms."""
+        if entity.id in self.entities:
+            return
+        self.entities[entity.id] = entity
+        self._entities_by_type[entity.type].append(entity.id)
+        key: ValueKey = ("e", entity.id)
+        for surface in entity.surfaces():
+            self._entity_index.add(surface, entity.id)
+            self._value_index.add(surface, key)
+
+    def add_triple(self, triple: Triple) -> None:
+        """Register a fact; the subject must already be an entity."""
+        if triple.subject not in self.entities:
+            raise KeyError(f"unknown subject entity {triple.subject!r}")
+        if triple.predicate not in self.ontology:
+            raise KeyError(f"predicate {triple.predicate!r} not in ontology")
+        self.triples.append(triple)
+        self._by_subject[triple.subject].append(triple)
+        self._object_keys_by_subject[triple.subject].add(triple.object.key)
+        if triple.object.is_entity:
+            entity = self.entities.get(triple.object.value)
+            if entity is not None:
+                self._string_triple_counts[normalize_text(entity.name)] += 1
+        else:
+            range_kind = self.ontology.get(triple.predicate).range_kind
+            key = triple.object.key
+            for variant in literal_variants(triple.object.value, range_kind):
+                self._value_index.add(variant, key)
+            self._string_triple_counts[key[1]] += 1
+
+    def add_fact(self, subject: str, predicate: str, obj: Value) -> None:
+        """Convenience wrapper around :meth:`add_triple`."""
+        self.add_triple(Triple(subject, predicate, obj))
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def entity(self, entity_id: str) -> Entity:
+        return self.entities[entity_id]
+
+    def entities_of_type(self, type_name: str) -> list[str]:
+        return list(self._entities_by_type.get(type_name, ()))
+
+    def triples_for_subject(self, subject_id: str) -> list[Triple]:
+        """All facts with ``subject_id`` as subject (pattern 3)."""
+        return list(self._by_subject.get(subject_id, ()))
+
+    def object_keys(self, subject_id: str) -> set[ValueKey]:
+        """Value keys of all objects of ``subject_id`` (pattern 2).
+
+        This is the ``entitySet`` of Algorithm 1, line 6.
+        """
+        return self._object_keys_by_subject.get(subject_id, set())
+
+    def entity_ids_for_text(self, text: str) -> set[str]:
+        """Entity ids whose surface forms fuzzily match ``text`` (pattern 1)."""
+        return self._entity_index.lookup(text)
+
+    def value_keys_for_text(self, text: str) -> set[ValueKey]:
+        """Value keys (entities and literals) matching ``text``."""
+        return self._value_index.lookup(text)
+
+    def object_surfaces(self, triple: Triple) -> list[str]:
+        """All surface strings under which the triple's object may appear."""
+        if triple.object.is_entity:
+            entity = self.entities.get(triple.object.value)
+            return list(entity.surfaces()) if entity else []
+        range_kind = self.ontology.get(triple.predicate).range_kind
+        return literal_variants(triple.object.value, range_kind)
+
+    def frequent_strings(self, fraction: float = 0.0001, min_count: int = 3) -> set[str]:
+        """Normalized strings occurring in many triples (pattern 4).
+
+        The threshold is ``max(min_count, fraction * |triples|)``: the
+        paper's 0.01% is calibrated to an 85M-triple KB; ``min_count``
+        keeps the stoplist meaningful at laptop scale.
+        """
+        threshold = max(min_count, int(fraction * len(self.triples)))
+        return {
+            string
+            for string, count in self._string_triple_counts.items()
+            if count >= threshold
+        }
+
+    def predicate_counts(self) -> Counter[str]:
+        """Triple count per predicate (used for dataset profiling)."""
+        counts: Counter[str] = Counter()
+        for triple in self.triples:
+            counts[triple.predicate] += 1
+        return counts
+
+    def subjects(self) -> Iterable[str]:
+        return self._by_subject.keys()

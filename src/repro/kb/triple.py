@@ -1,0 +1,89 @@
+"""Core knowledge-base value types: entities, values, and triples.
+
+Facts are ``(s, r, o)`` triples (Section 2.1): ``s`` is an entity
+identifier, ``r`` a predicate name from the ontology, and ``o`` either a
+reference to another entity or a literal (date, number, phone, …).
+
+Values are identified by a hashable *key* — ``("e", entity_id)`` for entity
+references and ``("l", normalized_literal)`` for literals — which is what
+the topic-identification Jaccard (Equation 1) and the annotation object
+lookup operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.normalize import normalize_text
+
+__all__ = ["Entity", "Value", "Triple"]
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A knowledge-base entity.
+
+    Attributes:
+        id: globally unique identifier (opaque string).
+        name: primary surface form.
+        type: ontology type name (e.g. ``"film"``, ``"person"``).
+        aliases: additional surface forms (alternate titles, AKAs).
+    """
+
+    id: str
+    name: str
+    type: str
+    aliases: tuple[str, ...] = ()
+
+    def surfaces(self) -> tuple[str, ...]:
+        """All surface forms under which this entity may appear on a page."""
+        return (self.name, *self.aliases)
+
+
+@dataclass(frozen=True)
+class Value:
+    """An object value: entity reference or literal.
+
+    Use the :meth:`entity` / :meth:`literal` constructors rather than the
+    raw initializer so the kind tag stays consistent.
+    """
+
+    kind: str  # "entity" | "literal"
+    value: str  # entity id, or the literal's canonical text
+
+    @classmethod
+    def entity(cls, entity_id: str) -> Value:
+        return cls("entity", entity_id)
+
+    @classmethod
+    def literal(cls, text: str) -> Value:
+        return cls("literal", text)
+
+    @property
+    def is_entity(self) -> bool:
+        return self.kind == "entity"
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Hashable identity used in entity-set computations.
+
+        Literals are keyed by normalized text so that two formats of the
+        same value ("June 30, 1989" / "1989-06-30") still produce distinct
+        keys — format unification happens via variant indexing in the KB,
+        not here.
+        """
+        if self.kind == "entity":
+            return ("e", self.value)
+        return ("l", normalize_text(self.value))
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A knowledge-base fact ``(subject, predicate, object)``."""
+
+    subject: str  # entity id
+    predicate: str
+    object: Value
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject}, {self.predicate}, {self.object.kind}:{self.object.value})"

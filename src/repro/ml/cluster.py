@@ -1,0 +1,150 @@
+"""Agglomerative clustering (scikit-learn AgglomerativeClustering substitute).
+
+Used by the global-evidence step of relation annotation (Section 3.2.2):
+"we use an agglomerative clustering approach, where in each iteration we
+find two nodes with the closest distance, and merge the clusters they
+belong to, until we reach the desired number of clusters.  The distance
+function between two DOM nodes is defined as the Levenshtein distance
+between their corresponding XPaths."
+
+The implementation performs average-linkage agglomeration over a
+precomputed distance matrix via the Lance–Williams update, O(n^2 log n)
+overall — comfortably fast for the few hundred mention XPaths a predicate
+produces per site (callers cap the sample size).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from repro.text.distance import levenshtein
+
+__all__ = ["agglomerative_cluster", "cluster_xpaths", "pairwise_distance_matrix"]
+
+T = TypeVar("T")
+
+
+def pairwise_distance_matrix(
+    items: Sequence[T], distance_fn: Callable[[T, T], float]
+) -> np.ndarray:
+    """Symmetric distance matrix with a zero diagonal."""
+    n = len(items)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(distance_fn(items[i], items[j]))
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix
+
+
+def agglomerative_cluster(
+    distances: np.ndarray, n_clusters: int
+) -> list[int]:
+    """Average-linkage agglomerative clustering on a distance matrix.
+
+    Args:
+        distances: ``(n, n)`` symmetric matrix of pairwise distances.
+        n_clusters: desired number of clusters; clipped to ``[1, n]``.
+
+    Returns:
+        A label per item, labels renumbered to ``0..k-1`` in order of first
+        appearance (deterministic given the matrix).
+    """
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ValueError("distance matrix must be square")
+    n_clusters = max(1, min(n_clusters, n))
+    if n == 0:
+        return []
+
+    # active[i] is True while cluster i exists; sizes track member counts
+    # for the average-linkage (UPGMA) Lance-Williams update.
+    current = distances.astype(float).copy()
+    active = [True] * n
+    sizes = [1] * n
+    members: list[list[int]] = [[i] for i in range(n)]
+    heap: list[tuple[float, int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            heapq.heappush(heap, (current[i, j], i, j))
+
+    remaining = n
+    while remaining > n_clusters and heap:
+        d, i, j = heapq.heappop(heap)
+        if not (active[i] and active[j]) or current[i, j] != d:
+            continue  # stale entry
+        # Merge j into i.
+        active[j] = False
+        members[i].extend(members[j])
+        members[j] = []
+        si, sj = sizes[i], sizes[j]
+        sizes[i] = si + sj
+        for k in range(n):
+            if k != i and active[k]:
+                merged = (si * current[i, k] + sj * current[j, k]) / (si + sj)
+                current[i, k] = merged
+                current[k, i] = merged
+                a, b = (i, k) if i < k else (k, i)
+                heapq.heappush(heap, (merged, a, b))
+        remaining -= 1
+
+    labels = [-1] * n
+    next_label = 0
+    for i in range(n):
+        if active[i]:
+            for member in members[i]:
+                labels[member] = next_label
+            next_label += 1
+    return labels
+
+
+def cluster_xpaths(
+    xpath_tokens: Sequence[tuple], n_clusters: int, max_items: int = 400
+) -> list[int]:
+    """Cluster XPath step tuples by Levenshtein distance.
+
+    ``xpath_tokens`` are tuples of steps (see :func:`repro.dom.xpath.parse_xpath`).
+    When more than ``max_items`` paths are supplied, clustering runs on the
+    distinct paths only (identical paths trivially co-cluster), keeping the
+    distance matrix tractable.
+
+    Returns one label per input path.
+    """
+    n = len(xpath_tokens)
+    if n == 0:
+        return []
+    distinct: dict[tuple, int] = {}
+    for path in xpath_tokens:
+        if path not in distinct:
+            distinct[path] = len(distinct)
+    unique_paths = list(distinct.keys())
+    if len(unique_paths) > max_items:
+        # Deterministic thinning: keep evenly spaced unique paths, assign
+        # dropped paths to the cluster of their nearest kept path later.
+        stride = len(unique_paths) / max_items
+        kept_indices = sorted({int(i * stride) for i in range(max_items)})
+        kept_paths = [unique_paths[i] for i in kept_indices]
+    else:
+        kept_paths = unique_paths
+
+    matrix = pairwise_distance_matrix(kept_paths, levenshtein)
+    kept_labels = agglomerative_cluster(matrix, n_clusters)
+    label_of_kept = dict(zip(kept_paths, kept_labels))
+
+    def label_for(path: tuple) -> int:
+        found = label_of_kept.get(path)
+        if found is not None:
+            return found
+        best_label, best_distance = 0, None
+        for kept, lbl in label_of_kept.items():
+            d = levenshtein(path, kept)
+            if best_distance is None or d < best_distance:
+                best_distance, best_label = d, lbl
+        return best_label
+
+    return [label_for(path) for path in xpath_tokens]

@@ -1,0 +1,67 @@
+"""Dict-of-features → sparse matrix vectorization (DictVectorizer substitute).
+
+CERES represents each DOM node as a sparse bag of named features
+(Section 4.2).  The vectorizer learns a vocabulary on fit and produces
+``scipy.sparse`` CSR matrices; unseen features at transform time are
+silently dropped (the standard behaviour the paper's scikit-learn stack
+provides).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["FeatureVectorizer"]
+
+
+class FeatureVectorizer:
+    """Maps feature dictionaries to rows of a CSR matrix."""
+
+    def __init__(self) -> None:
+        self.vocabulary_: dict[str, int] = {}
+        self._fitted = False
+
+    @property
+    def n_features(self) -> int:
+        return len(self.vocabulary_)
+
+    def fit(self, samples: Sequence[Mapping[str, float]]) -> FeatureVectorizer:
+        """Learn the feature vocabulary (sorted for determinism)."""
+        names: set[str] = set()
+        for sample in samples:
+            names.update(sample.keys())
+        self.vocabulary_ = {name: idx for idx, name in enumerate(sorted(names))}
+        self._fitted = True
+        return self
+
+    def transform(self, samples: Sequence[Mapping[str, float]]) -> sp.csr_matrix:
+        """Vectorize ``samples`` against the learned vocabulary."""
+        if not self._fitted:
+            raise RuntimeError("vectorizer is not fitted")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        vocabulary = self.vocabulary_
+        for sample in samples:
+            for name, value in sample.items():
+                column = vocabulary.get(name)
+                if column is not None and value:
+                    indices.append(column)
+                    data.append(float(value))
+            indptr.append(len(indices))
+        matrix = sp.csr_matrix(
+            (np.asarray(data), np.asarray(indices, dtype=np.int32), np.asarray(indptr, dtype=np.int32)),
+            shape=(len(samples), len(vocabulary)),
+        )
+        matrix.sum_duplicates()
+        return matrix
+
+    def fit_transform(self, samples: Sequence[Mapping[str, float]]) -> sp.csr_matrix:
+        return self.fit(samples).transform(samples)
+
+    def feature_names(self) -> list[str]:
+        """Feature names in column order."""
+        return sorted(self.vocabulary_, key=self.vocabulary_.__getitem__)

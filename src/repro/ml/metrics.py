@@ -1,0 +1,87 @@
+"""Precision / recall / F1 containers and aggregation helpers.
+
+The paper's primary metrics (Section 5.2):
+
+    precision = tp / (tp + fp)        recall = tp / (tp + fn)
+
+with F1 their harmonic mean.  ``PRF`` instances are additive, so
+per-predicate scores can be summed into the "All Extractions" rows of
+Tables 4-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PRF", "f1_score", "mean_prf"]
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass
+class PRF:
+    """True-positive / false-positive / false-negative counts."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def recall(self) -> float:
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    @property
+    def f1(self) -> float:
+        return f1_score(self.precision, self.recall)
+
+    @property
+    def defined(self) -> bool:
+        """True when at least one prediction or gold item exists."""
+        return (self.tp + self.fp + self.fn) > 0
+
+    def __add__(self, other: PRF) -> PRF:
+        return PRF(self.tp + other.tp, self.fp + other.fp, self.fn + other.fn)
+
+    def __iadd__(self, other: PRF) -> PRF:
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+        return self
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """(precision, recall, f1) triple for table rendering."""
+        return (self.precision, self.recall, self.f1)
+
+    def __repr__(self) -> str:
+        return (
+            f"PRF(P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"tp={self.tp} fp={self.fp} fn={self.fn})"
+        )
+
+
+def mean_prf(scores: list[PRF]) -> tuple[float, float, float]:
+    """Macro average of (precision, recall, f1) over defined scores.
+
+    Used for the per-vertical "Average" rows of Table 4, which average the
+    per-predicate metrics rather than pooling counts.
+    """
+    defined = [s for s in scores if s.defined]
+    if not defined:
+        return (0.0, 0.0, 0.0)
+    n = len(defined)
+    return (
+        sum(s.precision for s in defined) / n,
+        sum(s.recall for s in defined) / n,
+        sum(s.f1 for s in defined) / n,
+    )

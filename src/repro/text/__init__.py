@@ -1,0 +1,24 @@
+"""String normalization, distance, and fuzzy-matching utilities."""
+
+from repro.text.distance import jaccard, levenshtein, normalized_levenshtein
+from repro.text.fuzzy import StringIndex, surface_variants
+from repro.text.normalize import (
+    is_low_information,
+    is_year,
+    normalize_text,
+    strip_parenthetical,
+    tokenize,
+)
+
+__all__ = [
+    "jaccard",
+    "levenshtein",
+    "normalized_levenshtein",
+    "StringIndex",
+    "surface_variants",
+    "is_low_information",
+    "is_year",
+    "normalize_text",
+    "strip_parenthetical",
+    "tokenize",
+]

@@ -1,0 +1,111 @@
+"""Fuzzy string matching between webpage text and KB surface forms.
+
+Implements the matching process the paper adopts from Gulhane et al. [18]
+("Exploiting content redundancy for web information extraction"): each text
+field on a page is matched against the knowledge base through an inverted
+index of *normalized surface variants*.  A surface form generates several
+variants:
+
+* the normalized string itself,
+* the string with a trailing parenthetical removed ("Crooklyn (1994)"),
+* the comma-inverted form for person-like names ("Lee, Spike" → "spike lee").
+
+Matching is exact on variants — the variant generation supplies the
+"fuzziness".  This mirrors the high-precision matching regime the paper
+needs: annotation quality depends on not hallucinating matches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+from repro.text.normalize import normalize_text, strip_parenthetical
+
+__all__ = ["surface_variants", "StringIndex"]
+
+V = TypeVar("V", bound=Hashable)
+
+
+def surface_variants(text: str) -> set[str]:
+    """All normalized variants under which ``text`` should be indexed/looked up.
+
+    >>> sorted(surface_variants("Lee, Spike"))
+    ['lee spike', 'spike lee']
+    """
+    variants: set[str] = set()
+    base = normalize_text(text)
+    if base:
+        variants.add(base)
+    stripped = strip_parenthetical(text)
+    if stripped and stripped != text:
+        normalized = normalize_text(stripped)
+        if normalized:
+            variants.add(normalized)
+    # Comma inversion: "Last, First" <-> "First Last".  Only applied when
+    # there is exactly one comma and both sides are short name-like spans.
+    if text.count(",") == 1:
+        last, first = (part.strip() for part in text.split(","))
+        if last and first and len(last.split()) <= 3 and len(first.split()) <= 3:
+            inverted = normalize_text(f"{first} {last}")
+            if inverted:
+                variants.add(inverted)
+    return variants
+
+
+class StringIndex:
+    """Inverted index from normalized surface variants to payload values.
+
+    Payloads are typically entity identifiers (for entity mentions) or
+    ``("literal", predicate)`` style keys (for literal values).  The same
+    payload may be registered under many surfaces (aliases).
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[str, set] = defaultdict(set)
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of distinct indexed variants."""
+        return len(self._index)
+
+    def add(self, surface: str, value: V) -> None:
+        """Index ``value`` under all variants of ``surface``."""
+        for variant in surface_variants(surface):
+            bucket = self._index[variant]
+            if value not in bucket:
+                bucket.add(value)
+                self._size += 1
+
+    def add_exact(self, normalized: str, value: V) -> None:
+        """Index ``value`` under the already-normalized key ``normalized``."""
+        if not normalized:
+            return
+        bucket = self._index[normalized]
+        if value not in bucket:
+            bucket.add(value)
+            self._size += 1
+
+    def lookup(self, text: str) -> set:
+        """Return the union of payloads for all variants of ``text``."""
+        result: set = set()
+        for variant in surface_variants(text):
+            found = self._index.get(variant)
+            if found:
+                result |= found
+        return result
+
+    def lookup_normalized(self, normalized: str) -> set:
+        """Return payloads indexed under the exact normalized key."""
+        found = self._index.get(normalized)
+        return set(found) if found else set()
+
+    def contains(self, text: str) -> bool:
+        """True if any variant of ``text`` has at least one payload."""
+        return any(variant in self._index for variant in surface_variants(text))
+
+    def update(self, surfaces: Iterable[str], value: V) -> None:
+        """Index ``value`` under each surface in ``surfaces``."""
+        for surface in surfaces:
+            self.add(surface, value)

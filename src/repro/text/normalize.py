@@ -1,0 +1,123 @@
+"""Text normalization utilities used throughout the CERES pipeline.
+
+All string matching between webpage text fields and the knowledge base is
+performed on *normalized* forms: case-folded, punctuation-stripped,
+whitespace-collapsed strings.  Normalization is deliberately aggressive —
+the paper's fuzzy matching step (Gulhane et al. [18]) tolerates surface
+variation such as differing punctuation, accents-as-typed, and extra
+whitespace, but we stop short of stemming or token reordering (token
+reordering variants are generated separately in :mod:`repro.text.fuzzy`).
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = [
+    "normalize_text",
+    "tokenize",
+    "strip_parenthetical",
+    "is_year",
+    "is_low_information",
+    "COUNTRY_NAMES",
+]
+
+# Matches one or more characters that are neither word characters nor
+# whitespace (i.e. punctuation and symbols), in any script.
+_PUNCT_RE = re.compile(r"[^\w\s]+", re.UNICODE)
+_WS_RE = re.compile(r"\s+")
+_PAREN_RE = re.compile(r"\s*\([^)]*\)\s*$")
+_YEAR_RE = re.compile(r"^(1[89]\d\d|20\d\d|21\d\d)$")
+
+#: Country names are treated as low-information strings during topic
+#: identification (Section 3.1.1 step 1 of the paper): they appear on vast
+#: numbers of pages and are never useful topic candidates.
+COUNTRY_NAMES = frozenset(
+    s.casefold()
+    for s in (
+        "United States", "USA", "United Kingdom", "UK", "France", "Germany",
+        "Italy", "Spain", "Canada", "Australia", "Japan", "China", "India",
+        "Brazil", "Mexico", "Russia", "South Korea", "Korea", "Nigeria",
+        "Denmark", "Iceland", "Indonesia", "Slovakia", "Czech Republic",
+        "Czechia", "Ireland", "Sweden", "Norway", "Finland", "Netherlands",
+        "Belgium", "Austria", "Switzerland", "Poland", "Portugal", "Greece",
+        "Turkey", "Egypt", "South Africa", "Argentina", "Chile", "Colombia",
+        "New Zealand", "Hong Kong", "Taiwan", "Thailand", "Vietnam",
+        "Philippines", "Malaysia", "Singapore", "Israel", "Iran", "Iraq",
+        "Hungary", "Romania", "Bulgaria", "Croatia", "Serbia", "Ukraine",
+    )
+)
+
+
+def normalize_text(text: str) -> str:
+    """Return the canonical matching form of ``text``.
+
+    The transformation is: NFKC unicode normalization, case folding,
+    punctuation removal, and whitespace collapsing.  The result is stable
+    under repeated application (idempotent), a property covered by tests.
+
+    >>> normalize_text("  Do the Right  Thing! ")
+    'do the right thing'
+    """
+    text = unicodedata.normalize("NFKC", text)
+    text = text.casefold()
+    text = _PUNCT_RE.sub(" ", text)
+    text = _WS_RE.sub(" ", text)
+    return text.strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into normalized tokens.
+
+    >>> tokenize("Spike Lee (director)")
+    ['spike', 'lee', 'director']
+    """
+    normalized = normalize_text(text)
+    if not normalized:
+        return []
+    return normalized.split(" ")
+
+
+def strip_parenthetical(text: str) -> str:
+    """Remove a single trailing parenthetical qualifier.
+
+    Websites frequently decorate names with disambiguators such as
+    ``"Crooklyn (1994)"`` or ``"John Smith (actor)"``; the KB stores the
+    bare name.  Only a *trailing* parenthetical is removed so that titles
+    containing internal parentheses are untouched.
+
+    >>> strip_parenthetical("Crooklyn (1994)")
+    'Crooklyn'
+    """
+    return _PAREN_RE.sub("", text).strip()
+
+
+def is_year(text: str) -> bool:
+    """True if ``text`` is a bare 4-digit year between 1800 and 2199."""
+    return bool(_YEAR_RE.match(text.strip()))
+
+
+def is_low_information(text: str) -> bool:
+    """True if ``text`` should never be considered a topic candidate.
+
+    Implements the filter from Section 3.1.1: "we discard strings with low
+    information content, such as single digit numbers, years, and names of
+    countries".  We additionally discard empty/whitespace strings, strings
+    of three or fewer characters, and strings that normalize to nothing
+    (pure punctuation).
+    """
+    stripped = text.strip()
+    if not stripped:
+        return True
+    if is_year(stripped):
+        return True
+    normalized = normalize_text(stripped)
+    if len(normalized) <= 3:
+        return True
+    # Numbers (integers or decimals) carry no topical identity.
+    if re.fullmatch(r"[\d\s.,:/-]+", stripped):
+        return True
+    if normalized in COUNTRY_NAMES:
+        return True
+    return False

@@ -1,0 +1,53 @@
+"""Tests for repro.baselines.ceres_topic (all-mentions annotation)."""
+
+from repro.baselines.ceres_topic import AllMentionsAnnotator, make_ceres_topic_pipeline
+from repro.core.annotation.relation import RelationAnnotator
+from repro.core.annotation.topic import TopicIdentifier
+from repro.core.config import CeresConfig
+
+from tests.test_relation_annotation import spike_lee_site
+
+
+def run_annotators(n_pages=8):
+    kb, pages = spike_lee_site(n_pages)
+    config = CeresConfig()
+    identifier = TopicIdentifier(kb, config)
+    topics = identifier.identify(pages)
+    full = RelationAnnotator(kb, config, identifier.matcher).annotate(pages, topics)
+    all_mentions = AllMentionsAnnotator(kb, config, identifier.matcher).annotate(
+        pages, topics
+    )
+    return kb, full, all_mentions
+
+
+class TestAllMentionsAnnotator:
+    def test_annotates_more_than_full(self):
+        _, full, all_mentions = run_annotators()
+        n_full = sum(len(p.annotations) for p in full)
+        n_all = sum(len(p.annotations) for p in all_mentions)
+        assert n_all > n_full
+
+    def test_every_mention_annotated(self):
+        """Objects with k mentions receive k annotations (vs at most 1)."""
+        _, full, all_mentions = run_annotators()
+        def multiplicity(pages):
+            from collections import Counter
+            counts = Counter()
+            for page in pages:
+                for a in page.annotations:
+                    counts[(page.page_index, a.predicate, a.object_key)] += 1
+            return counts
+        assert max(multiplicity(all_mentions).values()) > 1
+        assert max(multiplicity(full).values()) == 1
+
+    def test_pipeline_factory_wires_annotator(self):
+        kb, _, _ = run_annotators()
+        pipeline = make_ceres_topic_pipeline(kb, CeresConfig())
+        assert isinstance(pipeline.annotator, AllMentionsAnnotator)
+
+    def test_pipeline_runs_end_to_end(self):
+        kb, pages = spike_lee_site(10)
+        pipeline = make_ceres_topic_pipeline(kb, CeresConfig())
+        result = pipeline.run(pages, pages)
+        assert result.annotated_pages
+        assert result.extractions

@@ -1,0 +1,98 @@
+"""Tests for repro.baselines.ceres_baseline (pairwise distant supervision)."""
+
+import pytest
+
+from repro.baselines.ceres_baseline import CeresBaseline, MemoryBudgetExceeded
+from repro.core.config import CeresConfig
+from repro.dom.parser import parse_html
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+
+
+def build_kb(n: int = 6) -> KnowledgeBase:
+    ontology = Ontology([Predicate("directed_by", range_kind="entity")])
+    kb = KnowledgeBase(ontology)
+    for i in range(n):
+        kb.add_entity(Entity(f"f{i}", f"Film Alpha {i} Beta", "film"))
+        kb.add_entity(Entity(f"d{i}", f"Director Gamma {i}", "person"))
+        kb.add_fact(f"f{i}", "directed_by", Value.entity(f"d{i}"))
+    return kb
+
+
+def film_page(i: int) -> str:
+    return (
+        "<html><body><div class='main'>"
+        f"<h2 class='t'>Film Alpha {i} Beta</h2>"
+        f"<div class='d'><span>By</span><span class='dv'>Director Gamma {i}</span></div>"
+        "</div></body></html>"
+    )
+
+
+class TestAnnotation:
+    def test_pairs_found(self):
+        kb = build_kb()
+        baseline = CeresBaseline(kb, CeresConfig())
+        docs = [parse_html(film_page(i)) for i in range(4)]
+        examples = baseline.annotate(docs)
+        positives = [e for e in examples if e.label == "directed_by"]
+        assert len(positives) == 4
+        for example in positives:
+            assert "Film Alpha" in example.subject_node.text
+            assert "Director Gamma" in example.object_node.text
+
+    def test_negative_pairs_sampled(self):
+        kb = build_kb()
+        baseline = CeresBaseline(kb, CeresConfig())
+        docs = [parse_html(film_page(i)) for i in range(4)]
+        examples = baseline.annotate(docs)
+        assert any(e.label == "OTHER" for e in examples)
+
+    def test_budget_exceeded(self):
+        kb = build_kb()
+        baseline = CeresBaseline(kb, CeresConfig(), pair_budget=0)
+        docs = [parse_html(film_page(0))]
+        with pytest.raises(MemoryBudgetExceeded):
+            baseline.annotate(docs)
+
+
+class TestFitExtract:
+    def test_fit_and_extract(self):
+        kb = build_kb(8)
+        baseline = CeresBaseline(kb, CeresConfig())
+        train = [parse_html(film_page(i)) for i in range(6)]
+        baseline.fit(train)
+        evaluation = [parse_html(film_page(i)) for i in (6, 7)]
+        extractions = baseline.extract(evaluation)
+        assert extractions
+        for extraction in extractions:
+            assert extraction.predicate == "directed_by"
+
+    def test_unfitted_extract_raises(self):
+        kb = build_kb()
+        baseline = CeresBaseline(kb, CeresConfig())
+        with pytest.raises(RuntimeError):
+            baseline.extract_page(parse_html(film_page(0)))
+
+    def test_no_examples_raises(self):
+        kb = build_kb()
+        baseline = CeresBaseline(kb, CeresConfig())
+        docs = [parse_html("<html><body><p>nothing</p></body></html>")]
+        with pytest.raises(ValueError):
+            baseline.fit(docs)
+
+    def test_extraction_pair_cap(self):
+        kb = build_kb(8)
+        baseline = CeresBaseline(kb, CeresConfig())
+        baseline.fit([parse_html(film_page(i)) for i in range(6)])
+        with pytest.raises(MemoryBudgetExceeded):
+            baseline.extract_page(
+                parse_html(film_page(7)), max_pairs_per_page=1
+            )
+
+    def test_page_without_entities(self):
+        kb = build_kb(8)
+        baseline = CeresBaseline(kb, CeresConfig())
+        baseline.fit([parse_html(film_page(i)) for i in range(6)])
+        doc = parse_html("<html><body><p>no entities at all</p></body></html>")
+        assert baseline.extract_page(doc) == []

@@ -1,0 +1,98 @@
+"""Tests for repro.baselines.vertex (Vertex++ wrapper induction)."""
+
+from repro.baselines.vertex import TrainingPage, VertexPlusPlus, anchor_text
+from repro.dom.parser import parse_html
+
+
+def site_page(i: int, n_genres: int = 2) -> str:
+    genres = "".join(f"<li class='g'>Genre {i} {j}</li>" for j in range(n_genres))
+    return (
+        "<html><body><div class='main'>"
+        f"<h1>Title {i}</h1>"
+        f"<div class='row'><span>Director:</span><span>Director {i}</span></div>"
+        f"<div class='row'><span>Rating:</span><span>PG-{i}</span></div>"
+        f"<ul class='genres'>{genres}</ul>"
+        "</div></body></html>"
+    )
+
+
+def training_pages(indices, n_genres=2):
+    pages = []
+    for i in indices:
+        doc = parse_html(site_page(i, n_genres))
+        fields = doc.text_fields()
+        annotations = {
+            "name": [fields[0]],
+            "directed_by": [next(f for f in fields if f.text == f"Director {i}")],
+            "mpaa_rating": [next(f for f in fields if f.text == f"PG-{i}")],
+            "genre": [f for f in fields if f.text.startswith(f"Genre {i} ")],
+        }
+        pages.append(TrainingPage(doc, annotations))
+    return pages
+
+
+class TestAnchorText:
+    def test_row_label(self):
+        doc = parse_html(site_page(1))
+        node = next(f for f in doc.text_fields() if f.text == "Director 1")
+        assert anchor_text(node) == "Director:"
+
+    def test_no_anchor_for_first_field(self):
+        doc = parse_html("<html><body><div><p>first</p></div></body></html>")
+        node = doc.text_fields()[0]
+        assert anchor_text(node) is None
+
+
+class TestVertexPlusPlus:
+    def test_learns_and_extracts(self):
+        model = VertexPlusPlus().fit(training_pages([0, 1]))
+        extractions = model.extract_page(parse_html(site_page(7)))
+        by_predicate = {}
+        for e in extractions:
+            by_predicate.setdefault(e.predicate, []).append(e.object)
+        assert by_predicate["directed_by"] == ["Director 7"]
+        assert by_predicate["mpaa_rating"] == ["PG-7"]
+        assert sorted(by_predicate["genre"]) == ["Genre 7 0", "Genre 7 1"]
+
+    def test_subject_from_name_rule(self):
+        model = VertexPlusPlus().fit(training_pages([0, 1]))
+        extractions = model.extract_page(parse_html(site_page(3)))
+        assert all(e.subject == "Title 3" for e in extractions)
+
+    def test_generalizes_list_length(self):
+        # Trained on 2-genre pages; extracts from a 5-genre page.
+        model = VertexPlusPlus().fit(training_pages([0, 1], n_genres=3))
+        extractions = model.extract_page(parse_html(site_page(9, n_genres=5)))
+        genres = [e.object for e in extractions if e.predicate == "genre"]
+        assert len(genres) == 5
+
+    def test_anchors_disambiguate_same_shape(self):
+        """Director and Rating rows share an XPath shape; anchors separate."""
+        model = VertexPlusPlus().fit(training_pages([0, 1]))
+        extractions = model.extract_page(parse_html(site_page(5)))
+        directors = [e.object for e in extractions if e.predicate == "directed_by"]
+        ratings = [e.object for e in extractions if e.predicate == "mpaa_rating"]
+        assert directors == ["Director 5"]
+        assert ratings == ["PG-5"]
+
+    def test_no_name_match_no_extractions(self):
+        model = VertexPlusPlus().fit(training_pages([0]))
+        doc = parse_html("<html><body><p>unrelated page</p></body></html>")
+        assert model.extract_page(doc) == []
+
+    def test_extract_multiple_pages(self):
+        model = VertexPlusPlus().fit(training_pages([0, 1]))
+        docs = [parse_html(site_page(i)) for i in range(4)]
+        extractions = model.extract(docs)
+        assert {e.page_index for e in extractions} == {0, 1, 2, 3}
+
+    def test_single_training_page(self):
+        model = VertexPlusPlus().fit(training_pages([0]))
+        extractions = model.extract_page(parse_html(site_page(2)))
+        assert any(e.predicate == "directed_by" for e in extractions)
+
+    def test_no_duplicate_extractions(self):
+        model = VertexPlusPlus().fit(training_pages([0, 1]))
+        extractions = model.extract_page(parse_html(site_page(4)))
+        keys = [(e.predicate, e.node.xpath) for e in extractions]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,100 @@
+"""Tests for repro.core.bootstrap (seed-KB bootstrapping, footnote 2)."""
+
+from repro.core.bootstrap import bootstrap_site, kb_from_extractions
+from repro.core.extraction.extractor import Extraction
+from repro.datasets import generate_swde
+from repro.dom.node import TextNode
+from repro.evaluation.experiments.common import ground_truth_training_pages
+from repro.baselines.vertex import VertexPlusPlus
+from repro.kb.ontology import Ontology, Predicate
+
+
+def ext(subject, predicate, obj, confidence):
+    return Extraction(subject, predicate, obj, confidence, 0, TextNode(obj))
+
+
+def ontology():
+    return Ontology(
+        [
+            Predicate("directed_by", range_kind="entity"),
+            Predicate("genre", range_kind="string", multi_valued=True),
+        ]
+    )
+
+
+class TestKbFromExtractions:
+    def test_basic(self):
+        kb = kb_from_extractions(
+            [
+                ext("Film X", "directed_by", "Jane Doe", 0.9),
+                ext("Film X", "genre", "Drama", 0.8),
+                ext("Film Y", "genre", "Comedy", 0.95),
+            ],
+            ontology(),
+            "film",
+        )
+        assert len(kb.entities) == 2
+        assert len(kb) == 3
+        assert kb.entity_ids_for_text("Film X")
+
+    def test_low_confidence_dropped(self):
+        kb = kb_from_extractions(
+            [ext("Film X", "genre", "Drama", 0.2)], ontology(), "film",
+            min_confidence=0.7,
+        )
+        assert len(kb) == 0
+
+    def test_duplicates_collapse(self):
+        kb = kb_from_extractions(
+            [
+                ext("Film X", "genre", "Drama", 0.9),
+                ext("film x", "genre", "DRAMA", 0.8),
+            ],
+            ontology(),
+            "film",
+        )
+        assert len(kb.entities) == 1
+        assert len(kb) == 1
+
+    def test_name_and_unknown_predicates_skipped(self):
+        kb = kb_from_extractions(
+            [
+                ext("Film X", "name", "Film X", 0.9),
+                ext("Film X", "not_in_ontology", "y", 0.9),
+                ext("Film X", "genre", "Drama", 0.9),
+            ],
+            ontology(),
+            "film",
+        )
+        assert {t.predicate for t in kb.triples} == {"genre"}
+
+
+class TestBootstrapSite:
+    def test_vertex_to_ceres_bootstrap(self):
+        """The footnote-2 loop: wrapper on site A seeds CERES for site B."""
+        dataset = generate_swde("movie", n_sites=2, pages_per_site=20, seed=5)
+        source, target = dataset.sites
+        # Supervised extractor on the source site (2 annotated pages).
+        training = ground_truth_training_pages(source.pages[:2])
+        vertex = VertexPlusPlus().fit(training)
+        source_extractions = vertex.extract([p.document for p in source.pages])
+        assert source_extractions
+
+        kb, result = bootstrap_site(
+            source_extractions,
+            dataset.ontology,
+            "film",
+            [p.document for p in target.pages],
+        )
+        assert len(kb) > 20
+        assert result.annotated_pages, "bootstrap KB failed to annotate the target"
+        assert result.extractions
+        # Precision of the bootstrapped extractor stays high.
+        correct = 0
+        for extraction in result.extractions:
+            emission = target.pages[extraction.page_index].emission_for_node(
+                extraction.node
+            )
+            if emission is not None and emission.predicate == extraction.predicate:
+                correct += 1
+        assert correct / len(result.extractions) > 0.85

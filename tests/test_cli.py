@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.datasets import generate_swde, seed_kb_for
+from repro.kb.io import save_kb
+
+
+@pytest.fixture(scope="module")
+def site_on_disk(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=16, seed=2)
+    kb = seed_kb_for(dataset, 2)
+    kb_path = tmp / "kb.json"
+    save_kb(kb, kb_path)
+    pages_dir = tmp / "pages"
+    pages_dir.mkdir()
+    for index, page in enumerate(dataset.sites[1].pages):
+        (pages_dir / f"page{index:03d}.html").write_text(page.html)
+    return tmp, kb_path, pages_dir
+
+
+class TestExtractCommand:
+    def test_extract_to_file(self, site_on_disk):
+        tmp, kb_path, pages_dir = site_on_disk
+        out = tmp / "triples.jsonl"
+        code = main(
+            ["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+             "--output", str(out)]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        triple = json.loads(lines[0])
+        assert set(triple) == {"page", "subject", "predicate", "object", "confidence"}
+        assert 0.5 <= triple["confidence"] <= 1.0
+
+    def test_threshold_reduces_output(self, site_on_disk):
+        tmp, kb_path, pages_dir = site_on_disk
+        low, high = tmp / "low.jsonl", tmp / "high.jsonl"
+        main(["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--threshold", "0.5", "--output", str(low)])
+        main(["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--threshold", "0.99", "--output", str(high)])
+        assert len(high.read_text().splitlines()) <= len(low.read_text().splitlines())
+
+    def test_annotate_command(self, site_on_disk, capsys):
+        _, kb_path, pages_dir = site_on_disk
+        code = main(["annotate", "--kb", str(kb_path), "--pages", str(pages_dir)])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert set(record) == {"page", "topic", "predicate", "text", "xpath"}
+
+    def test_missing_pages_dir(self, site_on_disk):
+        _, kb_path, _ = site_on_disk
+        with pytest.raises(SystemExit):
+            main(["extract", "--kb", str(kb_path), "--pages", "/nonexistent/dir"])

@@ -1,0 +1,74 @@
+"""Tests for repro.clustering.templates (page template clustering)."""
+
+from repro.clustering.templates import cluster_pages, page_signature
+from repro.dom.parser import parse_html
+
+
+def movie_page(title: str, n_cast: int) -> str:
+    cast = "".join(f"<li class='cast'>Actor {i}</li>" for i in range(n_cast))
+    return (
+        f"<html><body><div class='movie'><h1>{title}</h1>"
+        f"<div class='info'><span>Director</span><span>Someone</span></div>"
+        f"<ul class='cast-list'>{cast}</ul></div></body></html>"
+    )
+
+
+def person_page(name: str) -> str:
+    return (
+        f"<html><body><article class='person'><h2>{name}</h2>"
+        f"<table class='bio'><tr><td>Born</td><td>1950</td></tr></table>"
+        f"<section class='filmography'><p>Film A</p><p>Film B</p></section>"
+        f"</article></body></html>"
+    )
+
+
+class TestPageSignature:
+    def test_repetition_invariant(self):
+        a = page_signature(parse_html(movie_page("A", 3)))
+        b = page_signature(parse_html(movie_page("B", 25)))
+        assert a == b
+
+    def test_different_templates_differ(self):
+        movie = page_signature(parse_html(movie_page("A", 3)))
+        person = page_signature(parse_html(person_page("P")))
+        assert movie != person
+
+    def test_class_attributes_included(self):
+        signature = page_signature(parse_html(movie_page("A", 1)))
+        assert any(".cast-list" in shingle for shingle in signature)
+
+
+class TestClusterPages:
+    def test_separates_page_types(self):
+        docs = [parse_html(movie_page(f"M{i}", 3 + i)) for i in range(5)]
+        docs += [parse_html(person_page(f"P{i}")) for i in range(3)]
+        clusters = cluster_pages(docs)
+        assert len(clusters) == 2
+        assert sorted(len(c) for c in clusters) == [3, 5]
+        # Clusters are sorted by size descending.
+        assert len(clusters[0]) == 5
+        assert set(clusters[0].page_indices) == {0, 1, 2, 3, 4}
+
+    def test_single_template(self):
+        docs = [parse_html(movie_page(f"M{i}", i + 1)) for i in range(4)]
+        clusters = cluster_pages(docs)
+        assert len(clusters) == 1
+        assert clusters[0].page_indices == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert cluster_pages([]) == []
+
+    def test_threshold_one_requires_identical(self):
+        docs = [
+            parse_html(movie_page("A", 2)),
+            parse_html(person_page("B")),
+        ]
+        clusters = cluster_pages(docs, similarity_threshold=1.0)
+        assert len(clusters) == 2
+
+    def test_indices_partition_input(self):
+        docs = [parse_html(movie_page(f"M{i}", 2)) for i in range(3)]
+        docs += [parse_html(person_page("P"))]
+        clusters = cluster_pages(docs)
+        all_indices = sorted(i for c in clusters for i in c.page_indices)
+        assert all_indices == list(range(len(docs)))

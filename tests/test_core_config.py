@@ -1,0 +1,33 @@
+"""Tests for repro.core.config."""
+
+from repro.core.config import CeresConfig
+
+
+class TestCeresConfig:
+    def test_paper_defaults(self):
+        config = CeresConfig()
+        # Values stated in the paper's text.
+        assert config.negatives_per_positive == 3
+        assert config.confidence_threshold == 0.5
+        assert config.min_annotations_per_page == 3
+        assert config.max_pages_per_topic == 5
+        assert config.classifier_C == 1.0
+        assert config.struct_sibling_width == 5
+
+    def test_replace_returns_copy(self):
+        config = CeresConfig()
+        changed = config.replace(confidence_threshold=0.75)
+        assert changed.confidence_threshold == 0.75
+        assert config.confidence_threshold == 0.5
+        assert changed is not config
+
+    def test_replace_preserves_other_fields(self):
+        config = CeresConfig(negatives_per_positive=5)
+        changed = config.replace(confidence_threshold=0.9)
+        assert changed.negatives_per_positive == 5
+
+    def test_struct_attributes_are_vertex_set(self):
+        config = CeresConfig()
+        assert set(config.struct_attributes) == {
+            "class", "id", "itemprop", "itemtype", "property",
+        }

@@ -1,0 +1,111 @@
+"""Tests for repro.datasets.commoncrawl (long-tail multi-lingual sites)."""
+
+import pytest
+
+from repro.datasets.commoncrawl import (
+    CCSiteConfig,
+    DEFAULT_SITES,
+    generate_commoncrawl,
+)
+
+SMALL_SITES = (
+    CCSiteConfig("cleanen", "General", "en", 10, 0.8),
+    CCSiteConfig("italiano", "Italian films", "it", 8, 0.5),
+    CCSiteConfig(
+        "allgenre", "Hazard site", "en", 6, 0.5, hazards=frozenset({"all_genres"})
+    ),
+    CCSiteConfig(
+        "conflate", "Hazard site", "en", 6, 0.5,
+        hazards=frozenset({"role_conflation"}),
+    ),
+    CCSiteConfig(
+        "chartsonly", "Charts", "en", 0, 0.0,
+        hazards=frozenset({"charts_only"}), n_noise_pages=5,
+    ),
+    CCSiteConfig(
+        "mixed", "Mixed templates", "en", 6, 0.5,
+        hazards=frozenset({"mixed_templates"}), n_noise_pages=4,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_commoncrawl(seed=0, sites=SMALL_SITES)
+
+
+class TestGeneration:
+    def test_site_roster(self, dataset):
+        assert [s.name for s in dataset.sites] == [c.name for c in SMALL_SITES]
+
+    def test_page_counts(self, dataset):
+        by_name = {s.name: s for s in dataset.sites}
+        assert len(by_name["cleanen"].pages) == 10
+        assert len(by_name["chartsonly"].pages) == 5  # noise pages only
+        assert len(by_name["mixed"].pages) == 10  # 6 detail + 4 noise
+
+    def test_alignment(self, dataset):
+        for site in dataset.sites:
+            for page in site.pages:
+                _ = page.document
+
+    def test_default_roster_generates(self):
+        # Tiny smoke test over the first few default sites.
+        dataset = generate_commoncrawl(seed=0, sites=DEFAULT_SITES[:3])
+        assert len(dataset.sites) == 3
+
+    def test_deterministic(self):
+        a = generate_commoncrawl(seed=2, sites=SMALL_SITES[:2])
+        b = generate_commoncrawl(seed=2, sites=SMALL_SITES[:2])
+        assert [p.html for s in a.sites for p in s.pages] == [
+            p.html for s in b.sites for p in s.pages
+        ]
+
+
+class TestKBOverlap:
+    def test_overlap_rate_respected(self, dataset):
+        kb = dataset.kb
+        by_name = {s.name: s for s in dataset.sites}
+        clean = by_name["cleanen"]
+        in_kb = sum(
+            1 for p in clean.pages if p.topic_entity_id in kb.entities
+        )
+        assert in_kb / len(clean.pages) >= 0.6
+
+    def test_tail_films_absent_from_kb(self, dataset):
+        kb = dataset.kb
+        all_topics = {
+            p.topic_entity_id
+            for s in dataset.sites
+            for p in s.pages
+            if p.topic_entity_id
+        }
+        assert any(topic not in kb.entities for topic in all_topics)
+
+
+class TestHazards:
+    def test_all_genres_hazard(self, dataset):
+        from repro.datasets.names import GENRES
+        site = next(s for s in dataset.sites if s.name == "allgenre")
+        page = site.pages[0]
+        untruthful_genres = [
+            e.text for _, e in page.aligned()
+            if e.predicate is None and e.text in GENRES
+        ]
+        assert len(untruthful_genres) == len(GENRES)
+
+    def test_role_conflation_hazard(self, dataset):
+        site = next(s for s in dataset.sites if s.name == "conflate")
+        for page in site.pages:
+            # No directed_by/written_by/has_cast_member truth at all.
+            assert "directed_by" not in page.truth.objects
+            assert "has_cast_member" not in page.truth.objects
+
+    def test_charts_only_site_has_no_detail_pages(self, dataset):
+        site = next(s for s in dataset.sites if s.name == "chartsonly")
+        assert all(p.topic_entity_id is None for p in site.pages)
+
+    def test_language_labels_used(self, dataset):
+        site = next(s for s in dataset.sites if s.name == "italiano")
+        texts = {e.text for p in site.pages[:2] for _, e in p.aligned()}
+        assert any("Regia" in t for t in texts)

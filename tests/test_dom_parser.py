@@ -1,0 +1,184 @@
+"""Tests for repro.dom.parser and repro.dom.node."""
+
+from repro.dom.node import ElementNode, TextNode
+from repro.dom.parser import parse_html
+
+
+SIMPLE = """
+<html><head><title>T</title></head>
+<body>
+<div class="info" id="main">
+  <h1>Do the Right Thing</h1>
+  <p>Director: <a href="/p/1">Spike Lee</a></p>
+  <ul><li>Drama</li><li>Comedy</li></ul>
+</div>
+</body></html>
+"""
+
+
+class TestParsing:
+    def test_root_is_html(self):
+        doc = parse_html(SIMPLE)
+        assert doc.root.tag == "html"
+        assert doc.root.parent is None
+        assert doc.root.xpath == "/html[1]"
+
+    def test_text_fields_in_document_order(self):
+        doc = parse_html(SIMPLE)
+        texts = [f.text.strip() for f in doc.text_fields()]
+        assert texts == [
+            "T",
+            "Do the Right Thing",
+            "Director:",
+            "Spike Lee",
+            "Drama",
+            "Comedy",
+        ]
+
+    def test_tag_indices_count_same_tag_only(self):
+        doc = parse_html("<html><body><p>a</p><div>b</div><p>c</p></body></html>")
+        paths = [f.xpath for f in doc.text_fields()]
+        assert paths == [
+            "/html[1]/body[1]/p[1]/text()[1]",
+            "/html[1]/body[1]/div[1]/text()[1]",
+            "/html[1]/body[1]/p[2]/text()[1]",
+        ]
+
+    def test_attributes(self):
+        doc = parse_html(SIMPLE)
+        div = next(e for e in doc.iter_elements() if e.tag == "div")
+        assert div.get("class") == "info"
+        assert div.get("id") == "main"
+        assert div.get("missing", "x") == "x"
+
+    def test_void_elements(self):
+        doc = parse_html("<html><body>a<br>b<img src='x'>c</body></html>")
+        texts = [f.text for f in doc.text_fields()]
+        assert texts == ["a", "b", "c"]
+        body = doc.root.element_children()[0]
+        tags = [c.tag for c in body.element_children()]
+        assert tags == ["br", "img"]
+
+    def test_self_closing_void(self):
+        doc = parse_html("<html><body>a<br/>b</body></html>")
+        assert [f.text for f in doc.text_fields()] == ["a", "b"]
+
+    def test_implicit_li_close(self):
+        doc = parse_html("<html><body><ul><li>one<li>two<li>three</ul></body></html>")
+        assert [f.text for f in doc.text_fields()] == ["one", "two", "three"]
+        ul = next(e for e in doc.iter_elements() if e.tag == "ul")
+        assert len(ul.element_children()) == 3
+
+    def test_implicit_table_close(self):
+        doc = parse_html(
+            "<html><body><table><tr><td>a<td>b<tr><td>c</table></body></html>"
+        )
+        texts = [f.text for f in doc.text_fields()]
+        assert texts == ["a", "b", "c"]
+
+    def test_stray_end_tag_ignored(self):
+        doc = parse_html("<html><body></span><p>ok</p></body></html>")
+        assert [f.text for f in doc.text_fields()] == ["ok"]
+
+    def test_unclosed_tags_at_eof(self):
+        doc = parse_html("<html><body><div><p>dangling")
+        assert [f.text for f in doc.text_fields()] == ["dangling"]
+
+    def test_entity_references_decoded(self):
+        doc = parse_html("<html><body><p>Tom &amp; Jerry</p></body></html>")
+        assert doc.text_fields()[0].text == "Tom & Jerry"
+
+    def test_adjacent_text_merged(self):
+        doc = parse_html("<html><body><p>a &amp; b &amp; c</p></body></html>")
+        fields = doc.text_fields()
+        assert len(fields) == 1
+        assert fields[0].text == "a & b & c"
+
+    def test_comments_dropped(self):
+        doc = parse_html("<html><body><!-- hidden --><p>shown</p></body></html>")
+        assert [f.text for f in doc.text_fields()] == ["shown"]
+
+    def test_script_and_style_not_text_fields(self):
+        doc = parse_html(
+            "<html><body><script>var x=1;</script><style>.a{}</style><p>real</p></body></html>"
+        )
+        assert [f.text for f in doc.text_fields()] == ["real"]
+
+    def test_whitespace_only_text_skipped(self):
+        doc = parse_html("<html><body>  \n  <p>x</p>  \n </body></html>")
+        assert [f.text for f in doc.text_fields()] == ["x"]
+
+    def test_fragment_without_html(self):
+        doc = parse_html("<div><p>frag</p></div>")
+        assert doc.root.tag == "#fragment"
+        assert [f.text for f in doc.text_fields()] == ["frag"]
+
+    def test_multiple_text_children_indices(self):
+        doc = parse_html("<html><body><p>one<b>mid</b>two</p></body></html>")
+        fields = doc.text_fields()
+        assert fields[0].xpath.endswith("/p[1]/text()[1]")
+        assert fields[2].xpath.endswith("/p[1]/text()[2]")
+
+    def test_node_at_lookup(self):
+        doc = parse_html(SIMPLE)
+        for field in doc.text_fields():
+            assert doc.node_at(field.xpath) is field
+        h1 = next(e for e in doc.iter_elements() if e.tag == "h1")
+        assert doc.node_at(h1.xpath) is h1
+        assert doc.node_at("/html[1]/body[9]") is None
+
+    def test_url_carried(self):
+        doc = parse_html("<html></html>", url="http://example.com/1")
+        assert doc.url == "http://example.com/1"
+
+
+class TestNodeApi:
+    def test_ancestors(self):
+        doc = parse_html(SIMPLE)
+        a = next(e for e in doc.iter_elements() if e.tag == "a")
+        chain = [n.tag for n in a.ancestors()]
+        assert chain == ["p", "div", "body", "html"]
+        chain_with_self = [n.tag for n in a.ancestors(include_self=True)]
+        assert chain_with_self[0] == "a"
+
+    def test_depth(self):
+        doc = parse_html(SIMPLE)
+        assert doc.root.depth == 0
+        a = next(e for e in doc.iter_elements() if e.tag == "a")
+        assert a.depth == 4  # html → body → div → p → a
+
+    def test_text_content(self):
+        doc = parse_html("<html><body><p>a <b>b</b> c</p></body></html>")
+        p = next(e for e in doc.iter_elements() if e.tag == "p")
+        assert p.text_content() == "a  b  c"
+
+    def test_subtree_size(self):
+        doc = parse_html("<html><body><p>a</p></body></html>")
+        # html, body, p, text
+        assert doc.root.subtree_size() == 4
+
+    def test_contains(self):
+        doc = parse_html(SIMPLE)
+        div = next(e for e in doc.iter_elements() if e.tag == "div")
+        li = next(e for e in doc.iter_elements() if e.tag == "li")
+        assert div.contains(li)
+        assert not li.contains(div)
+        assert div.contains(div)
+
+    def test_text_node_element(self):
+        doc = parse_html("<html><body><p>x</p></body></html>")
+        field = doc.text_fields()[0]
+        assert field.element.tag == "p"
+        assert field.is_text
+        assert not field.element.is_text
+
+    def test_root_property(self):
+        doc = parse_html(SIMPLE)
+        li = next(e for e in doc.iter_elements() if e.tag == "li")
+        assert li.root is doc.root
+
+    def test_repr_smoke(self):
+        node = ElementNode("div")
+        text = TextNode("some quite long text that will be truncated in repr")
+        assert "div" in repr(node)
+        assert "..." in repr(text)

@@ -1,0 +1,192 @@
+"""Tests for repro.dom.xpath and repro.dom.serialize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dom.parser import parse_html
+from repro.dom.serialize import to_html
+from repro.dom.xpath import (
+    evaluate_xpath,
+    format_steps,
+    generalize_paths,
+    parse_xpath,
+    pattern_matches,
+    xpath_steps,
+)
+
+
+class TestParseFormat:
+    def test_parse(self):
+        assert parse_xpath("/html[1]/body[1]/div[2]") == (
+            ("html", 1),
+            ("body", 1),
+            ("div", 2),
+        )
+
+    def test_parse_wildcard(self):
+        assert parse_xpath("/html[1]/div[*]") == (("html", 1), ("div", None))
+
+    def test_parse_missing_index_is_wildcard(self):
+        assert parse_xpath("/html/div") == (("html", None), ("div", None))
+
+    def test_parse_text_step(self):
+        steps = parse_xpath("/html[1]/p[1]/text()[2]")
+        assert steps[-1] == ("text()", 2)
+
+    def test_rejects_relative(self):
+        with pytest.raises(ValueError):
+            parse_xpath("html[1]/div[1]")
+
+    def test_format_roundtrip(self):
+        path = "/html[1]/body[1]/div[2]/text()[1]"
+        assert format_steps(parse_xpath(path)) == path
+
+    def test_format_wildcard(self):
+        assert format_steps((("div", None),)) == "/div[*]"
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["div", "span", "p", "li"]), st.integers(1, 9)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_parse_format_roundtrip_property(self, steps):
+        steps = tuple(steps)
+        assert parse_xpath(format_steps(steps)) == steps
+
+
+class TestEvaluate:
+    HTML = "<html><body><div><p>a</p><p>b</p></div><div><p>c</p></div></body></html>"
+
+    def test_element(self):
+        doc = parse_html(self.HTML)
+        node = evaluate_xpath(doc.root, "/html[1]/body[1]/div[2]/p[1]")
+        assert node is not None and node.text_content() == "c"
+
+    def test_text(self):
+        doc = parse_html(self.HTML)
+        node = evaluate_xpath(doc.root, "/html[1]/body[1]/div[1]/p[2]/text()[1]")
+        assert node.text == "b"
+
+    def test_missing(self):
+        doc = parse_html(self.HTML)
+        assert evaluate_xpath(doc.root, "/html[1]/body[1]/div[3]") is None
+        assert evaluate_xpath(doc.root, "/html[1]/body[1]/span[1]") is None
+        assert evaluate_xpath(doc.root, "/html[1]/body[1]/div[1]/p[1]/text()[2]") is None
+
+    def test_wrong_root(self):
+        doc = parse_html(self.HTML)
+        assert evaluate_xpath(doc.root, "/body[1]/div[1]") is None
+
+    def test_every_node_xpath_evaluates_to_itself(self):
+        doc = parse_html(self.HTML)
+        for field in doc.text_fields():
+            assert evaluate_xpath(doc.root, field.xpath) is field
+        for element in doc.iter_elements():
+            assert evaluate_xpath(doc.root, element.xpath) is element
+
+
+class TestXPathSteps:
+    def test_matches_parsed_string(self):
+        doc = parse_html(TestEvaluate.HTML)
+        for field in doc.text_fields():
+            assert xpath_steps(field) == parse_xpath(field.xpath)
+
+
+class TestGeneralize:
+    def test_single_path(self):
+        path = parse_xpath("/html[1]/div[1]")
+        assert generalize_paths([path]) == path
+
+    def test_wildcards_disagreeing_index(self):
+        a = parse_xpath("/html[1]/div[1]/span[2]")
+        b = parse_xpath("/html[1]/div[1]/span[5]")
+        assert format_steps(generalize_paths([a, b])) == "/html[1]/div[1]/span[*]"
+
+    def test_multiple_positions(self):
+        a = parse_xpath("/html[1]/div[1]/span[2]")
+        b = parse_xpath("/html[1]/div[2]/span[5]")
+        assert format_steps(generalize_paths([a, b])) == "/html[1]/div[*]/span[*]"
+
+    def test_different_tags_fail(self):
+        a = parse_xpath("/html[1]/div[1]")
+        b = parse_xpath("/html[1]/span[1]")
+        assert generalize_paths([a, b]) is None
+
+    def test_different_lengths_fail(self):
+        a = parse_xpath("/html[1]/div[1]")
+        b = parse_xpath("/html[1]/div[1]/span[1]")
+        assert generalize_paths([a, b]) is None
+
+    def test_empty(self):
+        assert generalize_paths([]) is None
+
+
+class TestPatternMatches:
+    def test_exact(self):
+        pattern = parse_xpath("/html[1]/div[1]")
+        assert pattern_matches(pattern, parse_xpath("/html[1]/div[1]"))
+
+    def test_wildcard(self):
+        pattern = parse_xpath("/html[1]/div[*]")
+        assert pattern_matches(pattern, parse_xpath("/html[1]/div[7]"))
+
+    def test_index_mismatch(self):
+        pattern = parse_xpath("/html[1]/div[2]")
+        assert not pattern_matches(pattern, parse_xpath("/html[1]/div[3]"))
+
+    def test_tag_mismatch(self):
+        pattern = parse_xpath("/html[1]/div[*]")
+        assert not pattern_matches(pattern, parse_xpath("/html[1]/span[1]"))
+
+    def test_length_mismatch(self):
+        pattern = parse_xpath("/html[1]/div[*]")
+        assert not pattern_matches(pattern, parse_xpath("/html[1]/div[1]/b[1]"))
+
+    def test_generalized_pattern_matches_sources(self):
+        paths = [
+            parse_xpath("/html[1]/ul[1]/li[1]"),
+            parse_xpath("/html[1]/ul[1]/li[4]"),
+            parse_xpath("/html[1]/ul[1]/li[9]"),
+        ]
+        pattern = generalize_paths(paths)
+        for path in paths:
+            assert pattern_matches(pattern, path)
+
+
+class TestSerialize:
+    def test_roundtrip_structure(self):
+        html = (
+            '<html><body><div class="a" id="b"><p>x <b>y</b></p>'
+            "<ul><li>1</li><li>2</li></ul></div></body></html>"
+        )
+        doc = parse_html(html)
+        serialized = to_html(doc.root)
+        doc2 = parse_html(serialized)
+        assert [f.text for f in doc2.text_fields()] == [
+            f.text for f in doc.text_fields()
+        ]
+        assert [f.xpath for f in doc2.text_fields()] == [
+            f.xpath for f in doc.text_fields()
+        ]
+        assert to_html(doc2.root) == serialized
+
+    def test_escaping(self):
+        doc = parse_html("<html><body><p>Tom &amp; Jerry</p></body></html>")
+        serialized = to_html(doc.root)
+        assert "&amp;" in serialized
+        doc2 = parse_html(serialized)
+        assert doc2.text_fields()[0].text == "Tom & Jerry"
+
+    def test_attribute_escaping(self):
+        doc = parse_html('<html><body><div title="a &quot;b&quot;">x</div></body></html>')
+        doc2 = parse_html(to_html(doc.root))
+        div = next(e for e in doc2.iter_elements() if e.tag == "div")
+        assert div.get("title") == 'a "b"'
+
+    def test_void_serialization(self):
+        doc = parse_html("<html><body>a<br>b</body></html>")
+        assert "<br>" in to_html(doc.root)
+        assert "</br>" not in to_html(doc.root)

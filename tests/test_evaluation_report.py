@@ -1,0 +1,41 @@
+"""Tests for repro.evaluation.report."""
+
+from repro.evaluation.report import format_number, format_prf, format_table
+
+
+class TestFormatPrf:
+    def test_value(self):
+        assert format_prf(0.876) == "0.88"
+        assert format_prf(1.0) == "1.00"
+
+    def test_none(self):
+        assert format_prf(None) == "NA"
+
+
+class TestFormatNumber:
+    def test_int_grouping(self):
+        assert format_number(1250000) == "1,250,000"
+
+    def test_float(self):
+        assert format_number(3.14159) == "3.14"
+
+    def test_none(self):
+        assert format_number(None) == "NA"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert lines[0] == "a   | bb"
+        assert lines[1] == "----+---"
+        assert lines[2] == "1   | 2 "
+        assert lines[3] == "333 | 4 "
+
+    def test_title(self):
+        table = format_table(["x"], [["1"]], title="My Table")
+        assert table.startswith("My Table\n========")
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table

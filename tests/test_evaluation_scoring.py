@@ -1,0 +1,200 @@
+"""Tests for repro.evaluation.scoring."""
+
+from repro.core.annotation.types import AnnotatedPage, Annotation, TopicResult
+from repro.core.extraction.extractor import Extraction, PageCandidates
+from repro.datasets.render import Emission, GeneratedPage, PageBuilder
+from repro.evaluation.scoring import (
+    annotation_scores,
+    extraction_precision,
+    node_level_scores,
+    page_hit_scores,
+    topic_scores,
+)
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+
+
+def make_page(page_id="p0") -> GeneratedPage:
+    builder = PageBuilder()
+    builder.open("html").open("body")
+    builder.leaf("h1", "The Film", predicate="name")
+    builder.leaf("span", "Jane Doe", predicate="directed_by")
+    builder.leaf("span", "Drama", predicate="genre")
+    builder.leaf("span", "Comedy", predicate="genre")
+    builder.leaf("span", "Drama")  # hazard: same string, no truth
+    builder.close("body").close("html")
+    return GeneratedPage(page_id, builder.html(), builder.emissions,
+                         topic_entity_id="f1", topic_name="The Film")
+
+
+def extraction_for(page, text_index, predicate, confidence=0.9, page_index=0):
+    node = page.document.text_fields()[text_index]
+    return Extraction("The Film", predicate, node.text, confidence, page_index, node)
+
+
+class TestNodeLevelScores:
+    def test_correct_extraction(self):
+        page = make_page()
+        scores = node_level_scores(
+            [extraction_for(page, 1, "directed_by")], [page]
+        )
+        assert scores["directed_by"].tp == 1
+        assert scores["directed_by"].fp == 0
+
+    def test_wrong_node_is_fp_even_with_right_string(self):
+        page = make_page()
+        # Node 4 says "Drama" but asserts nothing.
+        scores = node_level_scores([extraction_for(page, 4, "genre")], [page])
+        assert scores["genre"].fp == 1
+        # The two real genre instances are missed.
+        assert scores["genre"].fn == 2
+
+    def test_missing_gold_counts_fn(self):
+        page = make_page()
+        scores = node_level_scores([], [page], ["directed_by", "genre"])
+        assert scores["directed_by"].fn == 1
+        assert scores["genre"].fn == 2
+
+    def test_predicate_filter(self):
+        page = make_page()
+        scores = node_level_scores(
+            [extraction_for(page, 1, "directed_by")], [page], ["genre"]
+        )
+        assert "directed_by" not in scores
+
+    def test_name_scoring_via_candidates(self):
+        page = make_page()
+        candidates = [PageCandidates(0, "The Film", 0.99, [])]
+        scores = node_level_scores([], [page], ["name"], candidates)
+        assert scores["name"].tp == 1
+
+    def test_name_below_threshold_is_fn(self):
+        page = make_page()
+        candidates = [PageCandidates(0, "The Film", 0.3, [])]
+        scores = node_level_scores([], [page], ["name"], candidates, threshold=0.5)
+        assert scores["name"].fn == 1
+
+
+class TestPageHitScores:
+    def test_hit(self):
+        page = make_page()
+        scores = page_hit_scores(
+            [extraction_for(page, 1, "directed_by")], [page], ["directed_by"]
+        )
+        assert scores["directed_by"].tp == 1
+
+    def test_one_prediction_per_page(self):
+        page = make_page()
+        # Two predictions; higher-confidence one is wrong.
+        wrong = extraction_for(page, 4, "directed_by", confidence=0.99)
+        right = extraction_for(page, 1, "directed_by", confidence=0.5)
+        scores = page_hit_scores([wrong, right], [page], ["directed_by"])
+        # "Drama" does not match truth surface "Jane Doe".
+        assert scores["directed_by"].tp == 0
+        assert scores["directed_by"].fp == 1
+
+    def test_string_level_tolerance(self):
+        """Page-hit credit is string-based: the hazard node's string matches."""
+        page = make_page()
+        scores = page_hit_scores(
+            [extraction_for(page, 4, "genre")], [page], ["genre"]
+        )
+        assert scores["genre"].tp == 1
+
+    def test_no_truth_no_prediction_ignored(self):
+        page = make_page()
+        scores = page_hit_scores([], [page], ["mpaa_rating"])
+        assert not scores["mpaa_rating"].defined
+
+
+def build_kb() -> KnowledgeBase:
+    ontology = Ontology(
+        [
+            Predicate("directed_by", range_kind="entity"),
+            Predicate("genre", range_kind="string", multi_valued=True),
+        ]
+    )
+    kb = KnowledgeBase(ontology)
+    kb.add_entity(Entity("f1", "The Film", "film"))
+    kb.add_entity(Entity("d1", "Jane Doe", "person"))
+    kb.add_fact("f1", "directed_by", Value.entity("d1"))
+    kb.add_fact("f1", "genre", Value.literal("Drama"))
+    return kb
+
+
+class TestAnnotationScores:
+    def test_correct_annotation(self):
+        page = make_page()
+        kb = build_kb()
+        node = page.document.text_fields()[1]
+        annotated = AnnotatedPage(
+            0, page.document, "f1", page.document.text_fields()[0],
+            [Annotation("directed_by", node, ("e", "d1"), "Jane Doe")],
+        )
+        scores = annotation_scores([annotated], [page], kb)
+        assert scores["directed_by"].tp == 1
+        assert scores["directed_by"].fn == 0
+
+    def test_recall_counts_only_kb_facts(self):
+        """Comedy is on the page but not in the KB: not a recall miss."""
+        page = make_page()
+        kb = build_kb()
+        annotated = AnnotatedPage(
+            0, page.document, "f1", page.document.text_fields()[0], []
+        )
+        scores = annotation_scores([annotated], [page], kb, ["genre"])
+        assert scores["genre"].fn == 1  # only Drama counts
+
+    def test_wrong_node_annotation_fp(self):
+        page = make_page()
+        kb = build_kb()
+        hazard_node = page.document.text_fields()[4]
+        annotated = AnnotatedPage(
+            0, page.document, "f1", page.document.text_fields()[0],
+            [Annotation("genre", hazard_node, ("l", "drama"), "Drama")],
+        )
+        scores = annotation_scores([annotated], [page], kb, ["genre"])
+        assert scores["genre"].fp == 1
+        assert scores["genre"].fn == 1
+
+
+class TestTopicScores:
+    def test_correct_assignment(self):
+        page = make_page()
+        kb = build_kb()
+        node = page.document.text_fields()[0]
+        topics = {0: TopicResult(0, "f1", node, 0.5)}
+        score = topic_scores(topics, [page], kb)
+        assert score.tp == 1 and score.fp == 0 and score.fn == 0
+
+    def test_wrong_assignment(self):
+        page = make_page()
+        kb = build_kb()
+        node = page.document.text_fields()[0]
+        topics = {0: TopicResult(0, "d1", node, 0.5)}
+        score = topic_scores(topics, [page], kb)
+        assert score.fp == 1 and score.fn == 1
+
+    def test_missing_assignment_only_fn_when_in_kb(self):
+        page = make_page()
+        kb = build_kb()
+        assert topic_scores({}, [page], kb).fn == 1
+        # Page whose topic is not in the KB: no recall debt.
+        page2 = make_page("p2")
+        page2.topic_entity_id = "unknown-entity"
+        assert topic_scores({}, [page2], kb).fn == 0
+
+
+class TestExtractionPrecision:
+    def test_counts(self):
+        page = make_page()
+        extractions = [
+            extraction_for(page, 1, "directed_by"),
+            extraction_for(page, 4, "genre"),
+        ]
+        correct, total = extraction_precision(extractions, [page])
+        assert (correct, total) == (1, 2)
+
+    def test_empty(self):
+        assert extraction_precision([], []) == (0, 0)

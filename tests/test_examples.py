@@ -1,0 +1,36 @@
+"""Smoke test: the quickstart example must run end-to-end.
+
+The heavier examples (IMDb, long-tail) are exercised indirectly through
+the benchmark suite; quickstart is fast enough for the unit tests and
+doubles as living documentation of the public API.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+
+def load_example(name: str):
+    path = pathlib.Path(__file__).parent.parent / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_discovers_long_tail(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "— Annotation —" in output
+        assert "— Extraction —" in output
+        assert "The Hidden Vineyard" in output  # the long-tail discovery
+        assert "directed_by" in output
+
+    def test_seed_kb_shape(self):
+        module = load_example("quickstart")
+        kb = module.build_seed_kb()
+        assert len(kb) > 10
+        assert kb.entity_ids_for_text("Spike Lee")

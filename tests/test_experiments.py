@@ -1,0 +1,110 @@
+"""Smoke + shape tests for the experiment runners (small configurations).
+
+These keep the benchmark harnesses honest: every runner must return a
+well-formed result whose ``format()`` renders, at a scale small enough for
+the unit-test suite.  The shape assertions (who wins) run at slightly
+larger scale inside ``tests/test_integration_shapes.py``.
+"""
+
+import pytest
+
+from repro.datasets import generate_imdb
+from repro.datasets.commoncrawl import CCSiteConfig
+from repro.evaluation.experiments import (
+    run_figure4,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table7,
+    run_table8,
+    run_table9,
+)
+
+
+class TestTable1:
+    def test_rows(self):
+        result = run_table1(n_sites=2, pages_per_site=4)
+        assert len(result.rows) == 4
+        assert "Table 1" in result.format()
+
+
+class TestTable2:
+    def test_profile(self):
+        result = run_table2(seed=0)
+        assert result.total_triples > 1000
+        assert len(result.rows) == 4
+        formatted = result.format()
+        assert "Person" in formatted and "TV Episode" in formatted
+
+
+class TestTable3:
+    def test_small_run(self):
+        result = run_table3(
+            n_sites=2, pages_per_site=12, verticals=("nbaplayer",)
+        )
+        assert "CERES-Full" in result.f1
+        f1 = result.f1["CERES-Full"]["nbaplayer"]
+        assert f1 is not None and f1 > 0.5
+        assert "Table 3" in result.format()
+
+
+class TestTable7:
+    def test_high_precision(self):
+        dataset = generate_imdb(0, n_films=12, n_people=10, n_episodes=4)
+        result = run_table7(dataset=dataset)
+        assert set(result.scores) == {"person", "film"}
+        for score in result.scores.values():
+            assert score.precision > 0.9
+        assert "Table 7" in result.format()
+
+
+SMALL_CC = (
+    CCSiteConfig("smalla", "General", "en", 10, 0.8),
+    CCSiteConfig("smallb", "Charts", "en", 0, 0.0,
+                 hazards=frozenset({"charts_only"}), n_noise_pages=4),
+)
+
+
+class TestTables89Figure6:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_table8(seed=0, sites=SMALL_CC)
+
+    def test_table8(self, runs):
+        table, dataset, results = runs
+        assert len(table.sites) == 2
+        by_name = {s.name: s for s in table.sites}
+        assert by_name["smalla"].n_extractions > 0
+        assert by_name["smallb"].n_extractions == 0
+        assert by_name["smallb"].precision is None
+        assert "Table 8" in table.format()
+        totals = table.totals()
+        assert totals.n_pages == sum(s.n_pages for s in table.sites)
+
+    def test_table9(self, runs):
+        _, dataset, results = runs
+        table = run_table9(dataset, results)
+        assert table.rows
+        assert "Table 9" in table.format()
+        for _, (ann, ext, precision) in table.rows.items():
+            assert ann >= 0 and ext >= 0
+            if ext:
+                assert 0.0 <= precision <= 1.0
+
+    def test_figure6_monotone_precision(self, runs):
+        _, dataset, results = runs
+        figure = run_figure6(dataset, results, thresholds=(0.5, 0.7, 0.9))
+        counts = [count for _, count, _ in figure.points]
+        assert counts == sorted(counts, reverse=True)
+        assert "Figure 6" in figure.format()
+
+
+class TestFigure4:
+    def test_points(self):
+        result = run_figure4(n_sites=4, pages_per_site=16, seed=0)
+        assert len(result.points) == 3  # KB site excluded
+        assert "Figure 4" in result.format()
+        for _, overlap, f1 in result.points:
+            assert 0 <= f1 <= 1
+            assert overlap >= 0

@@ -1,0 +1,121 @@
+"""Failure-injection tests: the pipeline must degrade gracefully, never crash.
+
+Real crawls contain malformed markup, empty pages, pages in the wrong
+language, and KBs that match nothing.  CERES's contract in all such cases
+is "extract nothing", not "raise".
+"""
+
+import pytest
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.dom.parser import parse_html
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+
+
+def tiny_kb() -> KnowledgeBase:
+    ontology = Ontology([Predicate("genre", range_kind="string", multi_valued=True)])
+    kb = KnowledgeBase(ontology)
+    kb.add_entity(Entity("f1", "Some Known Film", "film"))
+    kb.add_fact("f1", "genre", Value.literal("Drama"))
+    return kb
+
+
+MALFORMED = [
+    "",  # empty document
+    "<html>",  # nothing closed
+    "<html><body><div><div><p>deep unclosed",
+    "<html><body></p></div></span>stray closers</body></html>",
+    "<html><body><p>&unknown; &amp; entities &#x41;</p></body></html>",
+    "<p>no html element at all</p>",
+    "plain text, no markup whatsoever",
+    "<html><body>" + "<div>" * 200 + "deep" + "</div>" * 200 + "</body></html>",
+]
+
+
+class TestMalformedHtml:
+    @pytest.mark.parametrize("html", MALFORMED)
+    def test_parser_never_raises(self, html):
+        document = parse_html(html)
+        assert document.root is not None
+        for field in document.text_fields():
+            assert field.text
+
+    @pytest.mark.parametrize("html", MALFORMED)
+    def test_pipeline_never_raises(self, html):
+        pipeline = CeresPipeline(tiny_kb(), CeresConfig(min_cluster_size=1))
+        documents = [parse_html(html)] * 4
+        result = pipeline.run(documents, documents)
+        assert result.extractions == []
+
+
+class TestDegenerateInputs:
+    def test_empty_document_list(self):
+        pipeline = CeresPipeline(tiny_kb(), CeresConfig())
+        result = pipeline.run([], [])
+        assert result.annotated_pages == []
+        assert result.extractions == []
+
+    def test_empty_kb(self):
+        ontology = Ontology([Predicate("genre", range_kind="string")])
+        kb = KnowledgeBase(ontology)
+        pipeline = CeresPipeline(kb, CeresConfig(min_cluster_size=1))
+        docs = [
+            parse_html(f"<html><body><h1>Page {i}</h1><p>Drama</p></body></html>")
+            for i in range(5)
+        ]
+        result = pipeline.run(docs, docs)
+        assert result.annotated_pages == []
+        assert result.extractions == []
+
+    def test_kb_with_no_matching_pages(self):
+        pipeline = CeresPipeline(tiny_kb(), CeresConfig(min_cluster_size=1))
+        docs = [
+            parse_html(
+                f"<html><body><h1>Unrelated {i}</h1><p>Completely different</p></body></html>"
+            )
+            for i in range(5)
+        ]
+        result = pipeline.run(docs, docs)
+        assert result.extractions == []
+
+    def test_pages_with_no_text(self):
+        pipeline = CeresPipeline(tiny_kb(), CeresConfig(min_cluster_size=1))
+        docs = [parse_html("<html><body><div></div></body></html>") for _ in range(4)]
+        result = pipeline.run(docs, docs)
+        assert result.extractions == []
+
+    def test_single_page_site(self):
+        pipeline = CeresPipeline(tiny_kb(), CeresConfig(min_cluster_size=1))
+        doc = parse_html(
+            "<html><body><h1>Some Known Film</h1><p>Drama</p></body></html>"
+        )
+        # One page cannot satisfy the informativeness filter (3 annotations
+        # from one genre fact) — pipeline must return cleanly.
+        result = pipeline.run([doc], [doc])
+        assert result.extractions == []
+
+    def test_adversarial_entity_names(self):
+        """KB names containing markup metacharacters must not break matching."""
+        ontology = Ontology([Predicate("genre", range_kind="string", multi_valued=True)])
+        kb = KnowledgeBase(ontology)
+        kb.add_entity(Entity("f1", 'Film <script> & "Quotes"', "film"))
+        for g in ("A", "B", "C"):
+            kb.add_fact("f1", "genre", Value.literal(f"Genre {g} Word"))
+        import html as html_lib
+
+        name = html_lib.escape('Film <script> & "Quotes"')
+        docs = [
+            parse_html(
+                f"<html><body><h1>{name}</h1>"
+                "<p>Genre A Word</p><p>Genre B Word</p><p>Genre C Word</p>"
+                f"<p>filler {i}</p></body></html>"
+            )
+            for i in range(4)
+        ]
+        pipeline = CeresPipeline(kb, CeresConfig(min_cluster_size=1, max_pages_per_topic=10))
+        result = pipeline.annotate(docs)
+        # The escaped name round-trips through the parser and matches.
+        assert result.annotated_pages

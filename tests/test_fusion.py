@@ -1,0 +1,84 @@
+"""Tests for repro.fusion (cross-site knowledge fusion)."""
+
+from repro.core.extraction.extractor import Extraction
+from repro.dom.node import TextNode
+from repro.fusion import fuse_extractions
+
+
+def ext(subject, predicate, obj, confidence, page=0):
+    return Extraction(subject, predicate, obj, confidence, page, TextNode(obj))
+
+
+class TestFuseExtractions:
+    def test_cross_site_agreement_boosts_score(self):
+        fused = fuse_extractions(
+            {
+                "site_a": [ext("Film X", "genre", "Drama", 0.8)],
+                "site_b": [ext("Film X", "genre", "Drama", 0.8)],
+            }
+        )
+        assert len(fused) == 1
+        fact = fused[0]
+        assert fact.n_sites == 2
+        assert abs(fact.score - (1 - 0.2 * 0.2)) < 1e-9
+
+    def test_single_site_repetition_does_not_stack(self):
+        """Two hundred copies from one site count once (template artifact)."""
+        many = [ext("Film X", "genre", "Drama", 0.6, page=i) for i in range(200)]
+        fused = fuse_extractions({"site_a": many})
+        assert fused[0].score == 0.6
+
+    def test_surface_normalization_bridges_sites(self):
+        fused = fuse_extractions(
+            {
+                "a": [ext("Film X", "genre", "Drama!", 0.7)],
+                "b": [ext("film x", "genre", "DRAMA", 0.7)],
+            }
+        )
+        assert len(fused) == 1
+        assert fused[0].n_sites == 2
+
+    def test_min_sites_filter(self):
+        fused = fuse_extractions(
+            {
+                "a": [ext("Film X", "genre", "Drama", 0.9)],
+                "b": [ext("Film Y", "genre", "Comedy", 0.9),
+                      ext("Film X", "genre", "Drama", 0.5)],
+            },
+            min_sites=2,
+        )
+        assert [f.subject for f in fused] == ["Film X"]
+
+    def test_min_score_filter(self):
+        fused = fuse_extractions(
+            {"a": [ext("Film X", "genre", "Drama", 0.4)]},
+            min_score=0.5,
+        )
+        assert fused == []
+
+    def test_sorted_by_score(self):
+        fused = fuse_extractions(
+            {
+                "a": [ext("X", "genre", "Drama", 0.9), ext("Y", "genre", "War", 0.3)],
+                "b": [ext("X", "genre", "Drama", 0.9)],
+            }
+        )
+        scores = [f.score for f in fused]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best_confidence_per_site_kept(self):
+        fused = fuse_extractions(
+            {"a": [ext("X", "genre", "Drama", 0.3), ext("X", "genre", "Drama", 0.8)]}
+        )
+        assert fused[0].site_support["a"] == 0.8
+
+    def test_empty(self):
+        assert fuse_extractions({}) == []
+        assert fuse_extractions({"a": []}) == []
+
+    def test_distinct_predicates_distinct_facts(self):
+        fused = fuse_extractions(
+            {"a": [ext("X", "genre", "Drama", 0.9),
+                   ext("X", "directed_by", "Drama", 0.9)]}
+        )
+        assert len(fused) == 2

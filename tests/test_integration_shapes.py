@@ -1,0 +1,83 @@
+"""Integration tests asserting the paper's headline *shapes*.
+
+The reproduction does not chase absolute numbers (the substrate is
+synthetic), but the qualitative claims must hold, seeded and at modest
+scale:
+
+* CERES-Full achieves high extraction precision on clean movie sites;
+* CERES-Full beats CERES-Topic on the complex IMDb person pages
+  (Tables 5-6: +11% film F1, +72% person F1 in the paper);
+* topic identification is near-perfect in precision (Table 7);
+* hazard sites yield lower precision than clean sites (Table 8);
+* confidence thresholding trades recall for precision (Figure 6).
+"""
+
+import pytest
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.baselines.ceres_topic import make_ceres_topic_pipeline
+from repro.datasets import generate_imdb, generate_swde, seed_kb_for
+from repro.evaluation.experiments.common import split_pages
+from repro.evaluation.scoring import extraction_precision, node_level_scores
+from repro.datasets.imdb import PERSON_PREDICATES
+from repro.ml.metrics import PRF
+
+
+@pytest.fixture(scope="module")
+def imdb_runs():
+    dataset = generate_imdb(0, n_films=30, n_people=24, n_episodes=10)
+    kb = dataset.kb
+    config = CeresConfig()
+    train_pages, eval_pages = split_pages(dataset.person_pages, 0)
+    outputs = {}
+    for system, pipeline in (
+        ("full", CeresPipeline(kb, config)),
+        ("topic", make_ceres_topic_pipeline(kb, config)),
+    ):
+        result = pipeline.run(
+            [p.document for p in train_pages], [p.document for p in eval_pages]
+        )
+        scores = node_level_scores(
+            result.extractions, eval_pages, PERSON_PREDICATES, result.candidates
+        )
+        total = PRF()
+        for score in scores.values():
+            total += score
+        outputs[system] = total
+    return outputs
+
+
+class TestHeadlineShapes:
+    def test_full_beats_topic_on_persons(self, imdb_runs):
+        full, topic = imdb_runs["full"], imdb_runs["topic"]
+        assert full.precision > topic.precision
+        assert full.f1 > topic.f1
+
+    def test_full_precision_high(self, imdb_runs):
+        assert imdb_runs["full"].precision > 0.9
+
+    def test_movie_site_high_precision(self):
+        dataset = generate_swde("movie", n_sites=2, pages_per_site=24, seed=1)
+        kb = seed_kb_for(dataset, 1)
+        site = dataset.sites[1]
+        train_pages, eval_pages = split_pages(site.pages, 1)
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run(
+            [p.document for p in train_pages], [p.document for p in eval_pages]
+        )
+        correct, total = extraction_precision(result.extractions, eval_pages)
+        assert total > 20
+        assert correct / total > 0.9
+
+    def test_long_tail_discovery(self):
+        """Extraction must cover entities the seed KB never contained."""
+        dataset = generate_swde("movie", n_sites=2, pages_per_site=24, seed=1)
+        kb = seed_kb_for(dataset, 1)
+        site = dataset.sites[1]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        docs = [p.document for p in site.pages]
+        result = pipeline.run(docs, docs)
+        kb_names = {e.name for e in kb.entities.values()}
+        subjects = {e.subject for e in result.extractions}
+        assert subjects - kb_names, "no new (long-tail) subjects extracted"

@@ -1,0 +1,66 @@
+"""Tests for repro.kb.io (KB JSON serialization)."""
+
+import pytest
+
+from repro.kb.io import kb_from_dict, kb_to_dict, load_kb, save_kb
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+
+
+def sample_kb() -> KnowledgeBase:
+    ontology = Ontology(
+        [
+            Predicate("directed_by", domain="film", range_kind="entity"),
+            Predicate("genre", domain="film", range_kind="string", multi_valued=True),
+            Predicate("release_date", domain="film", range_kind="date"),
+        ]
+    )
+    kb = KnowledgeBase(ontology)
+    kb.add_entity(Entity("f1", "Do the Right Thing", "film", ("DTRT",)))
+    kb.add_entity(Entity("p1", "Spike Lee", "person"))
+    kb.add_fact("f1", "directed_by", Value.entity("p1"))
+    kb.add_fact("f1", "genre", Value.literal("Drama"))
+    kb.add_fact("f1", "release_date", Value.literal("1989-06-30"))
+    return kb
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        kb = sample_kb()
+        restored = kb_from_dict(kb_to_dict(kb))
+        assert len(restored) == len(kb)
+        assert set(restored.entities) == set(kb.entities)
+        assert restored.entity("f1").aliases == ("DTRT",)
+        assert restored.ontology.get("genre").multi_valued
+
+    def test_indexes_rebuilt(self):
+        restored = kb_from_dict(kb_to_dict(sample_kb()))
+        assert restored.entity_ids_for_text("Spike Lee") == {"p1"}
+        assert restored.entity_ids_for_text("DTRT") == {"f1"}
+        # Date variants must be re-indexed on load.
+        assert ("l", "1989 06 30") in restored.value_keys_for_text("June 30, 1989")
+
+    def test_file_roundtrip(self, tmp_path):
+        kb = sample_kb()
+        path = tmp_path / "kb.json"
+        save_kb(kb, path)
+        restored = load_kb(path)
+        assert len(restored) == len(kb)
+        assert {t.predicate for t in restored.triples} == {
+            "directed_by", "genre", "release_date",
+        }
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KeyError):
+            kb_from_dict(
+                {
+                    "ontology": [{"name": "p"}],
+                    "entities": [],
+                    "triples": [{"s": "ghost", "p": "p", "o": "x", "kind": "literal"}],
+                }
+            )
+
+    def test_empty_kb(self):
+        restored = kb_from_dict({"ontology": [], "entities": [], "triples": []})
+        assert len(restored) == 0

@@ -1,0 +1,180 @@
+"""Tests for repro.kb: triples, ontology, literals, and the store."""
+
+import pytest
+
+from repro.kb.literals import date_variants, literal_variants, number_variants
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL, Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Triple, Value
+
+
+def movie_ontology() -> Ontology:
+    return Ontology(
+        [
+            Predicate("directed_by", domain="film", range_kind="entity"),
+            Predicate("has_cast_member", domain="film", range_kind="entity", multi_valued=True),
+            Predicate("genre", domain="film", range_kind="string", multi_valued=True),
+            Predicate("release_date", domain="film", range_kind="date"),
+        ]
+    )
+
+
+def small_kb() -> KnowledgeBase:
+    kb = KnowledgeBase(movie_ontology())
+    kb.add_entity(Entity("f1", "Do the Right Thing", "film"))
+    kb.add_entity(Entity("p1", "Spike Lee", "person"))
+    kb.add_entity(Entity("p2", "Danny Aiello", "person"))
+    kb.add_fact("f1", "directed_by", Value.entity("p1"))
+    kb.add_fact("f1", "has_cast_member", Value.entity("p1"))
+    kb.add_fact("f1", "has_cast_member", Value.entity("p2"))
+    kb.add_fact("f1", "genre", Value.literal("Drama"))
+    kb.add_fact("f1", "release_date", Value.literal("1989-06-30"))
+    return kb
+
+
+class TestValue:
+    def test_entity_key(self):
+        assert Value.entity("e9").key == ("e", "e9")
+
+    def test_literal_key_normalized(self):
+        assert Value.literal("Drama!").key == ("l", "drama")
+
+    def test_kinds(self):
+        assert Value.entity("x").is_entity
+        assert not Value.literal("x").is_entity
+
+
+class TestOntology:
+    def test_contains(self):
+        ontology = movie_ontology()
+        assert "directed_by" in ontology
+        assert "unknown" not in ontology
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology([Predicate("a"), Predicate("a")])
+
+    def test_multi_valued(self):
+        assert movie_ontology().multi_valued() == {"has_cast_member", "genre"}
+
+    def test_merged(self):
+        extra = Ontology([Predicate("new_pred"), Predicate("directed_by", domain="x")])
+        merged = movie_ontology().merged_with(extra)
+        assert "new_pred" in merged
+        # First definition wins.
+        assert merged.get("directed_by").domain == "film"
+
+    def test_names_order(self):
+        assert movie_ontology().names()[0] == "directed_by"
+
+    def test_constants(self):
+        assert NAME_PREDICATE == "name"
+        assert OTHER_LABEL == "OTHER"
+
+
+class TestLiterals:
+    def test_date_variants(self):
+        variants = date_variants("1989-06-30")
+        assert "June 30, 1989" in variants
+        assert "30 June 1989" in variants
+        assert "1989-06-30" in variants
+
+    def test_invalid_date_passthrough(self):
+        assert date_variants("1989-13-45") == ["1989-13-45"]
+        assert date_variants("not a date") == ["not a date"]
+
+    def test_number_variants(self):
+        variants = number_variants("240")
+        assert "240 lbs" in variants
+
+    def test_number_grouping(self):
+        assert "1,234" in number_variants("1234")
+
+    def test_non_number_passthrough(self):
+        assert number_variants("6'7\"") == ["6'7\""]
+
+    def test_dispatch(self):
+        assert len(literal_variants("1989-06-30", "date")) > 1
+        assert literal_variants("Drama", "string") == ["Drama"]
+
+
+class TestKnowledgeBase:
+    def test_len(self):
+        assert len(small_kb()) == 5
+
+    def test_triples_for_subject(self):
+        kb = small_kb()
+        predicates = {t.predicate for t in kb.triples_for_subject("f1")}
+        assert predicates == {"directed_by", "has_cast_member", "genre", "release_date"}
+        assert kb.triples_for_subject("nope") == []
+
+    def test_object_keys(self):
+        kb = small_kb()
+        keys = kb.object_keys("f1")
+        assert ("e", "p1") in keys
+        assert ("e", "p2") in keys
+        assert ("l", "drama") in keys
+
+    def test_entity_lookup_by_text(self):
+        kb = small_kb()
+        assert kb.entity_ids_for_text("spike lee") == {"p1"}
+        assert kb.entity_ids_for_text("Lee, Spike") == {"p1"}
+
+    def test_value_keys_for_date_variant(self):
+        kb = small_kb()
+        keys = kb.value_keys_for_text("June 30, 1989")
+        assert ("l", "1989 06 30") in keys
+
+    def test_alias_matching(self):
+        kb = small_kb()
+        kb.add_entity(Entity("f2", "La Strada", "film", aliases=("The Road",)))
+        assert kb.entity_ids_for_text("The Road") == {"f2"}
+
+    def test_unknown_subject_rejected(self):
+        kb = small_kb()
+        with pytest.raises(KeyError):
+            kb.add_fact("ghost", "genre", Value.literal("Drama"))
+
+    def test_unknown_predicate_rejected(self):
+        kb = small_kb()
+        with pytest.raises(KeyError):
+            kb.add_fact("f1", "invented", Value.literal("x"))
+
+    def test_duplicate_entity_ignored(self):
+        kb = small_kb()
+        kb.add_entity(Entity("p1", "Different Name", "person"))
+        assert kb.entity("p1").name == "Spike Lee"
+
+    def test_entities_of_type(self):
+        kb = small_kb()
+        assert set(kb.entities_of_type("person")) == {"p1", "p2"}
+        assert kb.entities_of_type("alien") == []
+
+    def test_object_surfaces_entity(self):
+        kb = small_kb()
+        triple = next(t for t in kb.triples if t.predicate == "directed_by")
+        assert kb.object_surfaces(triple) == ["Spike Lee"]
+
+    def test_object_surfaces_date(self):
+        kb = small_kb()
+        triple = next(t for t in kb.triples if t.predicate == "release_date")
+        assert "June 30, 1989" in kb.object_surfaces(triple)
+
+    def test_frequent_strings(self):
+        kb = small_kb()
+        # Add "Drama" as genre of many films.
+        for i in range(10):
+            kb.add_entity(Entity(f"x{i}", f"Film Number {i}", "film"))
+            kb.add_fact(f"x{i}", "genre", Value.literal("Drama"))
+        frequent = kb.frequent_strings(min_count=5)
+        assert "drama" in frequent
+        assert "spike lee" not in frequent
+
+    def test_predicate_counts(self):
+        counts = small_kb().predicate_counts()
+        assert counts["has_cast_member"] == 2
+        assert counts["directed_by"] == 1
+
+    def test_triple_repr(self):
+        triple = Triple("f1", "genre", Value.literal("Drama"))
+        assert "genre" in repr(triple)

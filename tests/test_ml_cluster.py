@@ -1,0 +1,121 @@
+"""Tests for repro.ml.cluster (agglomerative clustering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom.xpath import parse_xpath
+from repro.ml.cluster import (
+    agglomerative_cluster,
+    cluster_xpaths,
+    pairwise_distance_matrix,
+)
+
+
+class TestPairwiseDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        items = ["a", "ab", "abc"]
+        matrix = pairwise_distance_matrix(items, lambda a, b: abs(len(a) - len(b)))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0)
+        assert matrix[0, 2] == 2
+
+
+class TestAgglomerativeCluster:
+    def test_two_obvious_groups(self):
+        # Points on a line: {0, 1, 2} and {10, 11, 12}.
+        points = [0, 1, 2, 10, 11, 12]
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        labels = agglomerative_cluster(matrix, 2)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_n_clusters_one(self):
+        points = [0, 5, 100]
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        assert len(set(agglomerative_cluster(matrix, 1))) == 1
+
+    def test_n_clusters_equals_n(self):
+        points = [0, 5, 100]
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        labels = agglomerative_cluster(matrix, 3)
+        assert len(set(labels)) == 3
+
+    def test_n_clusters_clipped(self):
+        points = [0, 1]
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        assert len(set(agglomerative_cluster(matrix, 99))) == 2
+        assert len(set(agglomerative_cluster(matrix, 0))) == 1
+
+    def test_empty(self):
+        assert agglomerative_cluster(np.zeros((0, 0)), 2) == []
+
+    def test_single_item(self):
+        assert agglomerative_cluster(np.zeros((1, 1)), 1) == [0]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            agglomerative_cluster(np.zeros((2, 3)), 1)
+
+    def test_labels_contiguous(self):
+        points = [0, 1, 50, 51, 100, 101]
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        labels = agglomerative_cluster(matrix, 3)
+        assert set(labels) == {0, 1, 2}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=2, max_size=12),
+        st.integers(1, 5),
+    )
+    def test_label_count_property(self, points, k):
+        matrix = pairwise_distance_matrix(points, lambda a, b: abs(a - b))
+        labels = agglomerative_cluster(matrix, k)
+        expected = min(max(k, 1), len(points))
+        assert len(set(labels)) == expected
+        assert len(labels) == len(points)
+
+
+class TestClusterXPaths:
+    def test_index_drift_co_clusters(self):
+        # Cast-list mentions drift in the final index; recommendation
+        # mentions live in a structurally different region.
+        cast = [
+            parse_xpath(f"/html[1]/body[1]/div[1]/ul[1]/li[{i}]/a[1]") for i in (1, 2, 5, 9)
+        ]
+        recs = [
+            parse_xpath(f"/html[1]/body[1]/aside[1]/div[2]/section[1]/p[{i}]/a[1]")
+            for i in (1, 2)
+        ]
+        labels = cluster_xpaths(cast + recs, 2)
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+        assert labels[0] != labels[4]
+
+    def test_largest_cluster_is_dominant_region(self):
+        cast = [parse_xpath(f"/html[1]/div[1]/li[{i}]") for i in range(1, 8)]
+        other = [parse_xpath("/html[1]/footer[1]/span[1]")]
+        labels = cluster_xpaths(cast + other, 2)
+        from collections import Counter
+
+        largest = Counter(labels).most_common(1)[0][0]
+        assert labels[0] == largest
+
+    def test_identical_paths_same_label(self):
+        path = parse_xpath("/html[1]/div[1]/span[1]")
+        labels = cluster_xpaths([path, path, path], 2)
+        assert len(set(labels)) == 1
+
+    def test_empty(self):
+        assert cluster_xpaths([], 2) == []
+
+    def test_max_items_thinning(self):
+        paths = [parse_xpath(f"/html[1]/div[1]/li[{i}]") for i in range(1, 60)]
+        paths += [parse_xpath(f"/html[1]/aside[1]/p[{i}]/b[1]/a[1]") for i in range(1, 10)]
+        labels = cluster_xpaths(paths, 2, max_items=20)
+        assert len(labels) == len(paths)
+        assert len(set(labels[:59])) == 1
+        assert len(set(labels[59:])) == 1
+        assert labels[0] != labels[-1]

@@ -1,0 +1,80 @@
+"""Tests for repro.ml.features (FeatureVectorizer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.features import FeatureVectorizer
+
+feature_dicts = st.lists(
+    st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=4),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestFeatureVectorizer:
+    def test_fit_transform_shape(self):
+        v = FeatureVectorizer()
+        X = v.fit_transform([{"a": 1.0, "b": 2.0}, {"b": 1.0, "c": 3.0}])
+        assert X.shape == (2, 3)
+
+    def test_values_placed_correctly(self):
+        v = FeatureVectorizer()
+        X = v.fit_transform([{"a": 1.0, "b": 2.0}, {"c": 3.0}]).toarray()
+        cols = v.vocabulary_
+        assert X[0, cols["a"]] == 1.0
+        assert X[0, cols["b"]] == 2.0
+        assert X[1, cols["c"]] == 3.0
+        assert X[1, cols["a"]] == 0.0
+
+    def test_unseen_features_dropped(self):
+        v = FeatureVectorizer()
+        v.fit([{"a": 1.0}])
+        X = v.transform([{"a": 1.0, "zz": 9.0}])
+        assert X.shape == (1, 1)
+        assert X.toarray()[0, 0] == 1.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureVectorizer().transform([{"a": 1.0}])
+
+    def test_deterministic_vocabulary(self):
+        samples = [{"z": 1.0, "a": 1.0, "m": 1.0}]
+        v1 = FeatureVectorizer().fit(samples)
+        v2 = FeatureVectorizer().fit(samples)
+        assert v1.vocabulary_ == v2.vocabulary_
+        assert v1.feature_names() == ["a", "m", "z"]
+
+    def test_zero_values_not_stored(self):
+        v = FeatureVectorizer()
+        X = v.fit_transform([{"a": 0.0, "b": 1.0}])
+        assert X.nnz == 1
+
+    def test_empty_sample(self):
+        v = FeatureVectorizer()
+        X = v.fit_transform([{"a": 1.0}, {}])
+        assert X.shape == (2, 1)
+        assert X[1].nnz == 0
+
+    @given(feature_dicts)
+    def test_roundtrip_property(self, samples):
+        v = FeatureVectorizer()
+        X = v.fit_transform(samples).toarray()
+        assert X.shape[0] == len(samples)
+        for row, sample in enumerate(samples):
+            for name, value in sample.items():
+                assert np.isclose(X[row, v.vocabulary_[name]], value)
+
+    @given(feature_dicts)
+    def test_n_features_matches_distinct_names(self, samples):
+        v = FeatureVectorizer().fit(samples)
+        distinct = set()
+        for sample in samples:
+            distinct.update(sample)
+        assert v.n_features == len(distinct)

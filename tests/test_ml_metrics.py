@@ -1,0 +1,82 @@
+"""Tests for repro.ml.metrics (PRF containers)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import PRF, f1_score, mean_prf
+
+counts = st.integers(0, 1000)
+
+
+class TestF1Score:
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.5, 0.5) == 0.5
+        assert abs(f1_score(1.0, 0.5) - 2 / 3) < 1e-12
+
+    def test_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+
+class TestPRF:
+    def test_precision_recall(self):
+        score = PRF(tp=8, fp=2, fn=8)
+        assert score.precision == 0.8
+        assert score.recall == 0.5
+        assert abs(score.f1 - f1_score(0.8, 0.5)) < 1e-12
+
+    def test_empty_counts(self):
+        score = PRF()
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+        assert not score.defined
+
+    def test_defined(self):
+        assert PRF(fp=1).defined
+        assert PRF(fn=1).defined
+
+    def test_addition(self):
+        total = PRF(1, 2, 3) + PRF(4, 5, 6)
+        assert (total.tp, total.fp, total.fn) == (5, 7, 9)
+
+    def test_inplace_addition(self):
+        total = PRF(1, 1, 1)
+        total += PRF(1, 0, 0)
+        assert total.tp == 2
+
+    def test_as_tuple(self):
+        score = PRF(tp=1, fp=0, fn=0)
+        assert score.as_tuple() == (1.0, 1.0, 1.0)
+
+    def test_repr(self):
+        assert "P=" in repr(PRF(1, 1, 1))
+
+    @given(counts, counts, counts)
+    def test_bounds_property(self, tp, fp, fn):
+        score = PRF(tp, fp, fn)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f1 <= 1.0
+        eps = 1e-9
+        assert (
+            min(score.precision, score.recall) - eps
+            <= score.f1
+            <= max(score.precision, score.recall) + eps
+        ) or score.f1 == 0.0
+
+
+class TestMeanPRF:
+    def test_macro_average(self):
+        scores = [PRF(tp=10, fp=0, fn=0), PRF(tp=0, fp=10, fn=10)]
+        precision, recall, f1 = mean_prf(scores)
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_skips_undefined(self):
+        scores = [PRF(tp=10, fp=0, fn=0), PRF()]
+        assert mean_prf(scores) == (1.0, 1.0, 1.0)
+
+    def test_all_undefined(self):
+        assert mean_prf([PRF(), PRF()]) == (0.0, 0.0, 0.0)
+        assert mean_prf([]) == (0.0, 0.0, 0.0)

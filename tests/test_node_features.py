@@ -1,0 +1,133 @@
+"""Tests for repro.core.extraction.features (Section 4.2)."""
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.features import NodeFeatureExtractor
+from repro.dom.parser import parse_html
+
+
+def label_page(value: str = "Spike Lee") -> str:
+    return (
+        "<html><body><div class='info' id='main'>"
+        "<div class='row'><span class='label'>Director:</span>"
+        f"<span class='value' itemprop='director'>{value}</span></div>"
+        "<div class='row'><span class='label'>Genre:</span>"
+        "<span class='value'>Drama</span></div>"
+        "</div></body></html>"
+    )
+
+
+class TestStructuralFeatures:
+    def test_own_tag_feature(self):
+        doc = parse_html(label_page())
+        extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
+        features = extractor.features(node, doc)
+        assert "s|tag|span|0|0" in features
+
+    def test_attribute_features(self):
+        doc = parse_html(label_page())
+        extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
+        features = extractor.features(node, doc)
+        assert "s|class|value|0|0" in features
+        assert "s|itemprop|director|0|0" in features
+
+    def test_ancestor_features(self):
+        doc = parse_html(label_page())
+        extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
+        features = extractor.features(node, doc)
+        assert "s|class|row|1|0" in features
+        assert "s|class|info|2|0" in features
+        assert "s|id|main|2|0" in features
+
+    def test_sibling_features(self):
+        doc = parse_html(label_page())
+        extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
+        features = extractor.features(node, doc)
+        # The label span is the -1 sibling of the value span.
+        assert "s|class|label|0|-1" in features
+
+    def test_ancestor_level_limit(self):
+        doc = parse_html(label_page())
+        config = CeresConfig(struct_ancestor_levels=0)
+        extractor = NodeFeatureExtractor(config).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
+        features = extractor.features(node, doc)
+        assert "s|class|row|1|0" not in features
+        assert "s|tag|span|0|0" in features
+
+    def test_sibling_width_limit(self):
+        doc = parse_html(
+            "<html><body><div>"
+            + "".join(f"<p class='p{i}'>t{i}</p>" for i in range(12))
+            + "</div></body></html>"
+        )
+        config = CeresConfig(struct_sibling_width=2)
+        extractor = NodeFeatureExtractor(config).fit([doc])
+        node = next(f for f in doc.text_fields() if f.text == "t6")
+        features = extractor.features(node, doc)
+        assert "s|class|p5|0|-1" in features
+        assert "s|class|p4|0|-2" in features
+        assert "s|class|p3|0|-3" not in features
+
+
+class TestTextFeatures:
+    def pages(self, n: int = 5):
+        return [parse_html(label_page(f"Person {i}")) for i in range(n)]
+
+    def test_frequent_strings_compiled(self):
+        docs = self.pages()
+        extractor = NodeFeatureExtractor(CeresConfig()).fit(docs)
+        assert "Director:" in extractor.frequent_strings
+        assert "Genre:" in extractor.frequent_strings
+        # Values vary per page and must not qualify.
+        assert "Person 0" not in extractor.frequent_strings
+
+    def test_nearby_string_feature(self):
+        docs = self.pages()
+        extractor = NodeFeatureExtractor(CeresConfig()).fit(docs)
+        node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
+        features = extractor.features(node, docs[0])
+        assert any(name.startswith("t|Director:") for name in features)
+
+    def test_far_string_no_feature(self):
+        config = CeresConfig(text_feature_height=0)
+        docs = self.pages()
+        extractor = NodeFeatureExtractor(config).fit(docs)
+        node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
+        features = extractor.features(node, docs[0])
+        # Height 0 means only strings inside the same element qualify.
+        assert not any(name.startswith("t|Director:") for name in features)
+
+    def test_max_frequent_strings_zero_disables(self):
+        config = CeresConfig(max_frequent_strings=0)
+        docs = self.pages()
+        extractor = NodeFeatureExtractor(config).fit(docs)
+        assert extractor.frequent_strings == set()
+        node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
+        features = extractor.features(node, docs[0])
+        assert not any(name.startswith("t|") for name in features)
+
+    def test_long_strings_not_frequent(self):
+        long_text = "x" * 100
+        docs = [
+            parse_html(f"<html><body><p>{long_text}</p><p>v{i}</p></body></html>")
+            for i in range(5)
+        ]
+        extractor = NodeFeatureExtractor(CeresConfig()).fit(docs)
+        assert long_text not in extractor.frequent_strings
+
+    def test_fit_empty(self):
+        extractor = NodeFeatureExtractor(CeresConfig()).fit([])
+        assert extractor.frequent_strings == set()
+
+    def test_clear_page_cache(self):
+        docs = self.pages()
+        extractor = NodeFeatureExtractor(CeresConfig()).fit(docs)
+        node = docs[0].text_fields()[0]
+        extractor.features(node, docs[0])
+        assert extractor._page_registry
+        extractor.clear_page_cache()
+        assert not extractor._page_registry

@@ -1,0 +1,114 @@
+"""End-to-end tests for repro.core.pipeline on generated sites."""
+
+import pytest
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.datasets import generate_swde, seed_kb_for
+
+
+@pytest.fixture(scope="module")
+def movie_site():
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=24, seed=3)
+    kb = seed_kb_for(dataset, 3)
+    site = dataset.sites[1]
+    return kb, site
+
+
+class TestPipelineEndToEnd:
+    def test_full_run(self, movie_site):
+        kb, site = movie_site
+        pages = site.pages
+        train, evaluation = pages[:12], pages[12:]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run(
+            [p.document for p in train], [p.document for p in evaluation]
+        )
+        assert result.annotated_pages, "no pages were annotated"
+        assert result.extractions, "no extractions produced"
+        # Every extraction references an eval page and carries confidence.
+        for extraction in result.extractions:
+            assert 0 <= extraction.page_index < len(evaluation)
+            assert 0.5 <= extraction.confidence <= 1.0
+            assert extraction.subject
+            assert extraction.object
+
+    def test_topic_accuracy(self, movie_site):
+        kb, site = movie_site
+        train = site.pages[:12]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.annotate([p.document for p in train])
+        assert result.topics
+        for page_index, topic in result.topics.items():
+            assert topic.entity_id == train[page_index].topic_entity_id
+
+    def test_extraction_precision_high(self, movie_site):
+        kb, site = movie_site
+        pages = site.pages
+        train, evaluation = pages[:12], pages[12:]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run(
+            [p.document for p in train], [p.document for p in evaluation]
+        )
+        correct = 0
+        for extraction in result.extractions:
+            emission = evaluation[extraction.page_index].emission_for_node(
+                extraction.node
+            )
+            if emission is not None and emission.predicate == extraction.predicate:
+                correct += 1
+        assert correct / len(result.extractions) > 0.9
+
+    def test_threshold_monotonicity(self, movie_site):
+        kb, site = movie_site
+        pages = site.pages
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run([p.document for p in pages[:12]],
+                              [p.document for p in pages[12:]])
+        counts = [len(result.extractions_at(t)) for t in (0.5, 0.7, 0.9, 0.99)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_annotation_count_property(self, movie_site):
+        kb, site = movie_site
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.annotate([p.document for p in site.pages[:12]])
+        assert result.annotation_count == sum(
+            len(p.annotations) for p in result.annotated_pages
+        )
+        assert result.annotation_count >= 3 * len(result.annotated_pages)
+
+    def test_no_kb_overlap_no_output(self, movie_site):
+        kb, _ = movie_site
+        # Pages from a different universe (different seed): no KB overlap.
+        other = generate_swde("movie", n_sites=1, pages_per_site=10, seed=91)
+        docs = [p.document for p in other.sites[0].pages]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run(docs, docs)
+        # Either nothing annotated or (rare spurious topic) nothing extractable.
+        assert len(result.annotated_pages) <= 1
+
+    def test_without_template_clustering(self, movie_site):
+        kb, site = movie_site
+        config = CeresConfig(use_template_clustering=False)
+        pipeline = CeresPipeline(kb, config)
+        docs = [p.document for p in site.pages[:12]]
+        result = pipeline.run(docs, docs)
+        assert len(result.cluster_results) == 1
+        assert result.extractions
+
+    def test_min_cluster_size_skips_small_inputs(self, movie_site):
+        kb, site = movie_site
+        config = CeresConfig(min_cluster_size=100)
+        pipeline = CeresPipeline(kb, config)
+        docs = [p.document for p in site.pages[:12]]
+        result = pipeline.run(docs, docs)
+        assert result.cluster_results == []
+        assert result.extractions == []
+
+    def test_extract_without_models_yields_nothing(self, movie_site):
+        kb, site = movie_site
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.annotate([p.document for p in site.pages[:6]])
+        # No train() call: extraction must be a no-op.
+        extracted = pipeline.extract(result, [p.document for p in site.pages[6:8]])
+        assert extracted.extractions == []

@@ -1,0 +1,113 @@
+"""Tests for repro.text.distance (Levenshtein, Jaccard)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.distance import jaccard, levenshtein, normalized_levenshtein
+
+short_text = st.text(alphabet="abcde", max_size=12)
+
+
+class TestLevenshtein:
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("cat", "bat") == 1
+
+    def test_insertion(self):
+        assert levenshtein("cat", "cart") == 1
+
+    def test_token_sequences(self):
+        a = (("div", 1), ("span", 2))
+        b = (("div", 1), ("span", 3))
+        assert levenshtein(a, b) == 1
+
+    def test_token_sequences_insert(self):
+        a = (("div", 1), ("span", 2))
+        b = (("div", 1), ("p", 1), ("span", 2))
+        assert levenshtein(a, b) == 1
+
+    def test_limit_returns_large_value(self):
+        # With a limit, the return value may underestimate but must still
+        # exceed the limit when the true distance does.
+        result = levenshtein("aaaaaaaa", "bbbbbbbb", limit=2)
+        assert result > 2
+
+    def test_limit_exact_under_limit(self):
+        assert levenshtein("kitten", "sitting", limit=10) == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text)
+    def test_self_distance_zero(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @settings(max_examples=40)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+
+class TestNormalizedLevenshtein:
+    def test_range(self):
+        assert normalized_levenshtein("abc", "xyz") == 1.0
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_empty(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard({1, 2}, {2, 3}) == 1 / 3
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_identical(self):
+        assert jaccard({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+    def test_frozenset(self):
+        assert jaccard(frozenset({1, 2}), frozenset({2})) == 0.5
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_bounds_and_symmetry(self, a, b):
+        s = jaccard(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaccard(b, a)
+
+    @given(st.sets(st.integers(0, 20), min_size=1))
+    def test_subset_monotonicity(self, a):
+        # A set is at least as similar to itself as to any superset.
+        superset = a | {999}
+        assert jaccard(a, a) >= jaccard(a, superset)

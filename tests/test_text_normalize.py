@@ -1,0 +1,117 @@
+"""Tests for repro.text.normalize."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import (
+    is_low_information,
+    is_year,
+    normalize_text,
+    strip_parenthetical,
+    tokenize,
+)
+
+
+class TestNormalizeText:
+    def test_basic_lowercasing(self):
+        assert normalize_text("Spike Lee") == "spike lee"
+
+    def test_punctuation_removed(self):
+        assert normalize_text("Do the Right Thing!") == "do the right thing"
+
+    def test_whitespace_collapsed(self):
+        assert normalize_text("  a \t b \n c  ") == "a b c"
+
+    def test_unicode_nfkc(self):
+        # Full-width characters fold to ASCII under NFKC.
+        assert normalize_text("Ｈｅｌｌｏ") == "hello"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+
+    def test_pure_punctuation(self):
+        assert normalize_text("!!! ???") == ""
+
+    def test_digits_preserved(self):
+        assert normalize_text("ISBN-13: 978-0134853987") == "isbn 13 978 0134853987"
+
+    def test_casefold_not_just_lower(self):
+        # German sharp s casefolds to 'ss'.
+        assert normalize_text("STRASSE") == normalize_text("straße")
+
+    @given(st.text(max_size=80))
+    def test_idempotent(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=80))
+    def test_no_leading_trailing_space(self, text):
+        result = normalize_text(text)
+        assert result == result.strip()
+
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=60))
+    def test_case_insensitive(self, text):
+        assert normalize_text(text.upper()) == normalize_text(text.lower())
+
+
+class TestTokenize:
+    def test_simple(self):
+        assert tokenize("Spike Lee (director)") == ["spike", "lee", "director"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  !! ") == []
+
+
+class TestStripParenthetical:
+    def test_trailing_removed(self):
+        assert strip_parenthetical("Crooklyn (1994)") == "Crooklyn"
+
+    def test_internal_kept(self):
+        assert strip_parenthetical("What (If) Tomorrow Comes") == "What (If) Tomorrow Comes"
+
+    def test_no_parenthetical(self):
+        assert strip_parenthetical("Crooklyn") == "Crooklyn"
+
+    def test_trailing_with_space(self):
+        assert strip_parenthetical("John Smith (II) ") == "John Smith"
+
+
+class TestIsYear:
+    def test_years(self):
+        assert is_year("1989")
+        assert is_year("2026")
+        assert is_year(" 1989 ")
+
+    def test_non_years(self):
+        assert not is_year("989")
+        assert not is_year("19890")
+        assert not is_year("year")
+        assert not is_year("1750")
+
+
+class TestIsLowInformation:
+    def test_years_are_low_info(self):
+        assert is_low_information("1989")
+
+    def test_single_digits(self):
+        assert is_low_information("7")
+
+    def test_decimal_numbers(self):
+        assert is_low_information("6.5")
+        assert is_low_information("1,234")
+
+    def test_countries(self):
+        assert is_low_information("United States")
+        assert is_low_information("italy")
+
+    def test_short_strings(self):
+        assert is_low_information("ok")
+        assert is_low_information("")
+        assert is_low_information("   ")
+
+    def test_real_names_pass(self):
+        assert not is_low_information("Spike Lee")
+        assert not is_low_information("Do the Right Thing")

@@ -1,0 +1,127 @@
+"""Tests for repro.core.annotation.topic (Algorithm 1)."""
+
+from repro.core.annotation.topic import TopicIdentifier
+from repro.core.config import CeresConfig
+from repro.dom.parser import parse_html
+from repro.kb.ontology import Ontology, Predicate
+from repro.kb.store import KnowledgeBase
+from repro.kb.triple import Entity, Value
+
+
+def film_kb(n_films: int = 6) -> KnowledgeBase:
+    ontology = Ontology(
+        [
+            Predicate("directed_by", range_kind="entity"),
+            Predicate("genre", range_kind="string", multi_valued=True),
+        ]
+    )
+    kb = KnowledgeBase(ontology)
+    for i in range(n_films):
+        kb.add_entity(Entity(f"f{i}", f"Film Number {i} Saga", "film"))
+        kb.add_entity(Entity(f"d{i}", f"Director Name {i}", "person"))
+        kb.add_fact(f"f{i}", "directed_by", Value.entity(f"d{i}"))
+        kb.add_fact(f"f{i}", "genre", Value.literal(f"GenreWord{i % 3}"))
+    return kb
+
+
+def film_page(i: int, with_help: bool = False) -> str:
+    help_div = "<div class='help'>Help</div>" if with_help else ""
+    return (
+        f"<html><body>{help_div}"
+        f"<div class='main'><h1>Film Number {i} Saga</h1>"
+        f"<div class='row'><span>Director</span><span>Director Name {i}</span></div>"
+        f"<div class='row'><span>Genre</span><span>GenreWord{i % 3}</span></div>"
+        f"</div></body></html>"
+    )
+
+
+class TestScoreEntitiesForPage:
+    def test_topic_scores_highest(self):
+        kb = film_kb()
+        identifier = TopicIdentifier(kb, CeresConfig())
+        scores = identifier.score_entities_for_page(parse_html(film_page(0)))
+        assert scores
+        best = max(scores, key=scores.get)
+        assert best == "f0"
+
+    def test_no_matches_no_scores(self):
+        kb = film_kb()
+        identifier = TopicIdentifier(kb, CeresConfig())
+        doc = parse_html("<html><body><p>nothing relevant</p></body></html>")
+        assert identifier.score_entities_for_page(doc) == {}
+
+    def test_entity_without_facts_not_scored(self):
+        kb = film_kb()
+        kb.add_entity(Entity("lonely", "Lonely Entity Name", "film"))
+        identifier = TopicIdentifier(kb, CeresConfig())
+        doc = parse_html(
+            "<html><body><h1>Lonely Entity Name</h1><p>GenreWord0</p></body></html>"
+        )
+        scores = identifier.score_entities_for_page(doc)
+        assert "lonely" not in scores
+
+
+class TestIdentify:
+    def test_identifies_all_topics(self):
+        kb = film_kb()
+        identifier = TopicIdentifier(kb, CeresConfig())
+        docs = [parse_html(film_page(i)) for i in range(6)]
+        topics = identifier.identify(docs)
+        assert len(topics) == 6
+        for i, topic in topics.items():
+            assert topic.entity_id == f"f{i}"
+            assert topic.node.text == f"Film Number {i} Saga"
+
+    def test_topic_node_at_dominant_path(self):
+        kb = film_kb()
+        identifier = TopicIdentifier(kb, CeresConfig())
+        docs = [parse_html(film_page(i)) for i in range(6)]
+        topics = identifier.identify(docs)
+        paths = {t.node.xpath for t in topics.values()}
+        assert len(paths) == 1  # all topics at the same template position
+
+    def test_unknown_topic_page_gets_none(self):
+        kb = film_kb(n_films=4)
+        identifier = TopicIdentifier(kb, CeresConfig())
+        # Page 5's film is not in the KB.
+        docs = [parse_html(film_page(i)) for i in range(4)]
+        docs.append(parse_html(film_page(99)))
+        topics = identifier.identify(docs)
+        assert 4 not in topics
+        assert len(topics) == 4
+
+    def test_uniqueness_filter(self):
+        """An entity matching on every page must not become everyone's topic."""
+        kb = film_kb(n_films=8)
+        # "Help" as a film entity with facts that co-occur on all pages.
+        kb.add_entity(Entity("help", "Help", "film"))
+        kb.add_fact("help", "genre", Value.literal("GenreWord0"))
+        kb.add_fact("help", "genre", Value.literal("GenreWord1"))
+        kb.add_fact("help", "genre", Value.literal("GenreWord2"))
+        identifier = TopicIdentifier(
+            kb, CeresConfig(max_pages_per_topic=3)
+        )
+        docs = [parse_html(film_page(i, with_help=True)) for i in range(8)]
+        topics = identifier.identify(docs)
+        assert all(t.entity_id != "help" for t in topics.values())
+
+    def test_empty_input(self):
+        kb = film_kb()
+        identifier = TopicIdentifier(kb, CeresConfig())
+        assert identifier.identify([]) == {}
+
+    def test_stoplisted_entity_not_topic(self):
+        kb = film_kb()
+        # Make one film's name hyper-frequent in the KB.
+        kb.add_entity(Entity("hub", "Ubiquitous String", "film"))
+        for i in range(40):
+            kb.add_entity(Entity(f"x{i}", f"Other Subject {i} Title", "film"))
+            kb.add_fact(f"x{i}", "genre", Value.literal("Ubiquitous String"))
+        identifier = TopicIdentifier(kb, CeresConfig(stoplist_min_count=30))
+        assert not identifier._candidate_allowed("hub")
+
+    def test_low_information_name_not_candidate(self):
+        kb = film_kb()
+        kb.add_entity(Entity("year", "1989", "film"))
+        identifier = TopicIdentifier(kb, CeresConfig())
+        assert not identifier._candidate_allowed("year")

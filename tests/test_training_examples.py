@@ -1,0 +1,109 @@
+"""Tests for repro.core.annotation.examples (Section 4.1)."""
+
+import random
+
+from repro.core.annotation.examples import (
+    build_training_examples,
+    list_exclusion_patterns,
+)
+from repro.core.annotation.types import AnnotatedPage, Annotation
+from repro.core.config import CeresConfig
+from repro.dom.parser import parse_html
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+
+
+def make_page() -> AnnotatedPage:
+    html = (
+        "<html><body>"
+        "<h1>Topic Name Here</h1>"
+        "<ul>"
+        + "".join(f"<li>Value {i}</li>" for i in range(10))
+        + "</ul>"
+        "<div><p>noise one</p><p>noise two</p><p>noise three</p>"
+        "<p>noise four</p><p>noise five</p><p>noise six</p></div>"
+        "</body></html>"
+    )
+    doc = parse_html(html)
+    fields = doc.text_fields()
+    title = fields[0]
+    list_items = fields[1:11]
+    annotations = [
+        Annotation("cast", list_items[0], ("e", "a"), "Value 0"),
+        Annotation("cast", list_items[3], ("e", "b"), "Value 3"),
+    ]
+    return AnnotatedPage(0, doc, "topic", title, annotations)
+
+
+class TestListExclusionPatterns:
+    def test_pattern_found_for_list(self):
+        page = make_page()
+        patterns = list_exclusion_patterns(page)
+        assert len(patterns) == 1
+        assert any(index is None for _, index in patterns[0])
+
+    def test_single_annotation_no_pattern(self):
+        page = make_page()
+        page.annotations = page.annotations[:1]
+        assert list_exclusion_patterns(page) == []
+
+    def test_identical_paths_no_wildcard_pattern(self):
+        page = make_page()
+        page.annotations = [page.annotations[0], page.annotations[0]]
+        assert list_exclusion_patterns(page) == []
+
+
+class TestBuildTrainingExamples:
+    def test_positive_labels_present(self):
+        page = make_page()
+        examples = build_training_examples([page], CeresConfig())
+        labels = [e.label for e in examples]
+        assert labels.count("cast") == 2
+        assert labels.count(NAME_PREDICATE) == 1
+
+    def test_negative_ratio(self):
+        page = make_page()
+        config = CeresConfig(negatives_per_positive=3)
+        examples = build_training_examples([page], config)
+        n_pos = sum(1 for e in examples if e.label != OTHER_LABEL)
+        n_neg = sum(1 for e in examples if e.label == OTHER_LABEL)
+        assert n_pos == 3
+        # 6 noise paragraphs are available; 3 * 3 = 9 wanted, capped at 6.
+        assert n_neg == 6
+
+    def test_list_members_excluded_from_negatives(self):
+        page = make_page()
+        examples = build_training_examples([page], CeresConfig())
+        negative_texts = {e.node.text for e in examples if e.label == OTHER_LABEL}
+        for i in range(10):
+            assert f"Value {i}" not in negative_texts
+
+    def test_without_exclusion_list_members_can_be_negatives(self):
+        page = make_page()
+        page.annotations = page.annotations[:1]  # no pattern derivable
+        config = CeresConfig(negatives_per_positive=10)
+        examples = build_training_examples([page], config, random.Random(0))
+        negative_texts = {e.node.text for e in examples if e.label == OTHER_LABEL}
+        assert any(text.startswith("Value") for text in negative_texts)
+
+    def test_deterministic_given_seed(self):
+        page = make_page()
+        config = CeresConfig()
+        a = build_training_examples([page], config, random.Random(1))
+        b = build_training_examples([page], config, random.Random(1))
+        assert [(e.label, e.node.text) for e in a] == [
+            (e.label, e.node.text) for e in b
+        ]
+
+    def test_empty_pages(self):
+        assert build_training_examples([], CeresConfig()) == []
+
+    def test_positives_never_sampled_as_negatives(self):
+        page = make_page()
+        config = CeresConfig(negatives_per_positive=50)
+        examples = build_training_examples([page], config)
+        positive_ids = {
+            id(e.node) for e in examples if e.label != OTHER_LABEL
+        }
+        for example in examples:
+            if example.label == OTHER_LABEL:
+                assert id(example.node) not in positive_ids
