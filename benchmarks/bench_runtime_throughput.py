@@ -1,0 +1,105 @@
+"""Serving throughput: cold pipeline vs. warm ExtractionService.
+
+The cold path re-runs template clustering, topic identification,
+relation annotation, and L-BFGS training on every call; the warm path
+(``repro.runtime.service.ExtractionService``) loads a registry artifact
+once and only does feature extraction + a matrix multiply per page.
+This script measures pages/sec for both on a 200-page synthetic movie
+site and reports the speedup, giving future serving-perf PRs a baseline.
+
+Target: warm ≥ 5× cold.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for conftest.report
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from conftest import report  # noqa: E402
+
+from repro.core.config import CeresConfig  # noqa: E402
+from repro.core.pipeline import CeresPipeline  # noqa: E402
+from repro.datasets import generate_swde, seed_kb_for  # noqa: E402
+from repro.runtime import ExtractionService, ModelRegistry, SiteModel  # noqa: E402
+
+N_PAGES = 200
+WARM_ROUNDS = 3
+TARGET_SPEEDUP = 5.0
+
+
+def run_benchmark(tmp_registry: str | Path = "/tmp/repro_bench_registry") -> dict:
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=N_PAGES, seed=11)
+    kb = seed_kb_for(dataset, 11)
+    site = dataset.sites[1]
+    documents = [page.document for page in site.pages]  # parse outside timing
+    config = CeresConfig()
+
+    # Cold: the full annotate → train → extract pipeline, as `extract` runs it.
+    started = time.perf_counter()
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(documents, documents)
+    cold_seconds = time.perf_counter() - started
+    cold_pps = len(documents) / cold_seconds
+
+    # Persist the trained model and serve it back through the registry,
+    # exactly as `train` + `serve` do.
+    registry = ModelRegistry(tmp_registry)
+    registry.save(SiteModel.from_result(site.name, config, result))
+    service = ExtractionService(registry)
+    service.extract_pages(site.name, documents[:4])  # load + build extractors
+
+    started = time.perf_counter()
+    for _ in range(WARM_ROUNDS):
+        warm_extractions = service.extract_pages(site.name, documents)
+    warm_seconds = (time.perf_counter() - started) / WARM_ROUNDS
+    warm_pps = len(documents) / warm_seconds
+
+    speedup = warm_pps / cold_pps
+    return {
+        "n_pages": len(documents),
+        "cold_seconds": cold_seconds,
+        "cold_pps": cold_pps,
+        "warm_seconds": warm_seconds,
+        "warm_pps": warm_pps,
+        "speedup": speedup,
+        "cold_extractions": len(result.extractions),
+        "warm_extractions": len(warm_extractions),
+    }
+
+
+def format_table(stats: dict) -> str:
+    met = "MET" if stats["speedup"] >= TARGET_SPEEDUP else "MISSED"
+    lines = [
+        "Runtime throughput: cold pipeline vs. warm ExtractionService",
+        f"  pages per batch        {stats['n_pages']}",
+        f"  cold (annotate+train+extract)  "
+        f"{stats['cold_seconds']:8.2f}s   {stats['cold_pps']:10.1f} pages/s",
+        f"  warm (registry artifact)       "
+        f"{stats['warm_seconds']:8.2f}s   {stats['warm_pps']:10.1f} pages/s",
+        f"  speedup                {stats['speedup']:8.1f}x   "
+        f"(target >= {TARGET_SPEEDUP:.0f}x: {met})",
+        f"  extractions cold/warm  {stats['cold_extractions']}/"
+        f"{stats['warm_extractions']}",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    stats = run_benchmark()
+    report("runtime_throughput", format_table(stats))
+    if stats["cold_extractions"] != stats["warm_extractions"]:
+        print("ERROR: warm path diverged from cold path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

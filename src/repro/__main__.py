@@ -1,13 +1,26 @@
 """Command-line interface: ``python -m repro``.
 
-Runs the CERES pipeline over a directory of HTML files against a JSON
-seed KB (see ``repro.kb.io`` for the format) and prints extracted triples
-as JSON lines.
-
-Example::
+One-shot mode (the original flow — annotate, train, and extract in a
+single process)::
 
     python -m repro extract --kb seed_kb.json --pages ./site_html \
         --threshold 0.75 --output triples.jsonl
+
+Train/serve split (the production flow — train once, persist the model
+to a registry, serve extractions from the artifact without retraining)::
+
+    python -m repro train --kb seed_kb.json --pages ./site_html --registry ./models
+    python -m repro serve --registry ./models --pages ./site_html \
+        --output triples.jsonl
+
+Corpus mode (many sites, a process pool, per-site failure isolation)::
+
+    python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
+        --registry ./models --output triples.jsonl --workers 4
+
+``--corpus`` accepts a directory of per-site subdirectories or a JSONL
+manifest of ``{"site": ..., "pages": ...}`` lines; see
+:mod:`repro.runtime.runner`.
 """
 
 from __future__ import annotations
@@ -19,7 +32,6 @@ from pathlib import Path
 
 from repro.core.config import CeresConfig
 from repro.core.pipeline import CeresPipeline
-from repro.dom.parser import parse_html
 from repro.kb.io import load_kb
 
 __all__ = ["main"]
@@ -53,63 +65,142 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     annotate.add_argument("--kb", required=True)
     annotate.add_argument("--pages", required=True)
+
+    train = sub.add_parser(
+        "train", help="annotate + train a site and persist the model to a registry"
+    )
+    train.add_argument("--kb", required=True, help="seed KB JSON file")
+    train.add_argument(
+        "--pages", required=True, help="directory of .html files (one site)"
+    )
+    train.add_argument(
+        "--registry", required=True, help="model registry directory"
+    )
+    train.add_argument(
+        "--site", default=None,
+        help="site name the artifact is keyed by (default: pages directory name)",
+    )
+    train.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="default confidence threshold stored with the model (default 0.5)",
+    )
+    train.add_argument(
+        "--no-template-clustering", action="store_true",
+        help="treat all pages as one template",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="extract using a registry artifact — no annotation, no training",
+    )
+    serve.add_argument("--registry", required=True, help="model registry directory")
+    serve.add_argument(
+        "--pages", required=True, help="directory of .html files to extract from"
+    )
+    serve.add_argument(
+        "--site", default=None,
+        help="registry site key (default: pages directory name)",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=None,
+        help="confidence threshold (default: the trained model's)",
+    )
+    serve.add_argument(
+        "--output", default="-", help="output JSONL path (default: stdout)"
+    )
+
+    corpus = sub.add_parser(
+        "run-corpus",
+        help="train + extract every site of a multi-site corpus in parallel",
+    )
+    corpus.add_argument("--kb", required=True, help="seed KB JSON file")
+    corpus.add_argument(
+        "--corpus", required=True,
+        help="directory of per-site subdirectories, or a JSONL manifest",
+    )
+    corpus.add_argument(
+        "--registry", required=True, help="model registry directory for artifacts"
+    )
+    corpus.add_argument(
+        "--output", default="-", help="extraction JSONL path (default: stdout)"
+    )
+    corpus.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (default: one per core; 1 = run inline)",
+    )
+    corpus.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="confidence threshold (default 0.5)",
+    )
+    corpus.add_argument(
+        "--no-template-clustering", action="store_true",
+        help="treat each site's pages as one template",
+    )
     return parser
 
 
 def _load_documents(pages_dir: str) -> list:
-    paths = sorted(Path(pages_dir).glob("*.html"))
-    if not paths:
-        raise SystemExit(f"no .html files found in {pages_dir!r}")
-    return [parse_html(path.read_text(errors="replace"), url=path.name) for path in paths]
+    from repro.runtime.runner import load_site_documents
+
+    try:
+        return load_site_documents(pages_dir)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _open_sink(output: str):
+    return sys.stdout if output == "-" else open(output, "w", encoding="utf-8")
+
+
+def _write_extractions(extractions, documents, sink) -> None:
+    """The shared JSONL row format of extract/serve."""
+    from repro.runtime.runner import extraction_row
+
+    for extraction in extractions:
+        sink.write(
+            json.dumps(
+                extraction_row(extraction, documents[extraction.page_index].url),
+                ensure_ascii=False,
+            )
+            + "\n"
+        )
+
+
+def _cmd_annotate(args) -> int:
     kb = load_kb(args.kb)
     documents = _load_documents(args.pages)
-
-    if args.command == "annotate":
-        pipeline = CeresPipeline(kb, CeresConfig())
-        result = pipeline.annotate(documents)
-        for page in result.annotated_pages:
-            topic = kb.entity(page.topic_entity_id).name
-            for annotation in page.annotations:
-                print(
-                    json.dumps(
-                        {
-                            "page": documents[page.page_index].url,
-                            "topic": topic,
-                            "predicate": annotation.predicate,
-                            "text": annotation.node.text.strip(),
-                            "xpath": annotation.node.xpath,
-                        },
-                        ensure_ascii=False,
-                    )
+    pipeline = CeresPipeline(kb, CeresConfig())
+    result = pipeline.annotate(documents)
+    for page in result.annotated_pages:
+        topic = kb.entity(page.topic_entity_id).name
+        for annotation in page.annotations:
+            print(
+                json.dumps(
+                    {
+                        "page": documents[page.page_index].url,
+                        "topic": topic,
+                        "predicate": annotation.predicate,
+                        "text": annotation.node.text.strip(),
+                        "xpath": annotation.node.xpath,
+                    },
+                    ensure_ascii=False,
                 )
-        return 0
+            )
+    return 0
 
+
+def _cmd_extract(args) -> int:
+    kb = load_kb(args.kb)
+    documents = _load_documents(args.pages)
     config = CeresConfig(
         confidence_threshold=args.threshold,
         use_template_clustering=not args.no_template_clustering,
     )
     pipeline = CeresPipeline(kb, config)
     result = pipeline.run(documents, documents)
-    sink = sys.stdout if args.output == "-" else open(args.output, "w")
+    sink = _open_sink(args.output)
     try:
-        for extraction in result.extractions:
-            sink.write(
-                json.dumps(
-                    {
-                        "page": documents[extraction.page_index].url,
-                        "subject": extraction.subject,
-                        "predicate": extraction.predicate,
-                        "object": extraction.object,
-                        "confidence": round(extraction.confidence, 4),
-                    },
-                    ensure_ascii=False,
-                )
-                + "\n"
-            )
+        _write_extractions(result.extractions, documents, sink)
     finally:
         if sink is not sys.stdout:
             sink.close()
@@ -119,6 +210,110 @@ def main(argv: list[str] | None = None) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.runtime import ModelRegistry, SiteModel
+
+    kb = load_kb(args.kb)
+    documents = _load_documents(args.pages)
+    site = args.site or Path(args.pages).name
+    config = CeresConfig(
+        confidence_threshold=args.threshold,
+        use_template_clustering=not args.no_template_clustering,
+    )
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.annotate(documents)
+    pipeline.train(documents, result)
+    site_model = SiteModel.from_result(site, config, result)
+    path = ModelRegistry(args.registry).save(site_model)
+    print(
+        f"[repro] site={site}: {len(result.annotated_pages)} pages annotated, "
+        f"{len(site_model.clusters)} cluster model(s) trained → {path}",
+        file=sys.stderr,
+    )
+    if not site_model.clusters:
+        print(
+            "[repro] warning: no cluster reached a trainable model; "
+            "serve will extract nothing for this site",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.runtime import ExtractionService, RegistryError
+
+    documents = _load_documents(args.pages)
+    site = args.site or Path(args.pages).name
+    service = ExtractionService(args.registry)
+    try:
+        extractions = service.extract_pages(site, documents, args.threshold)
+    except RegistryError as error:
+        raise SystemExit(f"registry error: {error}")
+    sink = _open_sink(args.output)
+    try:
+        _write_extractions(extractions, documents, sink)
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(
+        f"[repro] site={site}: {len(documents)} pages served, "
+        f"{len(extractions)} triples extracted (no retraining)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_run_corpus(args) -> int:
+    from repro.runtime import discover_corpus, run_corpus
+
+    config = CeresConfig(
+        confidence_threshold=args.threshold,
+        use_template_clustering=not args.no_template_clustering,
+    )
+    # Validate the corpus before _open_sink truncates a prior output file.
+    try:
+        discover_corpus(args.corpus)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error))
+    sink = _open_sink(args.output)
+    try:
+        reports = run_corpus(
+            args.corpus,
+            args.kb,
+            args.registry,
+            config=config,
+            threshold=args.threshold,
+            max_workers=args.workers,
+            output=sink,
+            log=lambda line: print(f"[repro] {line}", file=sys.stderr),
+        )
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error))
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    succeeded = sum(1 for report in reports if report.ok)
+    failed = len(reports) - succeeded
+    print(
+        f"[repro] corpus done: {succeeded} site(s) ok, {failed} failed, "
+        f"{sum(r.n_extractions for r in reports)} triples extracted",
+        file=sys.stderr,
+    )
+    return 0 if succeeded else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "annotate": _cmd_annotate,
+        "extract": _cmd_extract,
+        "train": _cmd_train,
+        "serve": _cmd_serve,
+        "run-corpus": _cmd_run_corpus,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

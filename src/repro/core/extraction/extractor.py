@@ -16,17 +16,20 @@ The extractor exposes two granularities:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.clustering.templates import page_signature
 from repro.core.config import CeresConfig
 from repro.core.extraction.trainer import CeresModel
 from repro.dom.node import TextNode
 from repro.dom.parser import Document
 from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+from repro.text.distance import jaccard
 
-__all__ = ["Extraction", "PageCandidates", "CeresExtractor"]
+__all__ = ["Extraction", "PageCandidates", "CeresExtractor", "ClusterExtractorPool"]
 
 
 @dataclass
@@ -132,3 +135,96 @@ class CeresExtractor:
             self.candidates_for_page(document, page_index)
             for page_index, document in enumerate(documents)
         ]
+
+
+class ClusterExtractorPool:
+    """One :class:`CeresExtractor` per modeled template cluster.
+
+    Extraction assigns each page to the cluster whose leader signature is
+    most Jaccard-similar and scores it with that cluster's model.  The
+    pool builds every extractor once up front (instead of one per page)
+    and memoizes the ``page_signature → cluster`` assignment, so repeated
+    batches over same-template pages skip the similarity scan entirely.
+    Both :meth:`repro.core.pipeline.CeresPipeline.extract` and the serving
+    fast path (``repro.runtime.service.ExtractionService``) share it.
+    """
+
+    def __init__(
+        self,
+        clusters: Sequence[tuple[frozenset[str], CeresModel]],
+        config: CeresConfig | None = None,
+    ) -> None:
+        """``clusters`` pairs each modeled cluster's leader signature with
+        its trained model, in pipeline order (assignment tie-breaks keep
+        that order, matching the original per-page loop)."""
+        self.config = config or CeresConfig()
+        self._signatures: list[frozenset[str]] = [sig for sig, _ in clusters]
+        self._extractors: list[CeresExtractor] = [
+            CeresExtractor(model, self.config) for _, model in clusters
+        ]
+        self._assignments: dict[frozenset[str], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._extractors)
+
+    def __bool__(self) -> bool:
+        return bool(self._extractors)
+
+    @property
+    def extractors(self) -> list[CeresExtractor]:
+        return list(self._extractors)
+
+    def assign(self, signature: frozenset[str]) -> int | None:
+        """Index of the most similar cluster (memoized), or None if empty."""
+        if not self._extractors:
+            return None
+        cached = self._assignments.get(signature)
+        if cached is None:
+            cached = max(
+                range(len(self._signatures)),
+                key=lambda index: jaccard(signature, self._signatures[index]),
+            )
+            self._assignments[signature] = cached
+        return cached
+
+    def extractor_for(self, document: Document) -> CeresExtractor | None:
+        """The cached extractor for a page's nearest template cluster."""
+        index = self.assign(page_signature(document))
+        return None if index is None else self._extractors[index]
+
+    def candidates_for_page(
+        self, document: Document, page_index: int = 0
+    ) -> PageCandidates:
+        """Unthresholded candidates via the page's assigned cluster model."""
+        extractor = self.extractor_for(document)
+        if extractor is None:
+            return PageCandidates(page_index, None, 0.0, [])
+        return extractor.candidates_for_page(document, page_index)
+
+    def candidates(self, documents: list[Document]) -> list[PageCandidates]:
+        """Unthresholded candidates for a batch of pages."""
+        return [
+            self.candidates_for_page(document, page_index)
+            for page_index, document in enumerate(documents)
+        ]
+
+    def extract(
+        self, documents: list[Document], threshold: float | None = None
+    ) -> list[Extraction]:
+        """Thresholded extractions for a batch of pages."""
+        if threshold is None:
+            threshold = self.config.confidence_threshold
+        results: list[Extraction] = []
+        for page in self.candidates(documents):
+            results.extend(page.extractions(threshold))
+        return results
+
+    def clear_page_caches(self) -> None:
+        """Drop per-page feature registries on every cluster's model.
+
+        Long-lived services must call this between batches: the registries
+        are keyed by ``id(document)``, so unbounded retention both leaks
+        memory and risks stale hits when ids are recycled after GC.
+        """
+        for extractor in self._extractors:
+            extractor.model.feature_extractor.clear_page_cache()

@@ -25,12 +25,15 @@ from repro.core.annotation.relation import RelationAnnotator
 from repro.core.annotation.topic import TopicIdentifier
 from repro.core.annotation.types import AnnotatedPage, TopicResult
 from repro.core.config import CeresConfig
-from repro.core.extraction.extractor import CeresExtractor, Extraction, PageCandidates
+from repro.core.extraction.extractor import (
+    ClusterExtractorPool,
+    Extraction,
+    PageCandidates,
+)
 from repro.core.extraction.trainer import CeresModel, CeresTrainer
 from repro.dom.parser import Document
 from repro.kb.matcher import PageMatcher
 from repro.kb.store import KnowledgeBase
-from repro.text.distance import jaccard
 
 __all__ = ["ClusterResult", "CeresResult", "CeresPipeline"]
 
@@ -157,24 +160,35 @@ class CeresPipeline:
     def extract(
         self, result: CeresResult, documents: list[Document]
     ) -> CeresResult:
-        """Score ``documents`` with their nearest cluster's model."""
-        modeled = [c for c in result.cluster_results if c.model is not None]
+        """Score ``documents`` with their nearest cluster's model.
+
+        Builds one extractor per modeled cluster up front (not one per
+        page) via :class:`ClusterExtractorPool` — the same cached path the
+        serving layer (``repro.runtime.service``) uses.
+        """
+        pool = self.extractor_pool(result)
         result.candidates = []
         result.extractions = []
-        if not modeled:
+        if not pool:
             return result
         for page_index, document in enumerate(documents):
-            signature = page_signature(document)
-            best = max(
-                modeled, key=lambda cluster: jaccard(signature, cluster.signature)
-            )
-            extractor = CeresExtractor(best.model, self.config)
-            candidates = extractor.candidates_for_page(document, page_index)
+            candidates = pool.candidates_for_page(document, page_index)
             result.candidates.append(candidates)
             result.extractions.extend(
                 candidates.extractions(self.config.confidence_threshold)
             )
         return result
+
+    def extractor_pool(self, result: CeresResult) -> ClusterExtractorPool:
+        """A ready-to-serve extractor pool over the trained clusters."""
+        return ClusterExtractorPool(
+            [
+                (cluster.signature, cluster.model)
+                for cluster in result.cluster_results
+                if cluster.model is not None
+            ],
+            self.config,
+        )
 
     # -- convenience ------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ the ground truth of the first site.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.datasets.entities import (
@@ -421,7 +422,9 @@ def generate_swde(
     """Generate one vertical of the synthetic SWDE benchmark."""
     if vertical not in VERTICALS:
         raise ValueError(f"unknown vertical {vertical!r}; expected one of {VERTICALS}")
-    rng = random.Random(seed * 31 + hash(vertical) % 1000)
+    # zlib.crc32, not hash(): str hashes are randomized per process, which
+    # made "the same corpus" differ between a train run and a serve run.
+    rng = random.Random(seed * 31 + zlib.crc32(vertical.encode()) % 1000)
 
     if vertical == "movie":
         universe = MovieUniverse(

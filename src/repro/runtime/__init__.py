@@ -1,0 +1,64 @@
+"""Production runtime: model registry, serving fast path, corpus runner.
+
+The pipeline in :mod:`repro.core` learns one site in one process and
+forgets everything on exit.  This package makes trained models durable
+and reusable:
+
+* :mod:`repro.runtime.serialize` — versioned JSON codecs for trained
+  state (:class:`SiteModel` = config + per-cluster signatures + models);
+* :mod:`repro.runtime.registry` — :class:`ModelRegistry`, one atomic
+  artifact per site on disk, validated on load;
+* :mod:`repro.runtime.service` — :class:`ExtractionService`, the warm
+  path: load once, cache one extractor per cluster, batch-extract with
+  no annotation or training;
+* :mod:`repro.runtime.runner` — :func:`run_corpus`, sharding a
+  multi-site corpus over a process pool with per-site failure isolation.
+
+The CLI (``python -m repro train | serve | run-corpus``) fronts all
+three; see the root README for a quickstart.
+"""
+
+from repro.runtime.registry import ModelRegistry, RegistryError
+from repro.runtime.runner import (
+    SiteReport,
+    SiteSpec,
+    discover_corpus,
+    extraction_row,
+    load_site_documents,
+    run_corpus,
+)
+from repro.runtime.serialize import (
+    ARTIFACT_KIND,
+    FORMAT_VERSION,
+    ClusterModel,
+    SiteModel,
+    config_from_dict,
+    config_to_dict,
+    model_from_dict,
+    model_to_dict,
+    site_model_from_dict,
+    site_model_to_dict,
+)
+from repro.runtime.service import ExtractionService
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryError",
+    "SiteReport",
+    "SiteSpec",
+    "discover_corpus",
+    "extraction_row",
+    "load_site_documents",
+    "run_corpus",
+    "ARTIFACT_KIND",
+    "FORMAT_VERSION",
+    "ClusterModel",
+    "SiteModel",
+    "config_from_dict",
+    "config_to_dict",
+    "model_from_dict",
+    "model_to_dict",
+    "site_model_from_dict",
+    "site_model_to_dict",
+    "ExtractionService",
+]

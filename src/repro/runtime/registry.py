@@ -1,0 +1,141 @@
+"""The on-disk model registry.
+
+Layout — one versioned JSON artifact per site under a root directory::
+
+    <root>/
+        <site-key>.json        # site_model_to_dict() payload
+        <site-key>.json        # ... one per trained site
+
+``site-key`` is the site name percent-encoded (``urllib.parse.quote``
+with no safe characters), so arbitrary site names — hostnames, paths,
+unicode — map to flat, filesystem-safe, reversible file names.
+
+Artifacts are self-describing: they carry ``format_version`` (schema
+revision, checked on load) and ``kind`` (sanity tag).  Writes are atomic
+(temp file + ``os.replace``) so a crashed or concurrent writer never
+leaves a torn artifact behind.  Any failure to decode, validate, or
+rebuild an artifact surfaces as :class:`RegistryError` with the path and
+reason — never a raw ``KeyError`` five frames deep.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+from repro.runtime.serialize import (
+    ARTIFACT_KIND,
+    FORMAT_VERSION,
+    SiteModel,
+    site_model_from_dict,
+    site_model_to_dict,
+)
+
+__all__ = ["RegistryError", "ModelRegistry"]
+
+_SUFFIX = ".json"
+
+
+class RegistryError(Exception):
+    """A registry artifact is missing, corrupt, or incompatible."""
+
+
+def _site_key(site: str) -> str:
+    return quote(site, safe="")
+
+
+class ModelRegistry:
+    """Stores and loads :class:`SiteModel` artifacts, keyed by site."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, site: str) -> Path:
+        """Where ``site``'s artifact lives (whether or not it exists)."""
+        return self.root / (_site_key(site) + _SUFFIX)
+
+    def has(self, site: str) -> bool:
+        return self.path_for(site).is_file()
+
+    def sites(self) -> list[str]:
+        """Sorted site names with an artifact in the registry."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            unquote(path.name[: -len(_SUFFIX)])
+            for path in self.root.glob("*" + _SUFFIX)
+        )
+
+    # -- save / load -------------------------------------------------------
+
+    def save(self, site_model: SiteModel) -> Path:
+        """Atomically write ``site_model``'s artifact; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(site_model.site)
+        payload = json.dumps(
+            site_model_to_dict(site_model), ensure_ascii=False, sort_keys=True
+        )
+        # A unique temp file per call (not per PID): concurrent saves from
+        # threads of one process must not interleave into a torn artifact.
+        descriptor, temp = tempfile.mkstemp(
+            dir=self.root, prefix=path.name + ".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp)
+            raise
+        return path
+
+    def load(self, site: str) -> SiteModel:
+        """Load ``site``'s artifact, validating version and structure."""
+        path = self.path_for(site)
+        if not path.is_file():
+            known = ", ".join(self.sites()) or "<registry empty>"
+            raise RegistryError(
+                f"no artifact for site {site!r} in {self.root} (have: {known})"
+            )
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"corrupt artifact {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise RegistryError(
+                f"corrupt artifact {path}: expected a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        kind = data.get("kind")
+        if kind != ARTIFACT_KIND:
+            raise RegistryError(
+                f"{path} is not a site-model artifact (kind={kind!r}, "
+                f"expected {ARTIFACT_KIND!r})"
+            )
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise RegistryError(
+                f"artifact {path} has format_version {version!r}; this build "
+                f"reads version {FORMAT_VERSION} — retrain or migrate it"
+            )
+        try:
+            return site_model_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(
+                f"malformed artifact {path}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def delete(self, site: str) -> bool:
+        """Remove a site's artifact; returns whether one existed."""
+        path = self.path_for(site)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False

@@ -1,0 +1,306 @@
+"""The parallel corpus runner: annotate/train/extract over many sites.
+
+CERES was run over 439,000 CommonCrawl sites; per-site work is
+embarrassingly parallel (each site has its own templates, lexicon, and
+model).  The runner shards a corpus across a ``concurrent.futures``
+process pool, writes each trained site's artifact into the
+:class:`~repro.runtime.registry.ModelRegistry`, and streams extraction
+rows to JSONL as sites finish.
+
+Corpus formats (:func:`discover_corpus`):
+
+* **directory-of-directories** — every immediate subdirectory containing
+  at least one ``*.html`` file is one site (named after the subdirectory);
+* **JSONL manifest** — one object per line:
+  ``{"site": "name", "pages": "path/to/html/dir"}``, relative paths
+  resolved against the manifest's directory.
+
+Failure isolation: each site runs inside its own try/except (in its own
+worker process under ``max_workers > 1``); a site that raises produces a
+failed :class:`SiteReport` carrying the error and traceback while every
+other site proceeds.  One bad site never kills the run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.core.config import CeresConfig
+from repro.dom.parser import Document, parse_html
+from repro.runtime.registry import ModelRegistry
+from repro.runtime.serialize import (
+    SiteModel,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.runtime.service import ExtractionService
+
+__all__ = [
+    "SiteSpec",
+    "SiteReport",
+    "discover_corpus",
+    "extraction_row",
+    "load_site_documents",
+    "run_corpus",
+]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One site's unit of work: a name and a directory of HTML pages."""
+
+    site: str
+    pages_dir: str
+
+
+@dataclass
+class SiteReport:
+    """Outcome of processing one site."""
+
+    site: str
+    ok: bool
+    error: str | None = None
+    traceback: str | None = None
+    n_pages: int = 0
+    n_clusters: int = 0
+    n_extractions: int = 0
+    artifact_path: str | None = None
+    seconds: float = 0.0
+
+    def summary(self) -> str:
+        """One progress line for logs."""
+        if not self.ok:
+            return f"site={self.site} FAILED ({self.seconds:.1f}s): {self.error}"
+        return (
+            f"site={self.site} ok pages={self.n_pages} "
+            f"clusters={self.n_clusters} extractions={self.n_extractions} "
+            f"({self.seconds:.1f}s)"
+        )
+
+
+def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
+    """Resolve a corpus path into per-site work units (sorted by name)."""
+    path = Path(corpus)
+    if path.is_dir():
+        specs = [
+            SiteSpec(child.name, str(child))
+            for child in sorted(path.iterdir())
+            if child.is_dir() and any(child.glob("*.html"))
+        ]
+        if not specs:
+            raise ValueError(
+                f"no site subdirectories with .html files under {path}"
+            )
+        return specs
+    if path.is_file():
+        specs = []
+        base = path.parent
+        for line_no, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                entry = json.loads(line)
+                site, pages = entry["site"], entry["pages"]
+                if not isinstance(site, str) or not isinstance(pages, str):
+                    raise TypeError("site and pages must be strings")
+            except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: bad manifest line "
+                    f'(need {{"site": ..., "pages": ...}}): {exc}'
+                ) from exc
+            pages_path = Path(pages)
+            if not pages_path.is_absolute():
+                pages_path = base / pages_path
+            specs.append(SiteSpec(str(site), str(pages_path)))
+        if not specs:
+            raise ValueError(f"manifest {path} lists no sites")
+        return sorted(specs, key=lambda spec: spec.site)
+    raise FileNotFoundError(f"corpus path does not exist: {path}")
+
+
+def load_site_documents(pages_dir: str | Path) -> list[Document]:
+    """Parse every ``*.html`` file of one site, sorted by file name."""
+    paths = sorted(Path(pages_dir).glob("*.html"))
+    if not paths:
+        raise FileNotFoundError(f"no .html files found in {pages_dir!r}")
+    return [
+        parse_html(
+            page.read_text(encoding="utf-8", errors="replace"), url=page.name
+        )
+        for page in paths
+    ]
+
+
+def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
+    """The canonical JSONL row — shared by extract, serve, and run-corpus
+    so the three streams never drift apart."""
+    row: dict = {"site": site} if site is not None else {}
+    row.update(
+        {
+            "page": page_url,
+            "subject": extraction.subject,
+            "predicate": extraction.predicate,
+            "object": extraction.object,
+            "confidence": round(extraction.confidence, 4),
+        }
+    )
+    return row
+
+
+# -- worker ----------------------------------------------------------------
+
+
+def _run_site(
+    site: str,
+    pages_dir: str,
+    kb_path: str,
+    registry_root: str | None,
+    config_data: dict,
+    threshold: float | None,
+) -> dict:
+    """Process one site end to end; never raises.
+
+    Runs in a pool worker, so every argument and the return value are
+    plain picklable data.  The KB is (re)loaded from disk per site — each
+    worker process needs its own copy anyway, and sharing via pickle
+    would ship the whole KB with every task.
+    """
+    # Imported here, not at module top: workers only pay for the pipeline
+    # stack when they actually process a site, and the runner module stays
+    # importable in minimal serving deployments.
+    from repro.core.pipeline import CeresPipeline
+    from repro.kb.io import load_kb
+
+    started = time.perf_counter()
+    report = SiteReport(site=site, ok=False)
+    rows: list[dict] = []
+    try:
+        config = config_from_dict(config_data)
+        kb = load_kb(kb_path)
+        documents = load_site_documents(pages_dir)
+        report.n_pages = len(documents)
+
+        pipeline = CeresPipeline(kb, config)
+        result = pipeline.annotate(documents)
+        pipeline.train(documents, result)
+        site_model = SiteModel.from_result(site, config, result)
+        report.n_clusters = len(site_model.clusters)
+
+        if registry_root is not None:
+            artifact = ModelRegistry(registry_root).save(site_model)
+            report.artifact_path = str(artifact)
+
+        service = ExtractionService()
+        service.add_site_model(site_model)
+        extractions = service.extract_pages(site, documents, threshold)
+        report.n_extractions = len(extractions)
+        rows = [
+            extraction_row(
+                extraction, documents[extraction.page_index].url, site
+            )
+            for extraction in extractions
+        ]
+        report.ok = True
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        report.error = f"{type(exc).__name__}: {exc}"
+        report.traceback = traceback.format_exc()
+        rows = []
+    report.seconds = time.perf_counter() - started
+    return {"report": report.__dict__, "rows": rows}
+
+
+# -- coordinator -----------------------------------------------------------
+
+
+def run_corpus(
+    corpus: str | Path,
+    kb_path: str | Path,
+    registry_root: str | Path | None,
+    *,
+    config: CeresConfig | None = None,
+    threshold: float | None = None,
+    max_workers: int | None = None,
+    output: TextIO | None = None,
+    log: Callable[[str], None] | None = None,
+) -> list[SiteReport]:
+    """Train and extract every site of ``corpus``; returns per-site reports.
+
+    Args:
+        corpus: directory-of-directories or JSONL manifest
+            (see :func:`discover_corpus`).
+        kb_path: seed KB JSON, loaded independently by each worker.
+        registry_root: where artifacts land (None to skip persisting).
+        config: pipeline config applied to every site.
+        threshold: extraction confidence override (default: config's).
+        max_workers: process count; ``None`` lets the executor pick,
+            ``<= 1`` runs inline (no subprocesses — simplest to debug).
+        output: writable text stream receiving extraction JSONL rows,
+            streamed per site as each finishes.
+        log: per-site progress callback (e.g. ``print`` to stderr).
+
+    Reports come back in completion order; failed sites carry their error
+    and traceback instead of aborting the run.
+    """
+    specs = discover_corpus(corpus)
+    config_data = config_to_dict(config or CeresConfig())
+    registry = str(registry_root) if registry_root is not None else None
+    emit = log or (lambda message: None)
+
+    def handle(payload: dict) -> SiteReport:
+        report = SiteReport(**payload["report"])
+        if output is not None:
+            for row in payload["rows"]:
+                output.write(json.dumps(row, ensure_ascii=False) + "\n")
+            output.flush()
+        emit(report.summary())
+        return report
+
+    reports: list[SiteReport] = []
+    if max_workers is not None and max_workers <= 1:
+        for spec in specs:
+            reports.append(
+                handle(
+                    _run_site(
+                        spec.site, spec.pages_dir, str(kb_path),
+                        registry, config_data, threshold,
+                    )
+                )
+            )
+        return reports
+
+    # Workers inherit the parent's sys.path under every start method
+    # (fork directly; spawn/forkserver via multiprocessing's preparation
+    # data), so `import repro` resolves in children exactly as it did here.
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(
+                _run_site,
+                spec.site, spec.pages_dir, str(kb_path),
+                registry, config_data, threshold,
+            ): spec
+            for spec in specs
+        }
+        for future in concurrent.futures.as_completed(futures):
+            spec = futures[future]
+            try:
+                payload = future.result()
+            except Exception as exc:  # worker crashed outside _run_site
+                payload = {
+                    "report": SiteReport(
+                        site=spec.site,
+                        ok=False,
+                        error=f"worker crashed: {type(exc).__name__}: {exc}",
+                    ).__dict__,
+                    "rows": [],
+                }
+            reports.append(handle(payload))
+    return reports

@@ -1,0 +1,193 @@
+"""Model artifacts: versioned JSON codecs for trained CERES state.
+
+Everything a trained site needs to extract again later — the
+:class:`~repro.core.config.CeresConfig`, per-cluster leader signatures,
+and each cluster's :class:`~repro.core.extraction.trainer.CeresModel`
+(frequent-string lexicon, feature vocabulary, classifier weights) — is
+captured by :class:`SiteModel` and round-trips through plain
+JSON-compatible dictionaries.
+
+Exactness: classifier weights are emitted with ``float.__repr__``
+(shortest round-trip) via ``ndarray.tolist()`` + ``json``, so a loaded
+model reproduces the in-memory model's extractions *byte for byte*; the
+registry tests assert this.
+
+The codecs are deliberately dumb — no pickling, no code references —
+so artifacts are portable across processes, machines, and (with the
+``format_version`` gate in :mod:`repro.runtime.registry`) releases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.features import NodeFeatureExtractor
+from repro.core.extraction.trainer import CeresModel
+from repro.ml.features import FeatureVectorizer
+from repro.ml.logistic import SoftmaxRegression
+
+if TYPE_CHECKING:  # avoid importing the pipeline at runtime (heavy, unneeded)
+    from repro.core.pipeline import CeresResult
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ARTIFACT_KIND",
+    "ClusterModel",
+    "SiteModel",
+    "config_to_dict",
+    "config_from_dict",
+    "model_to_dict",
+    "model_from_dict",
+    "site_model_to_dict",
+    "site_model_from_dict",
+]
+
+#: Bump on any incompatible change to the artifact schema.
+FORMAT_VERSION = 1
+#: Sanity tag distinguishing site-model artifacts from other JSON files.
+ARTIFACT_KIND = "ceres-site-model"
+
+
+@dataclass
+class ClusterModel:
+    """One modeled template cluster: leader signature + trained model."""
+
+    signature: frozenset[str]
+    model: CeresModel
+
+
+@dataclass
+class SiteModel:
+    """Everything needed to extract from one site without retraining."""
+
+    site: str
+    config: CeresConfig
+    clusters: list[ClusterModel]
+
+    @classmethod
+    def from_result(
+        cls, site: str, config: CeresConfig, result: CeresResult
+    ) -> SiteModel:
+        """Snapshot the modeled clusters of a pipeline result."""
+        return cls(
+            site,
+            config,
+            [
+                ClusterModel(cluster.signature, cluster.model)
+                for cluster in result.cluster_results
+                if cluster.model is not None
+            ],
+        )
+
+
+# -- config ----------------------------------------------------------------
+
+
+def config_to_dict(config: CeresConfig) -> dict:
+    """Serialize a config (tuples become JSON lists)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> CeresConfig:
+    """Rebuild a config; unknown keys are ignored, missing keys default.
+
+    Tuple-typed fields (``struct_attributes``) are restored from JSON
+    lists so the round-tripped config compares equal to the original.
+    """
+    defaults = CeresConfig()
+    overrides = {}
+    for field in dataclasses.fields(CeresConfig):
+        if field.name not in data:
+            continue
+        value = data[field.name]
+        if isinstance(getattr(defaults, field.name), tuple):
+            value = tuple(value)
+        overrides[field.name] = value
+    return CeresConfig(**overrides)
+
+
+# -- model components ------------------------------------------------------
+
+
+def _classifier_to_dict(classifier: SoftmaxRegression) -> dict:
+    if classifier.coef_ is None or classifier.classes_ is None:
+        raise ValueError("cannot serialize an unfitted classifier")
+    return {
+        "C": classifier.C,
+        "max_iter": classifier.max_iter,
+        "tol": classifier.tol,
+        "classes": [str(label) for label in classifier.classes_],
+        "coef": classifier.coef_.tolist(),
+        "intercept": classifier.intercept_.tolist(),
+    }
+
+
+def _classifier_from_dict(data: dict) -> SoftmaxRegression:
+    classifier = SoftmaxRegression(
+        C=data["C"], max_iter=data["max_iter"], tol=data["tol"]
+    )
+    classifier.classes_ = np.asarray(data["classes"])
+    classifier.coef_ = np.asarray(data["coef"], dtype=float)
+    classifier.intercept_ = np.asarray(data["intercept"], dtype=float)
+    return classifier
+
+
+def model_to_dict(model: CeresModel) -> dict:
+    """Serialize one cluster's trained model (config stored separately)."""
+    return {
+        "frequent_strings": sorted(model.feature_extractor.frequent_strings),
+        "vocabulary": model.vectorizer.feature_names(),
+        "classifier": _classifier_to_dict(model.classifier),
+    }
+
+
+def model_from_dict(data: dict, config: CeresConfig) -> CeresModel:
+    """Rebuild a :class:`CeresModel` written by :func:`model_to_dict`."""
+    feature_extractor = NodeFeatureExtractor(config)
+    feature_extractor.frequent_strings = set(data["frequent_strings"])
+    vectorizer = FeatureVectorizer()
+    vectorizer.vocabulary_ = {
+        name: index for index, name in enumerate(data["vocabulary"])
+    }
+    vectorizer._fitted = True
+    return CeresModel(
+        feature_extractor, vectorizer, _classifier_from_dict(data["classifier"])
+    )
+
+
+# -- site artifacts --------------------------------------------------------
+
+
+def site_model_to_dict(site_model: SiteModel) -> dict:
+    """The full versioned artifact for one site."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": ARTIFACT_KIND,
+        "site": site_model.site,
+        "config": config_to_dict(site_model.config),
+        "clusters": [
+            {
+                "signature": sorted(cluster.signature),
+                "model": model_to_dict(cluster.model),
+            }
+            for cluster in site_model.clusters
+        ],
+    }
+
+
+def site_model_from_dict(data: dict) -> SiteModel:
+    """Rebuild a :class:`SiteModel`; raises ``KeyError``/``TypeError`` on
+    malformed input (the registry wraps these into ``RegistryError``)."""
+    config = config_from_dict(data["config"])
+    clusters = [
+        ClusterModel(
+            frozenset(entry["signature"]), model_from_dict(entry["model"], config)
+        )
+        for entry in data["clusters"]
+    ]
+    return SiteModel(data["site"], config, clusters)

@@ -1,0 +1,121 @@
+"""The serving fast path: extraction without annotation or training.
+
+:class:`ExtractionService` fronts a :class:`~repro.runtime.registry.ModelRegistry`
+for read traffic.  Per site it loads the artifact once, builds one
+:class:`~repro.core.extraction.extractor.CeresExtractor` per modeled
+cluster (via the shared :class:`ClusterExtractorPool`), and memoizes the
+``page_signature → cluster`` assignment — so a warm ``extract_pages()``
+call does only feature extraction and a matrix multiply per page.  The
+cold pipeline re-runs clustering, topic identification, annotation, and
+L-BFGS training on every call; the throughput benchmark
+(``benchmarks/bench_runtime_throughput.py``) tracks the gap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.extractor import (
+    ClusterExtractorPool,
+    Extraction,
+    PageCandidates,
+)
+from repro.dom.parser import Document
+from repro.runtime.registry import ModelRegistry, RegistryError
+from repro.runtime.serialize import SiteModel
+
+__all__ = ["ExtractionService"]
+
+
+class ExtractionService:
+    """Serves extractions from registry artifacts, caching per site."""
+
+    def __init__(self, registry: ModelRegistry | str | Path | None = None) -> None:
+        """``registry`` may be a :class:`ModelRegistry`, a root path, or
+        None for a purely in-memory service fed via :meth:`add_site_model`."""
+        if registry is None or isinstance(registry, ModelRegistry):
+            self.registry = registry
+        else:
+            self.registry = ModelRegistry(registry)
+        self._site_models: dict[str, SiteModel] = {}
+        self._pools: dict[str, ClusterExtractorPool] = {}
+
+    # -- loading -----------------------------------------------------------
+
+    def add_site_model(self, site_model: SiteModel) -> None:
+        """Register an in-memory model (e.g. fresh from training)."""
+        self._site_models[site_model.site] = site_model
+        self._pools.pop(site_model.site, None)
+
+    def site_model(self, site: str) -> SiteModel:
+        """The site's model, loading from the registry on first use."""
+        cached = self._site_models.get(site)
+        if cached is not None:
+            return cached
+        if self.registry is None:
+            raise RegistryError(
+                f"site {site!r} is not loaded and the service has no registry"
+            )
+        model = self.registry.load(site)
+        self._site_models[site] = model
+        return model
+
+    def pool(self, site: str) -> ClusterExtractorPool:
+        """The site's extractor pool (one extractor per cluster, cached)."""
+        cached = self._pools.get(site)
+        if cached is None:
+            site_model = self.site_model(site)
+            cached = ClusterExtractorPool(
+                [(c.signature, c.model) for c in site_model.clusters],
+                site_model.config,
+            )
+            self._pools[site] = cached
+        return cached
+
+    def loaded_sites(self) -> list[str]:
+        """Sites currently resident in memory."""
+        return sorted(self._site_models)
+
+    def available_sites(self) -> list[str]:
+        """Sites loadable right now: resident ∪ registry artifacts."""
+        names = set(self._site_models)
+        if self.registry is not None:
+            names.update(self.registry.sites())
+        return sorted(names)
+
+    def evict(self, site: str) -> None:
+        """Drop a site's cached model and extractors (e.g. after retrain)."""
+        self._site_models.pop(site, None)
+        self._pools.pop(site, None)
+
+    # -- serving -----------------------------------------------------------
+
+    def extract_pages(
+        self,
+        site: str,
+        documents: list[Document],
+        threshold: float | None = None,
+    ) -> list[Extraction]:
+        """Batched, thresholded extraction using cached extractors only.
+
+        ``threshold`` defaults to the trained config's
+        ``confidence_threshold``.  No annotation or training happens here.
+        """
+        pool = self.pool(site)
+        try:
+            return pool.extract(documents, threshold)
+        finally:
+            # Batch boundary: per-page feature registries are keyed by
+            # id(document) and must not outlive the documents.
+            pool.clear_page_caches()
+
+    def candidates(
+        self, site: str, documents: list[Document]
+    ) -> list[PageCandidates]:
+        """Unthresholded candidates per page (for sweeps / re-thresholding)."""
+        pool = self.pool(site)
+        try:
+            return pool.candidates(documents)
+        finally:
+            pool.clear_page_caches()

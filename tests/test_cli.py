@@ -8,6 +8,9 @@ from repro.__main__ import main
 from repro.datasets import generate_swde, seed_kb_for
 from repro.kb.io import save_kb
 
+# `run-corpus` CLI tests exercise the runner inline (workers=1); the
+# process-pool path is covered by tests/test_runtime_runner.py.
+
 
 @pytest.fixture(scope="module")
 def site_on_disk(tmp_path_factory):
@@ -60,3 +63,138 @@ class TestExtractCommand:
         _, kb_path, _ = site_on_disk
         with pytest.raises(SystemExit):
             main(["extract", "--kb", str(kb_path), "--pages", "/nonexistent/dir"])
+
+
+class TestTrainServeCommands:
+    def test_train_then_serve_equals_extract(self, site_on_disk, tmp_path):
+        """The acceptance contract: train + serve ≡ one-shot extract."""
+        _, kb_path, pages_dir = site_on_disk
+        oneshot = tmp_path / "oneshot.jsonl"
+        served = tmp_path / "served.jsonl"
+        registry = tmp_path / "models"
+
+        assert main(["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--output", str(oneshot)]) == 0
+        assert main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--registry", str(registry)]) == 0
+        assert main(["serve", "--registry", str(registry),
+                     "--pages", str(pages_dir), "--output", str(served)]) == 0
+        assert oneshot.read_text() == served.read_text()
+        assert oneshot.read_text().strip()
+
+    def test_serve_never_trains(self, site_on_disk, tmp_path, monkeypatch):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--registry", str(registry)])
+
+        import repro.core.extraction.trainer as trainer_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("serve must not train")
+
+        monkeypatch.setattr(trainer_module.CeresTrainer, "train", explode)
+        out = tmp_path / "served.jsonl"
+        assert main(["serve", "--registry", str(registry),
+                     "--pages", str(pages_dir), "--output", str(out)]) == 0
+        assert out.read_text().strip()
+
+    def test_serve_site_override_and_missing_site(self, site_on_disk, tmp_path):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--registry", str(registry), "--site", "mysite"])
+        out = tmp_path / "served.jsonl"
+        assert main(["serve", "--registry", str(registry), "--site", "mysite",
+                     "--pages", str(pages_dir), "--output", str(out)]) == 0
+        with pytest.raises(SystemExit, match="registry error"):
+            main(["serve", "--registry", str(registry), "--site", "unknown",
+                  "--pages", str(pages_dir)])
+
+    def test_serve_threshold_tightens_output(self, site_on_disk, tmp_path):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--registry", str(registry)])
+        low, high = tmp_path / "low.jsonl", tmp_path / "high.jsonl"
+        main(["serve", "--registry", str(registry), "--pages", str(pages_dir),
+              "--threshold", "0.5", "--output", str(low)])
+        main(["serve", "--registry", str(registry), "--pages", str(pages_dir),
+              "--threshold", "0.99", "--output", str(high)])
+        assert len(high.read_text().splitlines()) <= len(low.read_text().splitlines())
+
+
+class TestRunCorpusCommand:
+    @pytest.fixture(scope="class")
+    def corpus_on_disk(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("corpus_cli")
+        dataset = generate_swde("movie", n_sites=4, pages_per_site=14, seed=9)
+        kb = seed_kb_for(dataset, 9)
+        kb_path = tmp / "kb.json"
+        save_kb(kb, kb_path)
+        corpus = tmp / "sites"
+        corpus.mkdir()
+        for site in dataset.sites[1:4]:
+            site_dir = corpus / site.name
+            site_dir.mkdir()
+            for index, page in enumerate(site.pages):
+                (site_dir / f"page{index:03d}.html").write_text(page.html)
+        (corpus / "empty_site").mkdir()  # ignored: no .html files
+        return tmp, kb_path, corpus, [s.name for s in dataset.sites[1:4]]
+
+    def test_run_corpus_writes_artifacts_and_rows(self, corpus_on_disk, tmp_path):
+        tmp, kb_path, corpus, site_names = corpus_on_disk
+        out = tmp_path / "triples.jsonl"
+        registry = tmp_path / "models"
+        code = main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+                     "--registry", str(registry), "--output", str(out),
+                     "--workers", "1"])
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {row["site"] for row in rows} == set(site_names)
+        assert set(rows[0].keys()) == {"site", "page", "subject", "predicate",
+                                       "object", "confidence"}
+        from repro.runtime import ModelRegistry
+
+        assert ModelRegistry(registry).sites() == sorted(site_names)
+
+    def test_run_corpus_failure_isolation_via_manifest(
+        self, corpus_on_disk, tmp_path
+    ):
+        tmp, kb_path, corpus, site_names = corpus_on_disk
+        manifest = tmp_path / "manifest.jsonl"
+        entries = [{"site": name, "pages": str(corpus / name)}
+                   for name in site_names]
+        entries.append({"site": "doomed", "pages": str(tmp_path / "missing")})
+        manifest.write_text(
+            "\n".join(json.dumps(entry) for entry in entries) + "\n"
+        )
+        out = tmp_path / "triples.jsonl"
+        registry = tmp_path / "models"
+        code = main(["run-corpus", "--kb", str(kb_path),
+                     "--corpus", str(manifest), "--registry", str(registry),
+                     "--output", str(out), "--workers", "1"])
+        assert code == 0  # the healthy sites succeeded
+        from repro.runtime import ModelRegistry
+
+        assert ModelRegistry(registry).sites() == sorted(site_names)
+
+    def test_run_corpus_all_failed_exits_nonzero(self, corpus_on_disk, tmp_path):
+        tmp, kb_path, _, _ = corpus_on_disk
+        manifest = tmp_path / "manifest.jsonl"
+        manifest.write_text(
+            json.dumps({"site": "doomed", "pages": str(tmp_path / "missing")})
+            + "\n"
+        )
+        code = main(["run-corpus", "--kb", str(kb_path),
+                     "--corpus", str(manifest),
+                     "--registry", str(tmp_path / "models"),
+                     "--output", str(tmp_path / "out.jsonl"), "--workers", "1"])
+        assert code == 1
+
+    def test_run_corpus_bad_corpus_path(self, corpus_on_disk, tmp_path):
+        _, kb_path, _, _ = corpus_on_disk
+        with pytest.raises(SystemExit):
+            main(["run-corpus", "--kb", str(kb_path),
+                  "--corpus", str(tmp_path / "nothing"),
+                  "--registry", str(tmp_path / "models")])

@@ -1,0 +1,168 @@
+"""Registry round-trips: save → load → extract must be exact."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.datasets import generate_swde, seed_kb_for
+from repro.runtime import (
+    FORMAT_VERSION,
+    ModelRegistry,
+    RegistryError,
+    SiteModel,
+    site_model_from_dict,
+    site_model_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_site():
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=16, seed=2)
+    kb = seed_kb_for(dataset, 2)
+    site = dataset.sites[1]
+    documents = [page.document for page in site.pages]
+    config = CeresConfig(confidence_threshold=0.6)
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(documents, documents)
+    assert result.extractions, "fixture produced no extractions"
+    return site.name, config, documents, result
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "models")
+
+
+def _extraction_rows(extractions):
+    return [
+        (e.page_index, e.subject, e.predicate, e.object, e.confidence)
+        for e in extractions
+    ]
+
+
+class TestRoundTrip:
+    def test_extractions_byte_identical(self, trained_site, registry):
+        site, config, documents, result = trained_site
+        site_model = SiteModel.from_result(site, config, result)
+        registry.save(site_model)
+        loaded = registry.load(site)
+
+        pools = {
+            "memory": SiteModel.from_result(site, config, result),
+            "disk": loaded,
+        }
+        serialized = {}
+        for label, model in pools.items():
+            from repro.core.extraction.extractor import ClusterExtractorPool
+
+            pool = ClusterExtractorPool(
+                [(c.signature, c.model) for c in model.clusters], model.config
+            )
+            rows = _extraction_rows(pool.extract(documents))
+            serialized[label] = json.dumps(rows)
+        assert serialized["memory"] == serialized["disk"]
+        # And both reproduce the pipeline's own extractions byte for byte.
+        assert json.dumps(_extraction_rows(result.extractions)) == serialized["disk"]
+
+    def test_components_preserved(self, trained_site, registry):
+        site, config, documents, result = trained_site
+        site_model = SiteModel.from_result(site, config, result)
+        registry.save(site_model)
+        loaded = registry.load(site)
+
+        assert loaded.site == site
+        assert loaded.config == config  # incl. tuple-typed struct_attributes
+        assert len(loaded.clusters) == len(site_model.clusters)
+        for original, restored in zip(site_model.clusters, loaded.clusters):
+            assert restored.signature == original.signature
+            assert (
+                restored.model.feature_extractor.frequent_strings
+                == original.model.feature_extractor.frequent_strings
+            )
+            assert (
+                restored.model.vectorizer.vocabulary_
+                == original.model.vectorizer.vocabulary_
+            )
+            assert np.array_equal(
+                restored.model.classifier.coef_, original.model.classifier.coef_
+            )
+            assert np.array_equal(
+                restored.model.classifier.intercept_,
+                original.model.classifier.intercept_,
+            )
+            assert list(restored.model.classifier.classes_) == list(
+                original.model.classifier.classes_
+            )
+
+    def test_dict_round_trip_stable(self, trained_site):
+        site, config, _, result = trained_site
+        site_model = SiteModel.from_result(site, config, result)
+        once = site_model_to_dict(site_model)
+        twice = site_model_to_dict(site_model_from_dict(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(twice, sort_keys=True)
+
+    def test_sites_listing_and_has(self, trained_site, registry):
+        site, config, _, result = trained_site
+        assert registry.sites() == []
+        assert not registry.has(site)
+        registry.save(SiteModel.from_result(site, config, result))
+        assert registry.sites() == [site]
+        assert registry.has(site)
+        assert registry.delete(site)
+        assert registry.sites() == []
+
+    def test_site_key_is_filesystem_safe(self, trained_site, registry):
+        _, config, _, result = trained_site
+        weird = "https://example.com/a/b?c=1"
+        registry.save(SiteModel.from_result(weird, config, result))
+        assert registry.sites() == [weird]
+        assert "/" not in registry.path_for(weird).name
+        assert registry.load(weird).site == weird
+
+
+class TestRegistryErrors:
+    def test_missing_site(self, registry):
+        with pytest.raises(RegistryError, match="no artifact"):
+            registry.load("never-trained")
+
+    def test_corrupted_artifact(self, trained_site, registry):
+        site, config, _, result = trained_site
+        registry.save(SiteModel.from_result(site, config, result))
+        registry.path_for(site).write_text("{ this is not json")
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load(site)
+
+    def test_version_mismatch(self, trained_site, registry):
+        site, config, _, result = trained_site
+        path = registry.save(SiteModel.from_result(site, config, result))
+        data = json.loads(path.read_text())
+        data["format_version"] = FORMAT_VERSION + 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(RegistryError, match="format_version"):
+            registry.load(site)
+
+    def test_wrong_kind(self, registry, tmp_path):
+        path = registry.path_for("notamodel")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"format_version": FORMAT_VERSION, "kind": "kb"}))
+        with pytest.raises(RegistryError, match="not a site-model"):
+            registry.load("notamodel")
+
+    def test_truncated_structure(self, trained_site, registry):
+        site, config, _, result = trained_site
+        path = registry.save(SiteModel.from_result(site, config, result))
+        data = json.loads(path.read_text())
+        del data["clusters"][0]["model"]["classifier"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(RegistryError, match="malformed"):
+            registry.load(site)
+
+    def test_non_object_artifact(self, registry):
+        path = registry.path_for("weird")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(RegistryError, match="expected a JSON object"):
+            registry.load("weird")

@@ -1,0 +1,178 @@
+"""Corpus discovery and the parallel runner's failure isolation."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.config import CeresConfig
+from repro.kb.io import save_kb
+from repro.datasets import generate_swde, seed_kb_for
+from repro.runtime import (
+    ModelRegistry,
+    SiteSpec,
+    discover_corpus,
+    load_site_documents,
+    run_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_on_disk(tmp_path_factory):
+    """Three healthy synthetic sites + one broken one, plus KB and manifest."""
+    tmp = tmp_path_factory.mktemp("corpus")
+    dataset = generate_swde("movie", n_sites=4, pages_per_site=14, seed=6)
+    kb = seed_kb_for(dataset, 6)
+    kb_path = tmp / "kb.json"
+    save_kb(kb, kb_path)
+
+    corpus_dir = tmp / "sites"
+    corpus_dir.mkdir()
+    site_names = []
+    for site in dataset.sites[1:4]:
+        site_dir = corpus_dir / site.name
+        site_dir.mkdir()
+        for index, page in enumerate(site.pages):
+            (site_dir / f"page{index:03d}.html").write_text(page.html)
+        site_names.append(site.name)
+
+    # Injected failure: a listed site whose pages directory has no HTML.
+    broken_dir = tmp / "broken"
+    broken_dir.mkdir()
+    (broken_dir / "README.txt").write_text("not a website")
+
+    manifest = tmp / "manifest.jsonl"
+    lines = [
+        json.dumps({"site": name, "pages": str(corpus_dir / name)})
+        for name in site_names
+    ]
+    lines.append(json.dumps({"site": "broken", "pages": str(broken_dir)}))
+    manifest.write_text("\n".join(lines) + "\n")
+    return tmp, kb_path, corpus_dir, manifest, sorted(site_names)
+
+
+class TestDiscovery:
+    def test_directory_of_directories(self, corpus_on_disk):
+        _, _, corpus_dir, _, site_names = corpus_on_disk
+        specs = discover_corpus(corpus_dir)
+        assert [spec.site for spec in specs] == site_names
+        for spec in specs:
+            assert load_site_documents(spec.pages_dir)
+
+    def test_directory_skips_non_site_children(self, corpus_on_disk, tmp_path):
+        _, _, corpus_dir, _, site_names = corpus_on_disk
+        specs = discover_corpus(corpus_dir)
+        assert all(spec.site in site_names for spec in specs)
+
+    def test_manifest(self, corpus_on_disk):
+        _, _, _, manifest, site_names = corpus_on_disk
+        specs = discover_corpus(manifest)
+        assert [spec.site for spec in specs] == sorted(site_names + ["broken"])
+
+    def test_manifest_relative_paths(self, tmp_path):
+        (tmp_path / "pages").mkdir()
+        (tmp_path / "pages" / "a.html").write_text("<html></html>")
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(json.dumps({"site": "s", "pages": "pages"}) + "\n")
+        (spec,) = discover_corpus(manifest)
+        assert spec == SiteSpec("s", str(tmp_path / "pages"))
+
+    def test_bad_manifest_line(self, tmp_path):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text('{"site": "x"}\n')
+        with pytest.raises(ValueError, match="bad manifest line"):
+            discover_corpus(manifest)
+
+    def test_missing_corpus(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover_corpus(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no site subdirectories"):
+            discover_corpus(tmp_path)
+
+
+class TestRunCorpus:
+    def test_inline_with_failure_isolation(self, corpus_on_disk, tmp_path):
+        _, kb_path, _, manifest, site_names = corpus_on_disk
+        registry_root = tmp_path / "models"
+        output = io.StringIO()
+        progress = []
+        reports = run_corpus(
+            manifest,
+            kb_path,
+            registry_root,
+            config=CeresConfig(),
+            max_workers=1,
+            output=output,
+            log=progress.append,
+        )
+        assert len(reports) == len(site_names) + 1
+        by_site = {report.site: report for report in reports}
+        assert not by_site["broken"].ok
+        assert "no .html files" in by_site["broken"].error
+        assert by_site["broken"].traceback
+        for name in site_names:
+            assert by_site[name].ok, by_site[name].error
+            assert by_site[name].n_extractions > 0
+
+        # Per-site artifacts landed in the registry — but none for the
+        # broken site.
+        registry = ModelRegistry(registry_root)
+        assert registry.sites() == site_names
+        # Output rows are tagged with their site.
+        rows = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert rows
+        assert {row["site"] for row in rows} == set(site_names)
+        assert sum(1 for _ in rows) == sum(r.n_extractions for r in reports)
+        assert len(progress) == len(reports)
+        assert any("FAILED" in line for line in progress)
+
+    def test_process_pool_matches_inline(self, corpus_on_disk, tmp_path):
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        inline_out, pooled_out = io.StringIO(), io.StringIO()
+        inline = run_corpus(
+            corpus_dir, kb_path, tmp_path / "inline",
+            max_workers=1, output=inline_out,
+        )
+        pooled = run_corpus(
+            corpus_dir, kb_path, tmp_path / "pooled",
+            max_workers=2, output=pooled_out,
+        )
+        assert all(report.ok for report in inline)
+        assert all(report.ok for report in pooled)
+
+        def rows_sorted(buffer):
+            return sorted(buffer.getvalue().splitlines())
+
+        assert rows_sorted(inline_out) == rows_sorted(pooled_out)
+        assert ModelRegistry(tmp_path / "pooled").sites() == site_names
+
+    def test_no_registry_root(self, corpus_on_disk, tmp_path):
+        _, kb_path, corpus_dir, _, _ = corpus_on_disk
+        reports = run_corpus(corpus_dir, kb_path, None, max_workers=1)
+        assert all(report.ok for report in reports)
+        assert all(report.artifact_path is None for report in reports)
+
+    def test_artifacts_serve_after_run(self, corpus_on_disk, tmp_path):
+        """Registry artifacts written by the runner are directly servable."""
+        from repro.runtime import ExtractionService
+
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        registry_root = tmp_path / "models"
+        output = io.StringIO()
+        reports = run_corpus(
+            corpus_dir, kb_path, registry_root, max_workers=1, output=output
+        )
+        service = ExtractionService(registry_root)
+        site = site_names[0]
+        documents = load_site_documents(corpus_dir / site)
+        served = service.extract_pages(site, documents)
+        runner_rows = [
+            json.loads(line)
+            for line in output.getvalue().splitlines()
+            if json.loads(line)["site"] == site
+        ]
+        assert len(served) == len(runner_rows)
+        report = next(r for r in reports if r.site == site)
+        assert report.n_extractions == len(served)

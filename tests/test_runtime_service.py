@@ -1,0 +1,165 @@
+"""The serving fast path: cached extractors, no retraining, cold parity."""
+
+import pytest
+
+import repro.core.extraction.extractor as extractor_module
+from repro.core.config import CeresConfig
+from repro.core.extraction.extractor import CeresExtractor, ClusterExtractorPool
+from repro.core.pipeline import CeresPipeline
+from repro.datasets import generate_swde, seed_kb_for
+from repro.runtime import (
+    ExtractionService,
+    ModelRegistry,
+    RegistryError,
+    SiteModel,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_site():
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=16, seed=4)
+    kb = seed_kb_for(dataset, 4)
+    site = dataset.sites[1]
+    documents = [page.document for page in site.pages]
+    config = CeresConfig()
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(documents, documents)
+    assert result.extractions
+    return site.name, config, documents, result
+
+
+def _rows(extractions):
+    return [
+        (e.page_index, e.subject, e.predicate, e.object, e.confidence)
+        for e in extractions
+    ]
+
+
+class CountingExtractor(CeresExtractor):
+    constructed = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).constructed += 1
+        super().__init__(*args, **kwargs)
+
+
+@pytest.fixture()
+def count_extractors(monkeypatch):
+    CountingExtractor.constructed = 0
+    monkeypatch.setattr(extractor_module, "CeresExtractor", CountingExtractor)
+    return CountingExtractor
+
+
+class TestWarmPathParity:
+    def test_service_matches_pipeline(self, trained_site):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        warm = service.extract_pages(site, documents)
+        assert _rows(warm) == _rows(result.extractions)
+
+    def test_registry_backed_service_matches(self, trained_site, tmp_path):
+        site, config, documents, result = trained_site
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save(SiteModel.from_result(site, config, result))
+        service = ExtractionService(registry)
+        warm = service.extract_pages(site, documents)
+        assert _rows(warm) == _rows(result.extractions)
+
+    def test_threshold_override(self, trained_site):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        low = service.extract_pages(site, documents, threshold=0.5)
+        high = service.extract_pages(site, documents, threshold=0.95)
+        assert len(high) <= len(low)
+        assert all(e.confidence >= 0.95 for e in high)
+
+    def test_candidates_rethreshold(self, trained_site):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        pages = service.candidates(site, documents)
+        assert len(pages) == len(documents)
+        rethresholded = [e for page in pages for e in page.extractions(0.5)]
+        assert _rows(rethresholded) == _rows(
+            service.extract_pages(site, documents, threshold=0.5)
+        )
+
+
+class TestExtractorCaching:
+    def test_pipeline_builds_one_extractor_per_cluster(
+        self, trained_site, count_extractors
+    ):
+        _, config, documents, result = trained_site
+        modeled = [c for c in result.cluster_results if c.model is not None]
+        pool = ClusterExtractorPool(
+            [(c.signature, c.model) for c in modeled], config
+        )
+        pool.candidates(documents)
+        # One per cluster — not one per page (the old per-page behavior
+        # would have constructed len(documents) of them).
+        assert count_extractors.constructed == len(modeled)
+        assert len(documents) > len(modeled)
+
+    def test_service_reuses_pool_across_batches(self, trained_site, count_extractors):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        service.extract_pages(site, documents[:4])
+        constructed_after_first = count_extractors.constructed
+        service.extract_pages(site, documents[4:])
+        assert count_extractors.constructed == constructed_after_first
+
+    def test_assignment_memoized(self, trained_site):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        pool = service.pool(site)
+        assert not pool._assignments
+        service.extract_pages(site, documents)
+        assert pool._assignments  # signatures now cached
+        # A second batch over the same templates hits the memo.
+        before = dict(pool._assignments)
+        service.extract_pages(site, documents)
+        assert pool._assignments == before
+
+
+class TestServiceMisc:
+    def test_no_registry_unknown_site(self):
+        service = ExtractionService()
+        with pytest.raises(RegistryError, match="no registry"):
+            service.extract_pages("nowhere", [])
+
+    def test_available_and_loaded_sites(self, trained_site, tmp_path):
+        site, config, documents, result = trained_site
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save(SiteModel.from_result(site, config, result))
+        service = ExtractionService(registry)
+        assert service.loaded_sites() == []
+        assert service.available_sites() == [site]
+        service.extract_pages(site, documents[:1])
+        assert service.loaded_sites() == [site]
+
+    def test_evict_then_reload(self, trained_site, tmp_path):
+        site, config, documents, result = trained_site
+        registry = ModelRegistry(tmp_path / "models")
+        registry.save(SiteModel.from_result(site, config, result))
+        service = ExtractionService(registry)
+        first = service.extract_pages(site, documents)
+        service.evict(site)
+        assert service.loaded_sites() == []
+        assert _rows(service.extract_pages(site, documents)) == _rows(first)
+
+    def test_page_caches_cleared_between_batches(self, trained_site):
+        site, config, documents, result = trained_site
+        service = ExtractionService()
+        service.add_site_model(SiteModel.from_result(site, config, result))
+        service.extract_pages(site, documents)
+        for extractor in service.pool(site).extractors:
+            assert extractor.model.feature_extractor._page_registry == {}
+
+    def test_empty_site_model_extracts_nothing(self):
+        service = ExtractionService()
+        service.add_site_model(SiteModel("empty", CeresConfig(), []))
+        assert service.extract_pages("empty", []) == []
