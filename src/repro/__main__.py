@@ -21,6 +21,10 @@ Corpus mode (many sites, a process pool, per-site failure isolation)::
 ``--corpus`` accepts a directory of per-site subdirectories or a JSONL
 manifest of ``{"site": ..., "pages": ...}`` lines; see
 :mod:`repro.runtime.runner`.
+
+Cache observability (hit/miss/eviction counters of the serving LRUs)::
+
+    python -m repro stats --registry ./models --pages ./site_html
 """
 
 from __future__ import annotations
@@ -136,6 +140,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-template-clustering", action="store_true",
         help="treat each site's pages as one template",
     )
+
+    stats = sub.add_parser(
+        "stats",
+        help="report serving cache statistics (optionally after a warm batch)",
+    )
+    stats.add_argument("--registry", required=True, help="model registry directory")
+    stats.add_argument(
+        "--pages", default=None,
+        help="optional .html directory to serve first, so counters are warm",
+    )
+    stats.add_argument(
+        "--site", default=None,
+        help="registry site key (default: pages directory name)",
+    )
+    stats.add_argument(
+        "--max-resident-sites", type=int, default=None,
+        help="site residency cap (default: CeresConfig.max_resident_sites)",
+    )
     return parser
 
 
@@ -206,10 +228,21 @@ def _cmd_extract(args) -> int:
             sink.close()
     print(
         f"[repro] {len(result.annotated_pages)} pages annotated, "
-        f"{len(result.extractions)} triples extracted",
+        f"{len(result.extractions)} triples extracted"
+        + _skipped_note(result),
         file=sys.stderr,
     )
     return 0
+
+
+def _skipped_note(result) -> str:
+    """Stderr suffix naming pages dropped with undersized clusters."""
+    if not result.skipped_clusters:
+        return ""
+    return (
+        f" ({result.skipped_pages} page(s) in {result.skipped_clusters} "
+        f"cluster(s) below min_cluster_size skipped)"
+    )
 
 
 def _cmd_train(args) -> int:
@@ -229,7 +262,8 @@ def _cmd_train(args) -> int:
     path = ModelRegistry(args.registry).save(site_model)
     print(
         f"[repro] site={site}: {len(result.annotated_pages)} pages annotated, "
-        f"{len(site_model.clusters)} cluster model(s) trained → {path}",
+        f"{len(site_model.clusters)} cluster model(s) trained → {path}"
+        + _skipped_note(result),
         file=sys.stderr,
     )
     if not site_model.clusters:
@@ -262,6 +296,38 @@ def _cmd_serve(args) -> int:
         f"{len(extractions)} triples extracted (no retraining)",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.runtime import ExtractionService, RegistryError
+
+    if args.max_resident_sites is not None and args.max_resident_sites < 1:
+        raise SystemExit("--max-resident-sites must be >= 1")
+    service = ExtractionService(
+        args.registry, max_resident_sites=args.max_resident_sites
+    )
+    served = None
+    if args.pages is not None:
+        documents = _load_documents(args.pages)
+        site = args.site or Path(args.pages).name
+        try:
+            extractions = service.extract_pages(site, documents)
+        except RegistryError as error:
+            raise SystemExit(f"registry error: {error}")
+        served = {
+            "site": site,
+            "pages": len(documents),
+            "extractions": len(extractions),
+        }
+    payload = {
+        "available_sites": service.available_sites(),
+        "loaded_sites": service.loaded_sites(),
+        "cache_stats": service.cache_stats(),
+    }
+    if served is not None:
+        payload["served"] = served
+    print(json.dumps(payload, indent=2, ensure_ascii=False))
     return 0
 
 
@@ -312,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "serve": _cmd_serve,
         "run-corpus": _cmd_run_corpus,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 

@@ -87,6 +87,23 @@ class CeresConfig:
     #: Minimum predicted probability to emit an extraction (paper: 0.5).
     confidence_threshold: float = 0.5
 
+    # --- caching (serving memory model; see README) ---
+    #: Max page match results (:class:`repro.kb.matcher.PageMatch`) kept
+    #: resident per :class:`~repro.kb.matcher.PageMatcher`.  Annotation
+    #: re-reads each page's matches several times, so this should exceed
+    #: the largest cluster processed at once.
+    page_match_cache_size: int = 512
+    #: Max per-page frequent-string registries kept resident per
+    #: :class:`~repro.core.extraction.features.NodeFeatureExtractor`.
+    feature_registry_cache_size: int = 512
+    #: Max ``page_signature → cluster`` assignments memoized per
+    #: :class:`~repro.core.extraction.extractor.ClusterExtractorPool`.
+    assignment_cache_size: int = 4096
+    #: Max sites kept resident (models + extractor pools) by a single
+    #: :class:`~repro.runtime.service.ExtractionService`; least recently
+    #: served sites are evicted and transparently reloaded on next use.
+    max_resident_sites: int = 8
+
     # --- template clustering (Section 2.1) ---
     #: Whether to split a site's pages into template clusters first.
     use_template_clustering: bool = True

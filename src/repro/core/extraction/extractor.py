@@ -27,6 +27,7 @@ from repro.core.extraction.trainer import CeresModel
 from repro.dom.node import TextNode
 from repro.dom.parser import Document
 from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+from repro.runtime.cache import CacheStats, LRUCache
 from repro.text.distance import jaccard
 
 __all__ = ["Extraction", "PageCandidates", "CeresExtractor", "ClusterExtractorPool"]
@@ -162,7 +163,9 @@ class ClusterExtractorPool:
         self._extractors: list[CeresExtractor] = [
             CeresExtractor(model, self.config) for _, model in clusters
         ]
-        self._assignments: dict[frozenset[str], int] = {}
+        self._assignments: LRUCache[frozenset[str], int] = LRUCache(
+            self.config.assignment_cache_size, name="cluster_assignment"
+        )
 
     def __len__(self) -> int:
         return len(self._extractors)
@@ -178,14 +181,13 @@ class ClusterExtractorPool:
         """Index of the most similar cluster (memoized), or None if empty."""
         if not self._extractors:
             return None
-        cached = self._assignments.get(signature)
-        if cached is None:
-            cached = max(
+        return self._assignments.get_or_create(
+            signature,
+            lambda: max(
                 range(len(self._signatures)),
                 key=lambda index: jaccard(signature, self._signatures[index]),
-            )
-            self._assignments[signature] = cached
-        return cached
+            ),
+        )
 
     def extractor_for(self, document: Document) -> CeresExtractor | None:
         """The cached extractor for a page's nearest template cluster."""
@@ -219,12 +221,22 @@ class ClusterExtractorPool:
             results.extend(page.extractions(threshold))
         return results
 
-    def clear_page_caches(self) -> None:
-        """Drop per-page feature registries on every cluster's model.
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Counters for this pool's caches.
 
-        Long-lived services must call this between batches: the registries
-        are keyed by ``id(document)``, so unbounded retention both leaks
-        memory and risks stale hits when ids are recycled after GC.
+        ``feature_registry`` merges the per-page registry caches of every
+        cluster's model; ``cluster_assignment`` is the signature memo.
+        Per-page state is evicted automatically (bounded LRUs keyed by
+        ``Document.doc_id``) — no between-batch clearing is needed.
         """
-        for extractor in self._extractors:
-            extractor.model.feature_extractor.clear_page_cache()
+        registry_stats = [
+            extractor.model.feature_extractor.cache_stats()
+            for extractor in self._extractors
+        ]
+        merged = CacheStats("feature_registry", 0, 0, 0, 0, 0)
+        for stats in registry_stats:
+            merged = merged.merged(stats, name="feature_registry")
+        return {
+            "feature_registry": merged,
+            "cluster_assignment": self._assignments.stats(),
+        }

@@ -18,6 +18,11 @@ nearby-string search uses a per-page registry: each frequent-string node
 registers itself on its first ``text_feature_height`` ancestors with the
 downward tag path; a classified node then only inspects its own first
 ``text_feature_height`` ancestors.
+
+Registries live in a bounded LRU keyed by ``Document.doc_id``
+(``feature_registry_cache_size`` in the config), so long-lived serving
+processes neither leak registries across batches nor risk a recycled
+``id()`` handing one page's registry to another.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from collections import Counter, defaultdict
 from repro.core.config import CeresConfig
 from repro.dom.node import ElementNode, TextNode
 from repro.dom.parser import Document
+from repro.runtime.cache import CacheStats, LRUCache
 
 __all__ = ["NodeFeatureExtractor"]
 
@@ -39,7 +45,9 @@ class NodeFeatureExtractor:
     def __init__(self, config: CeresConfig | None = None) -> None:
         self.config = config or CeresConfig()
         self.frequent_strings: set[str] = set()
-        self._page_registry: dict[int, dict[int, list[tuple[str, str]]]] = {}
+        self._page_registry: LRUCache[int, dict[int, list[tuple[str, str]]]] = (
+            LRUCache(self.config.feature_registry_cache_size, name="feature_registry")
+        )
 
     # -- fitting -----------------------------------------------------------
 
@@ -83,7 +91,7 @@ class NodeFeatureExtractor:
         element and ``text_feature_height`` further ancestors; the downward
         path records the tag chain from the ancestor to the string.
         """
-        registry = self._page_registry.get(id(document))
+        registry = self._page_registry.get(document.doc_id)
         if registry is not None:
             return registry
         registry = defaultdict(list)
@@ -101,7 +109,7 @@ class NodeFeatureExtractor:
                 element = element.parent
                 level += 1
         registry = dict(registry)
-        self._page_registry[id(document)] = registry
+        self._page_registry.put(document.doc_id, registry)
         return registry
 
     # -- feature extraction --------------------------------------------------
@@ -164,6 +172,15 @@ class NodeFeatureExtractor:
             element = element.parent
             ups += 1
 
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the per-page registry cache."""
+        return self._page_registry.stats()
+
     def clear_page_cache(self) -> None:
-        """Drop per-page registries (documents no longer needed)."""
+        """Drop per-page registries immediately.
+
+        Eviction is automatic (bounded LRU keyed by ``doc_id``); this
+        remains for callers that want to release page memory eagerly,
+        e.g. right before serializing a model.
+        """
         self._page_registry.clear()

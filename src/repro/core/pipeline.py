@@ -62,6 +62,16 @@ class CeresResult:
     candidates: list[PageCandidates] = field(default_factory=list)
     #: thresholded extractions (config.confidence_threshold)
     extractions: list[Extraction] = field(default_factory=list)
+    #: template clusters dropped for falling below ``min_cluster_size``
+    skipped_clusters: int = 0
+    #: training-document indices of pages in those dropped clusters —
+    #: recorded so small-cluster pages never vanish silently.
+    skipped_page_indices: list[int] = field(default_factory=list)
+
+    @property
+    def skipped_pages(self) -> int:
+        """Number of pages dropped with their undersized clusters."""
+        return len(self.skipped_page_indices)
 
     @property
     def annotation_count(self) -> int:
@@ -87,7 +97,7 @@ class CeresPipeline:
     ) -> None:
         self.kb = kb
         self.config = config or CeresConfig()
-        self.matcher = PageMatcher(kb)
+        self.matcher = PageMatcher(kb, cache_size=self.config.page_match_cache_size)
         self.topic_identifier = TopicIdentifier(kb, self.config, self.matcher)
         self.annotator = annotator or RelationAnnotator(kb, self.config, self.matcher)
         self.trainer = CeresTrainer(self.config)
@@ -114,8 +124,12 @@ class CeresPipeline:
                 (cluster.page_indices, cluster.signature) for cluster in clusters
             ]
 
+        skipped_clusters = 0
+        skipped_page_indices: list[int] = []
         for page_indices, signature in groups:
             if len(page_indices) < config.min_cluster_size:
+                skipped_clusters += 1
+                skipped_page_indices.extend(page_indices)
                 continue
             cluster_documents = [documents[i] for i in page_indices]
             local_topics = self.topic_identifier.identify(cluster_documents)
@@ -133,7 +147,11 @@ class CeresPipeline:
                 ClusterResult(page_indices, signature, global_topics, annotated, None)
             )
 
-        result = CeresResult(cluster_results)
+        result = CeresResult(
+            cluster_results,
+            skipped_clusters=skipped_clusters,
+            skipped_page_indices=sorted(skipped_page_indices),
+        )
         for cluster in cluster_results:
             result.topics.update(cluster.topics)
             result.annotated_pages.extend(cluster.annotated_pages)

@@ -19,11 +19,18 @@ annotates and classifies.
 
 from __future__ import annotations
 
+import itertools
 from html.parser import HTMLParser
 
 from repro.dom.node import NON_CONTENT_ELEMENTS, VOID_ELEMENTS, ElementNode, TextNode
 
 __all__ = ["Document", "parse_html"]
+
+#: Monotonic source of :attr:`Document.doc_id` values.  ``next()`` on an
+#: ``itertools.count`` is atomic under the GIL, so concurrent parsing
+#: threads still get distinct ids; worker processes each start their own
+#: sequence, which is fine — caches never cross a process boundary.
+_DOC_ID_COUNTER = itertools.count(1)
 
 #: tag -> set of open tags it implicitly closes when encountered.
 _IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
@@ -46,11 +53,17 @@ class Document:
     Attributes:
         root: the ``<html>`` element (or a synthetic root for fragments).
         url: optional source identifier, carried through for reporting.
+        doc_id: process-unique serial assigned at construction.  Unlike
+            ``id(self)``, a ``doc_id`` is never recycled after garbage
+            collection, so page-scoped caches (match results, feature
+            registries) can key on it without ever serving one page's
+            cached state for another.
     """
 
     def __init__(self, root: ElementNode, url: str = "") -> None:
         self.root = root
         self.url = url
+        self.doc_id: int = next(_DOC_ID_COUNTER)
         self._text_fields: list[TextNode] | None = None
         self._xpath_index: dict[str, ElementNode | TextNode] | None = None
 

@@ -8,7 +8,10 @@ Bridges the DOM and KB layers: given a parsed page, produce
 * mention lookups for specific object values (relation annotation).
 
 Matching results are cached per document: topic identification, relation
-annotation, and evaluation all re-read the same matches.
+annotation, and evaluation all re-read the same matches.  The cache is a
+bounded LRU keyed by ``Document.doc_id`` (process-unique, never recycled
+— unlike ``id()``), so a long-lived process neither grows without bound
+nor risks serving one page's matches for another.
 """
 
 from __future__ import annotations
@@ -18,10 +21,15 @@ from collections import defaultdict
 from repro.dom.node import TextNode
 from repro.dom.parser import Document
 from repro.kb.store import KnowledgeBase, ValueKey
+from repro.runtime.cache import CacheStats, LRUCache
 from repro.text.fuzzy import surface_variants
 from repro.text.normalize import normalize_text
 
-__all__ = ["PageMatch", "PageMatcher"]
+__all__ = ["PageMatch", "PageMatcher", "DEFAULT_MATCH_CACHE_SIZE"]
+
+#: Fallback cache capacity when no config-driven size is supplied; kept in
+#: sync with :attr:`repro.core.config.CeresConfig.page_match_cache_size`.
+DEFAULT_MATCH_CACHE_SIZE = 512
 
 #: Text fields longer than this are never entity mentions — they are prose
 #: blurbs; matching them would be both slow and noisy.
@@ -85,13 +93,17 @@ class PageMatch:
 class PageMatcher:
     """Produces :class:`PageMatch` objects for documents against one KB."""
 
-    def __init__(self, kb: KnowledgeBase) -> None:
+    def __init__(
+        self, kb: KnowledgeBase, cache_size: int = DEFAULT_MATCH_CACHE_SIZE
+    ) -> None:
         self.kb = kb
-        self._cache: dict[int, PageMatch] = {}
+        self._cache: LRUCache[int, PageMatch] = LRUCache(
+            cache_size, name="page_match"
+        )
 
     def match(self, document: Document) -> PageMatch:
         """Match every text field of ``document`` against the KB (cached)."""
-        cached = self._cache.get(id(document))
+        cached = self._cache.get(document.doc_id)
         if cached is not None:
             return cached
 
@@ -128,8 +140,12 @@ class PageMatcher:
             dict(fields_by_norm),
             field_value_keys,
         )
-        self._cache[id(document)] = match
+        self._cache.put(document.doc_id, match)
         return match
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the match cache."""
+        return self._cache.stats()
 
     def clear_cache(self) -> None:
         self._cache.clear()

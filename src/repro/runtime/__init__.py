@@ -4,61 +4,67 @@ The pipeline in :mod:`repro.core` learns one site in one process and
 forgets everything on exit.  This package makes trained models durable
 and reusable:
 
+* :mod:`repro.runtime.cache` — :class:`LRUCache`/:class:`CacheStats`,
+  the bounded per-page caching layer (keyed by ``Document.doc_id``);
 * :mod:`repro.runtime.serialize` — versioned JSON codecs for trained
   state (:class:`SiteModel` = config + per-cluster signatures + models);
 * :mod:`repro.runtime.registry` — :class:`ModelRegistry`, one atomic
   artifact per site on disk, validated on load;
 * :mod:`repro.runtime.service` — :class:`ExtractionService`, the warm
   path: load once, cache one extractor per cluster, batch-extract with
-  no annotation or training;
+  no annotation or training, bounded site residency;
 * :mod:`repro.runtime.runner` — :func:`run_corpus`, sharding a
   multi-site corpus over a process pool with per-site failure isolation.
 
-The CLI (``python -m repro train | serve | run-corpus``) fronts all
-three; see the root README for a quickstart.
+Exports resolve lazily (PEP 562): the low layers (``repro.kb.matcher``,
+``repro.core.extraction.features``) import :mod:`repro.runtime.cache`
+without dragging in the serving stack — which would otherwise be a
+circular import, since the serving stack imports those same layers.
+
+The CLI (``python -m repro train | serve | run-corpus | stats``) fronts
+all of it; see the root README for a quickstart.
 """
 
-from repro.runtime.registry import ModelRegistry, RegistryError
-from repro.runtime.runner import (
-    SiteReport,
-    SiteSpec,
-    discover_corpus,
-    extraction_row,
-    load_site_documents,
-    run_corpus,
-)
-from repro.runtime.serialize import (
-    ARTIFACT_KIND,
-    FORMAT_VERSION,
-    ClusterModel,
-    SiteModel,
-    config_from_dict,
-    config_to_dict,
-    model_from_dict,
-    model_to_dict,
-    site_model_from_dict,
-    site_model_to_dict,
-)
-from repro.runtime.service import ExtractionService
+from __future__ import annotations
 
-__all__ = [
-    "ModelRegistry",
-    "RegistryError",
-    "SiteReport",
-    "SiteSpec",
-    "discover_corpus",
-    "extraction_row",
-    "load_site_documents",
-    "run_corpus",
-    "ARTIFACT_KIND",
-    "FORMAT_VERSION",
-    "ClusterModel",
-    "SiteModel",
-    "config_from_dict",
-    "config_to_dict",
-    "model_from_dict",
-    "model_to_dict",
-    "site_model_from_dict",
-    "site_model_to_dict",
-    "ExtractionService",
-]
+import importlib
+
+#: export name -> defining submodule.
+_EXPORTS = {
+    "CacheStats": "repro.runtime.cache",
+    "LRUCache": "repro.runtime.cache",
+    "ModelRegistry": "repro.runtime.registry",
+    "RegistryError": "repro.runtime.registry",
+    "SiteReport": "repro.runtime.runner",
+    "SiteSpec": "repro.runtime.runner",
+    "discover_corpus": "repro.runtime.runner",
+    "extraction_row": "repro.runtime.runner",
+    "load_site_documents": "repro.runtime.runner",
+    "run_corpus": "repro.runtime.runner",
+    "ARTIFACT_KIND": "repro.runtime.serialize",
+    "FORMAT_VERSION": "repro.runtime.serialize",
+    "ClusterModel": "repro.runtime.serialize",
+    "SiteModel": "repro.runtime.serialize",
+    "config_from_dict": "repro.runtime.serialize",
+    "config_to_dict": "repro.runtime.serialize",
+    "model_from_dict": "repro.runtime.serialize",
+    "model_to_dict": "repro.runtime.serialize",
+    "site_model_from_dict": "repro.runtime.serialize",
+    "site_model_to_dict": "repro.runtime.serialize",
+    "ExtractionService": "repro.runtime.service",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so subsequent access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -70,6 +70,11 @@ class SiteReport:
     n_pages: int = 0
     n_clusters: int = 0
     n_extractions: int = 0
+    #: template clusters (and the pages inside them) dropped during
+    #: annotation for falling below ``min_cluster_size`` — surfaced so
+    #: unmodeled pages never disappear silently.
+    n_skipped_clusters: int = 0
+    n_skipped_pages: int = 0
     artifact_path: str | None = None
     seconds: float = 0.0
 
@@ -77,10 +82,16 @@ class SiteReport:
         """One progress line for logs."""
         if not self.ok:
             return f"site={self.site} FAILED ({self.seconds:.1f}s): {self.error}"
+        skipped = ""
+        if self.n_skipped_pages:
+            skipped = (
+                f" skipped={self.n_skipped_pages}p/"
+                f"{self.n_skipped_clusters}c"
+            )
         return (
             f"site={self.site} ok pages={self.n_pages} "
-            f"clusters={self.n_clusters} extractions={self.n_extractions} "
-            f"({self.seconds:.1f}s)"
+            f"clusters={self.n_clusters} extractions={self.n_extractions}"
+            f"{skipped} ({self.seconds:.1f}s)"
         )
 
 
@@ -101,6 +112,10 @@ def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
     if path.is_file():
         specs = []
         base = path.parent
+        #: site name -> manifest line that first claimed it.  Duplicates
+        #: would race last-writer-wins on one registry artifact and
+        #: interleave output rows under a single site label.
+        first_claim: dict[str, int] = {}
         for line_no, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1
         ):
@@ -117,6 +132,13 @@ def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
                     f"{path}:{line_no}: bad manifest line "
                     f'(need {{"site": ..., "pages": ...}}): {exc}'
                 ) from exc
+            claimed = first_claim.setdefault(site, line_no)
+            if claimed != line_no:
+                raise ValueError(
+                    f"{path}:{line_no}: duplicate site {site!r} "
+                    f"(first defined on line {claimed}); each site may "
+                    f"appear only once per manifest"
+                )
             pages_path = Path(pages)
             if not pages_path.is_absolute():
                 pages_path = base / pages_path
@@ -191,6 +213,8 @@ def _run_site(
 
         pipeline = CeresPipeline(kb, config)
         result = pipeline.annotate(documents)
+        report.n_skipped_clusters = result.skipped_clusters
+        report.n_skipped_pages = result.skipped_pages
         pipeline.train(documents, result)
         site_model = SiteModel.from_result(site, config, result)
         report.n_clusters = len(site_model.clusters)

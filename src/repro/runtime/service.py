@@ -7,12 +7,26 @@ cluster (via the shared :class:`ClusterExtractorPool`), and memoizes the
 ``page_signature → cluster`` assignment — so a warm ``extract_pages()``
 call does only feature extraction and a matrix multiply per page.  The
 cold pipeline re-runs clustering, topic identification, annotation, and
-L-BFGS training on every call; the throughput benchmark
-(``benchmarks/bench_runtime_throughput.py``) tracks the gap.
+L-BFGS training on every call.
+
+Memory is bounded on both axes of a long-lived server:
+
+* **per page** — feature registries and cluster assignments live in
+  bounded LRUs keyed by ``Document.doc_id`` (see
+  :mod:`repro.runtime.cache`), so nothing accumulates across batches and
+  a recycled object id can never resurface another page's state;
+* **per site** — at most ``max_resident_sites`` site models (and their
+  extractor pools) stay loaded; the least recently *served* site is
+  evicted and transparently reloaded from the registry on next use.
+
+:meth:`ExtractionService.cache_stats` exposes every counter; the CLI
+(``python -m repro stats``) and the memory benchmark
+(``benchmarks/bench_cache_memory.py``) read it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.config import CeresConfig
@@ -22,72 +36,116 @@ from repro.core.extraction.extractor import (
     PageCandidates,
 )
 from repro.dom.parser import Document
+from repro.runtime.cache import LRUCache
 from repro.runtime.registry import ModelRegistry, RegistryError
 from repro.runtime.serialize import SiteModel
 
 __all__ = ["ExtractionService"]
 
 
+@dataclass
+class _ResidentSite:
+    """One site's in-memory serving state: the model + its lazy pool."""
+
+    model: SiteModel
+    pool: ClusterExtractorPool | None = None
+
+
 class ExtractionService:
     """Serves extractions from registry artifacts, caching per site."""
 
-    def __init__(self, registry: ModelRegistry | str | Path | None = None) -> None:
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path | None = None,
+        *,
+        max_resident_sites: int | None = None,
+    ) -> None:
         """``registry`` may be a :class:`ModelRegistry`, a root path, or
-        None for a purely in-memory service fed via :meth:`add_site_model`."""
+        None for a purely in-memory service fed via :meth:`add_site_model`.
+
+        ``max_resident_sites`` caps how many site models stay loaded at
+        once (default: :attr:`CeresConfig.max_resident_sites`); the least
+        recently served site is evicted, to be reloaded from the registry
+        if asked for again.
+        """
         if registry is None or isinstance(registry, ModelRegistry):
             self.registry = registry
         else:
             self.registry = ModelRegistry(registry)
-        self._site_models: dict[str, SiteModel] = {}
-        self._pools: dict[str, ClusterExtractorPool] = {}
+        if max_resident_sites is None:
+            max_resident_sites = CeresConfig().max_resident_sites
+        self._sites: LRUCache[str, _ResidentSite] = LRUCache(
+            max_resident_sites, name="resident_sites"
+        )
 
     # -- loading -----------------------------------------------------------
 
     def add_site_model(self, site_model: SiteModel) -> None:
         """Register an in-memory model (e.g. fresh from training)."""
-        self._site_models[site_model.site] = site_model
-        self._pools.pop(site_model.site, None)
+        self._sites.put(site_model.site, _ResidentSite(site_model))
 
-    def site_model(self, site: str) -> SiteModel:
-        """The site's model, loading from the registry on first use."""
-        cached = self._site_models.get(site)
+    def _resident(self, site: str) -> _ResidentSite:
+        cached = self._sites.get(site)
         if cached is not None:
             return cached
         if self.registry is None:
             raise RegistryError(
                 f"site {site!r} is not loaded and the service has no registry"
             )
-        model = self.registry.load(site)
-        self._site_models[site] = model
-        return model
+        resident = _ResidentSite(self.registry.load(site))
+        self._sites.put(site, resident)
+        return resident
+
+    def site_model(self, site: str) -> SiteModel:
+        """The site's model, loading from the registry on first use."""
+        return self._resident(site).model
 
     def pool(self, site: str) -> ClusterExtractorPool:
         """The site's extractor pool (one extractor per cluster, cached)."""
-        cached = self._pools.get(site)
-        if cached is None:
-            site_model = self.site_model(site)
-            cached = ClusterExtractorPool(
+        resident = self._resident(site)
+        if resident.pool is None:
+            site_model = resident.model
+            resident.pool = ClusterExtractorPool(
                 [(c.signature, c.model) for c in site_model.clusters],
                 site_model.config,
             )
-            self._pools[site] = cached
-        return cached
+        return resident.pool
 
     def loaded_sites(self) -> list[str]:
         """Sites currently resident in memory."""
-        return sorted(self._site_models)
+        return sorted(self._sites.keys())
 
     def available_sites(self) -> list[str]:
         """Sites loadable right now: resident ∪ registry artifacts."""
-        names = set(self._site_models)
+        names = set(self._sites.keys())
         if self.registry is not None:
             names.update(self.registry.sites())
         return sorted(names)
 
     def evict(self, site: str) -> None:
         """Drop a site's cached model and extractors (e.g. after retrain)."""
-        self._site_models.pop(site, None)
-        self._pools.pop(site, None)
+        self._sites.pop(site)
+
+    # -- observability -----------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Every cache counter of the service, JSON-friendly.
+
+        ``sites`` is the site-residency LRU; ``per_site`` holds each
+        resident site's pool caches (feature registries merged across
+        cluster extractors, plus the signature→cluster memo).  Reading
+        stats does not touch recency.
+        """
+        per_site: dict[str, dict] = {}
+        for site in self._sites.keys():
+            resident = self._sites.peek(site)
+            if resident is None or resident.pool is None:
+                continue
+            per_site[site] = {
+                name: stats.to_dict()
+                for name, stats in resident.pool.cache_stats().items()
+            }
+        return {"sites": self._sites.stats().to_dict(), "per_site": per_site}
 
     # -- serving -----------------------------------------------------------
 
@@ -100,22 +158,14 @@ class ExtractionService:
         """Batched, thresholded extraction using cached extractors only.
 
         ``threshold`` defaults to the trained config's
-        ``confidence_threshold``.  No annotation or training happens here.
+        ``confidence_threshold``.  No annotation or training happens here,
+        and no per-batch cleanup is needed: per-page state lives in
+        bounded LRUs keyed by ``doc_id``.
         """
-        pool = self.pool(site)
-        try:
-            return pool.extract(documents, threshold)
-        finally:
-            # Batch boundary: per-page feature registries are keyed by
-            # id(document) and must not outlive the documents.
-            pool.clear_page_caches()
+        return self.pool(site).extract(documents, threshold)
 
     def candidates(
         self, site: str, documents: list[Document]
     ) -> list[PageCandidates]:
         """Unthresholded candidates per page (for sweeps / re-thresholding)."""
-        pool = self.pool(site)
-        try:
-            return pool.candidates(documents)
-        finally:
-            pool.clear_page_caches()
+        return self.pool(site).candidates(documents)

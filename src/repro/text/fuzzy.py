@@ -45,8 +45,11 @@ def surface_variants(text: str) -> set[str]:
             variants.add(normalized)
     # Comma inversion: "Last, First" <-> "First Last".  Only applied when
     # there is exactly one comma and both sides are short name-like spans.
-    if text.count(",") == 1:
-        last, first = (part.strip() for part in text.split(","))
+    # Tested on the parenthetical-stripped form: a comma inside a trailing
+    # qualifier — "Gladiator (2000, UK)" — is not a name inversion, and
+    # indexing its inverted form would fabricate KB matches.
+    if stripped.count(",") == 1:
+        last, first = (part.strip() for part in stripped.split(","))
         if last and first and len(last.split()) <= 3 and len(first.split()) <= 3:
             inverted = normalize_text(f"{first} {last}")
             if inverted:

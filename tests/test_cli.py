@@ -198,3 +198,59 @@ class TestRunCorpusCommand:
             main(["run-corpus", "--kb", str(kb_path),
                   "--corpus", str(tmp_path / "nothing"),
                   "--registry", str(tmp_path / "models")])
+
+
+class TestStatsCommand:
+    def test_stats_without_pages(self, site_on_disk, tmp_path, capsys):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        assert main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--registry", str(registry)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["available_sites"] == [pages_dir.name]
+        assert payload["loaded_sites"] == []
+        assert payload["cache_stats"]["sites"]["size"] == 0
+
+    def test_stats_after_serving_pages(self, site_on_disk, tmp_path, capsys):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        assert main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--registry", str(registry),
+                     "--pages", str(pages_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["served"]["pages"] == 16
+        assert payload["served"]["extractions"] > 0
+        assert payload["loaded_sites"] == [pages_dir.name]
+        site_stats = payload["cache_stats"]["per_site"][pages_dir.name]
+        assert site_stats["feature_registry"]["misses"] >= 16
+        assert site_stats["cluster_assignment"]["size"] >= 1
+
+    def test_stats_unknown_site_errors(self, site_on_disk, tmp_path):
+        _, _, pages_dir = site_on_disk
+        registry = tmp_path / "empty-models"
+        registry.mkdir()
+        with pytest.raises(SystemExit, match="registry error"):
+            main(["stats", "--registry", str(registry),
+                  "--pages", str(pages_dir)])
+
+
+class TestSkippedClusterReporting:
+    def test_extract_reports_skipped_pages(self, site_on_disk, tmp_path, capsys):
+        """Small-cluster pages must not vanish silently (they are dropped
+        from annotation when below min_cluster_size)."""
+        tmp, kb_path, pages_dir = site_on_disk
+        # A 3-page site: below the default min_cluster_size of 4.
+        small_dir = tmp_path / "small"
+        small_dir.mkdir()
+        for name in sorted(p.name for p in pages_dir.glob("*.html"))[:3]:
+            (small_dir / name).write_text((pages_dir / name).read_text())
+        code = main(["extract", "--kb", str(kb_path), "--pages", str(small_dir),
+                     "--output", str(tmp_path / "out.jsonl")])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "below min_cluster_size skipped" in err
+        assert "3 page(s)" in err

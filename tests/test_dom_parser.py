@@ -182,3 +182,26 @@ class TestNodeApi:
         text = TextNode("some quite long text that will be truncated in repr")
         assert "div" in repr(node)
         assert "..." in repr(text)
+
+
+class TestDocId:
+    def test_unique_and_monotonic_among_live_documents(self):
+        docs = [parse_html(SIMPLE) for _ in range(10)]
+        ids = [doc.doc_id for doc in docs]
+        assert len(set(ids)) == 10
+        assert ids == sorted(ids)
+
+    def test_never_recycled_after_gc(self):
+        """Unlike ``id()``, doc_ids must stay unique even when the
+        interpreter recycles the freed documents' memory."""
+        seen: set[int] = set()
+        for _ in range(300):
+            doc = parse_html(SIMPLE)
+            assert doc.doc_id not in seen
+            seen.add(doc.doc_id)
+            del doc
+
+    def test_fragment_documents_get_ids_too(self):
+        doc = parse_html("<p>fragment</p>")
+        assert isinstance(doc.doc_id, int)
+        assert doc.doc_id > 0

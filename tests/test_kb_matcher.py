@@ -87,6 +87,39 @@ class TestPageMatcher:
         matcher.clear_cache()
         assert matcher.match(doc) is not None
 
+    def test_cache_bounded_with_eviction(self):
+        matcher = PageMatcher(build_kb(), cache_size=2)
+        docs = [parse_html(PAGE) for _ in range(5)]
+        for doc in docs:
+            matcher.match(doc)
+        stats = matcher.cache_stats()
+        assert stats.size == 2
+        assert stats.evictions == 3
+        # An evicted page is transparently re-matched with identical results.
+        rematch = matcher.match(docs[0])
+        assert rematch.page_entity_ids() == {"f1", "p1"}
+
+    def test_cache_stats_hits_and_misses(self):
+        matcher = PageMatcher(build_kb(), cache_size=4)
+        doc = parse_html(PAGE)
+        matcher.match(doc)
+        matcher.match(doc)
+        stats = matcher.cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+
+    def test_cache_keyed_by_doc_id_not_object_identity(self):
+        """Two live documents never share cache entries, and the key
+        survives the document being re-created (different doc_id)."""
+        matcher = PageMatcher(build_kb())
+        doc_a = parse_html(PAGE)
+        doc_b = parse_html("<html><body><p>Nothing known here</p></body></html>")
+        match_a = matcher.match(doc_a)
+        match_b = matcher.match(doc_b)
+        assert match_a.page_entity_ids() == {"f1", "p1"}
+        assert match_b.page_entity_ids() == set()
+        assert doc_a.doc_id != doc_b.doc_id
+
     def test_no_matches(self):
         doc = parse_html("<html><body><p>Nothing known here</p></body></html>")
         match = PageMatcher(build_kb()).match(doc)

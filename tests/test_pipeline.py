@@ -105,6 +105,24 @@ class TestPipelineEndToEnd:
         assert result.cluster_results == []
         assert result.extractions == []
 
+    def test_skipped_clusters_are_recorded(self, movie_site):
+        """Pages dropped with undersized clusters must leave a trace."""
+        kb, site = movie_site
+        config = CeresConfig(min_cluster_size=100)
+        pipeline = CeresPipeline(kb, config)
+        docs = [p.document for p in site.pages[:12]]
+        result = pipeline.annotate(docs)
+        assert result.skipped_clusters >= 1
+        assert result.skipped_page_indices == list(range(12))
+        assert result.skipped_pages == 12
+
+    def test_no_skips_on_healthy_site(self, movie_site):
+        kb, site = movie_site
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.annotate([p.document for p in site.pages[:12]])
+        assert result.skipped_clusters == 0
+        assert result.skipped_page_indices == []
+
     def test_extract_without_models_yields_nothing(self, movie_site):
         kb, site = movie_site
         pipeline = CeresPipeline(kb, CeresConfig())

@@ -1,0 +1,153 @@
+"""Tests for repro.runtime.cache (bounded LRU + stats)."""
+
+import pytest
+
+from repro.runtime.cache import CacheStats, LRUCache
+
+
+class TestLRUBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "fallback") == "fallback"
+
+    def test_capacity_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert "a" not in cache
+        assert cache.keys() == ["b", "c"]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency_and_updates(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_one(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("b") == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(0)
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(4).resize(-1)
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+        # pop/clear are not evictions — counters untouched.
+        assert cache.stats().evictions == 0
+
+    def test_resize_shrink_evicts_lru(self):
+        cache = LRUCache(4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.get("a")
+        cache.resize(2)
+        assert cache.keys() == ["d", "a"]
+        assert cache.stats().evictions == 2
+
+    def test_get_or_create(self):
+        cache = LRUCache(2)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_create("k", factory) == "value"
+        assert cache.get_or_create("k", factory) == "value"
+        assert len(calls) == 1
+
+    def test_peek_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        before = cache.stats()
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        after = cache.stats()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+        cache.put("c", 3)  # "a" was NOT refreshed by peek → evicted
+        assert "a" not in cache
+
+
+class TestStats:
+    def test_counters(self):
+        cache = LRUCache(2, name="demo")
+        cache.get("x")  # miss
+        cache.put("x", 1)
+        cache.get("x")  # hit
+        cache.put("y", 2)
+        cache.put("z", 3)  # evicts "x"
+        stats = cache.stats()
+        assert stats.name == "demo"
+        assert stats.capacity == 2
+        assert stats.size == 2
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_zero_when_unread(self):
+        assert LRUCache(2).stats().hit_rate == 0.0
+
+    def test_to_dict_json_friendly(self):
+        stats = LRUCache(3, name="n").stats()
+        data = stats.to_dict()
+        assert data == {
+            "name": "n",
+            "capacity": 3,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_merged(self):
+        a = CacheStats("a", 2, 1, 10, 5, 1)
+        b = CacheStats("b", 3, 2, 20, 5, 0)
+        merged = a.merged(b, name="both")
+        assert merged == CacheStats("both", 5, 3, 30, 10, 1)
+
+    def test_clear_preserves_history(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats()
+        assert stats.size == 0
+        assert stats.hits == 1
+
+    def test_iteration_order_lru_first(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert list(cache) == ["b", "c", "a"]

@@ -83,6 +83,38 @@ class TestDiscovery:
         with pytest.raises(ValueError, match="bad manifest line"):
             discover_corpus(manifest)
 
+    def test_duplicate_site_rejected(self, tmp_path):
+        """Duplicate names race last-writer-wins on one registry artifact
+        and interleave output rows under a single site label — reject."""
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            "\n".join(
+                [
+                    json.dumps({"site": "imdb", "pages": "a"}),
+                    json.dumps({"site": "other", "pages": "b"}),
+                    "# comment lines do not shift the reported line numbers",
+                    json.dumps({"site": "imdb", "pages": "c"}),
+                ]
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match=r"m\.jsonl:4: duplicate site 'imdb'"):
+            discover_corpus(manifest)
+        with pytest.raises(ValueError, match="first defined on line 1"):
+            discover_corpus(manifest)
+
+    def test_duplicate_detection_is_exact_not_normalized(self, tmp_path):
+        # Distinct names that differ only in case are two different sites.
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            json.dumps({"site": "IMDb", "pages": "a"})
+            + "\n"
+            + json.dumps({"site": "imdb", "pages": "b"})
+            + "\n"
+        )
+        specs = discover_corpus(manifest)
+        assert [spec.site for spec in specs] == ["IMDb", "imdb"]
+
     def test_missing_corpus(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             discover_corpus(tmp_path / "nope")
@@ -176,3 +208,40 @@ class TestRunCorpus:
         assert len(served) == len(runner_rows)
         report = next(r for r in reports if r.site == site)
         assert report.n_extractions == len(served)
+
+
+class TestSiteReportSkips:
+    def test_summary_includes_skipped_counts(self):
+        from repro.runtime import SiteReport
+
+        report = SiteReport(
+            site="s", ok=True, n_pages=10, n_clusters=1, n_extractions=5,
+            n_skipped_clusters=2, n_skipped_pages=3,
+        )
+        assert "skipped=3p/2c" in report.summary()
+
+    def test_summary_omits_skips_when_none(self):
+        from repro.runtime import SiteReport
+
+        report = SiteReport(site="s", ok=True, n_pages=10)
+        assert "skipped" not in report.summary()
+
+    def test_run_site_records_skips(self, corpus_on_disk, tmp_path):
+        """An undersized site flows its dropped pages into the report."""
+        from repro.runtime.runner import _run_site
+        from repro.runtime.serialize import config_to_dict
+
+        tmp, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        site = site_names[0]
+        small = tmp_path / "small"
+        small.mkdir()
+        pages = sorted((corpus_dir / site).glob("*.html"))[:2]
+        for page in pages:
+            (small / page.name).write_text(page.read_text())
+        payload = _run_site(
+            site, str(small), str(kb_path), None,
+            config_to_dict(CeresConfig()), None,
+        )
+        report = payload["report"]
+        assert report["n_skipped_pages"] == 2
+        assert report["n_skipped_clusters"] >= 1

@@ -26,6 +26,23 @@ class TestSurfaceVariants:
         assert surface_variants("") == set()
         assert surface_variants("!!!") == set()
 
+    def test_comma_inside_parenthetical_not_inverted(self):
+        # "Gladiator (2000, UK)" is a title + qualifier, not "Last, First";
+        # the old behavior indexed the bogus variant "uk gladiator 2000".
+        variants = surface_variants("Gladiator (2000, UK)")
+        assert "uk gladiator 2000" not in variants
+        assert variants == {"gladiator 2000 uk", "gladiator"}
+
+    def test_comma_inversion_survives_trailing_parenthetical(self):
+        # A true name inversion still fires once the qualifier is stripped.
+        variants = surface_variants("Lee, Spike (director)")
+        assert "spike lee" in variants
+
+    def test_comma_only_inside_parenthetical_no_inversion(self):
+        variants = surface_variants("Big Night (1996, US, Drama)")
+        assert "big night" in variants
+        assert not any(v.startswith("1996") or v.startswith("us ") for v in variants)
+
     def test_long_comma_phrase_not_inverted(self):
         # Clause-like comma usage should not generate inversions.
         text = "The Good, the Bad and the Ugly went to town together"
