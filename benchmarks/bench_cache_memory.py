@@ -76,12 +76,6 @@ def run_benchmark(
     site = dataset.sites[1]
     config = CeresConfig()
 
-    # Memory is only flat once the LRUs reach steady state (size ==
-    # capacity, evicting one entry per insert); warm up past saturation
-    # before taking the baseline, otherwise "drift" just measures the
-    # cache filling to its configured bound.
-    warmup_batches = config.feature_registry_cache_size // n_pages + 3
-
     # One-shot pipeline: the ground truth every warm batch must match.
     documents = [page.document for page in site.pages]
     pipeline = CeresPipeline(kb, config)
@@ -121,9 +115,21 @@ def run_benchmark(
     del documents, result, pipeline
     gc.collect()
 
-    for _ in range(warmup_batches):
-        run_batch()
-    gc.collect()
+    # Warm up until resident memory stabilizes before taking the
+    # baseline: the first batches populate the scoring engine's
+    # compiled-template caches and grow the allocator's arenas to steady
+    # state; "drift" must measure leaks, not that one-time ramp.
+    previous = None
+    for _ in range(12):  # each probe is several batches; cap the ramp
+        for _ in range(5):
+            run_batch()
+        gc.collect()
+        current = rss_bytes()
+        if current is None:
+            break
+        if previous is not None and abs(current - previous) < 0.002 * previous:
+            break
+        previous = current
     baseline_rss = rss_bytes()
 
     pages_served = 0

@@ -1,11 +1,19 @@
 """Training and extraction (Section 4 of the paper)."""
 
-from repro.core.extraction.extractor import CeresExtractor, Extraction, PageCandidates
+from repro.core.extraction.extractor import (
+    CeresExtractor,
+    ClusterExtractorPool,
+    Extraction,
+    PageCandidates,
+)
 from repro.core.extraction.features import NodeFeatureExtractor
+from repro.core.extraction.scoring import BatchScorer
 from repro.core.extraction.trainer import CeresModel, CeresTrainer
 
 __all__ = [
+    "BatchScorer",
     "CeresExtractor",
+    "ClusterExtractorPool",
     "Extraction",
     "PageCandidates",
     "NodeFeatureExtractor",

@@ -84,12 +84,14 @@ class NodeFeatureExtractor:
 
     # -- per-page registry for nearby frequent strings ---------------------
 
-    def _registry_for(self, document: Document) -> dict[int, list[tuple[str, str]]]:
+    def registry_for(self, document: Document) -> dict[int, list[tuple[str, str]]]:
         """Map ancestor-element id -> [(frequent string, downward path)].
 
         Each frequent-string occurrence registers itself on its enclosing
         element and ``text_feature_height`` further ancestors; the downward
-        path records the tag chain from the ancestor to the string.
+        path records the tag chain from the ancestor to the string.  Both
+        the legacy per-node path and the batched scorer
+        (:mod:`repro.core.extraction.scoring`) read this registry.
         """
         registry = self._page_registry.get(document.doc_id)
         if registry is not None:
@@ -131,9 +133,11 @@ class NodeFeatureExtractor:
             parent = element.parent
             if parent is not None:
                 siblings = parent.element_children()
-                try:
-                    position = siblings.index(element)
-                except ValueError:
+                # Parse-time sibling position; the identity check preserves
+                # the old scan's "not actually a child" fallback for
+                # hand-assembled trees without the O(siblings) cost.
+                position = element.element_index
+                if position >= len(siblings) or siblings[position] is not element:
                     position = -1
                 if position >= 0:
                     width = config.struct_sibling_width
@@ -163,7 +167,7 @@ class NodeFeatureExtractor:
         """Nearby frequent-string features: (string, path through the tree)."""
         if not self.frequent_strings:
             return
-        registry = self._registry_for(document)
+        registry = self.registry_for(document)
         element: ElementNode | None = node.parent
         ups = 0
         while element is not None and ups <= self.config.text_feature_height:

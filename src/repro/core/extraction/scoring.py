@@ -1,0 +1,568 @@
+"""Batched, vocabulary-compiled node scoring — the extraction hot path.
+
+The legacy chain scores one node at a time: build a ``dict[str, float]``
+of f-string feature names, hash every name into the vectorizer's
+``vocabulary_``, assemble a one-page CSR matrix, and run one small
+matmul per page.  At corpus scale (the paper applies the classifier "to
+all DOM nodes on each page of the website") almost all of that work is
+redundant:
+
+* structural features depend only on the node's *ancestor chain* — every
+  text node under the same element shares them, and every node in the
+  same subtree shares the chain above its parent — and the 4-tuple name
+  strings exist only to be hashed into ``vocabulary_`` and thrown away;
+* the vocabulary is fixed at train time, so the ``feature name → column``
+  mapping can be compiled once into direct lookups;
+* per-page matmuls waste the classifier's vectorization — one matrix
+  over *all* nodes of *all* pages in a batch does the same math in a
+  single pass.
+
+:class:`BatchScorer` exploits all three:
+
+* ``vocabulary_`` is compiled into ``(attribute, value) → {packed
+  (level, sibling): column}`` and ``(string, path) → {ups: column}``
+  lookups; packed positions are plain ints, so the hot loop hashes no
+  strings and allocates no tuples;
+* each element's position dicts are merged into one ``packed position →
+  columns`` dict, cached across pages keyed by the identity of the
+  compiled dicts (templated sites repeat the same attribute sets on
+  every page);
+* sibling-window and ancestor-chain contributions are memoized per
+  ``(element, level)`` within a page, so shared ancestors are processed
+  once per subtree, not once per node;
+* all rows land in one CSR matrix scored by a single ``predict_proba``.
+
+Output is bit-identical to the legacy per-node path (which remains in
+``CeresModel.predict_proba_for_nodes`` as the equivalence oracle): both
+paths produce the same canonical CSR matrix — sorted, duplicate-free
+column indices with unit values — so every downstream float is computed
+by the same operations in the same order.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dom.node import ElementNode, TextNode
+from repro.dom.parser import Document
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (trainer imports us)
+    from repro.core.extraction.trainer import CeresModel
+
+__all__ = ["BatchScorer", "PageScores", "compile_vocabulary"]
+
+#: Per-page scoring result: the scored text nodes and their class
+#: probabilities (rows aligned with the node list).
+PageScores = tuple[list[TextNode], np.ndarray]
+
+#: Compiled structural lookup: ``(attribute, value) → {packed position:
+#: column}``.  The attribute ``"tag"`` covers the tag-name feature;
+#: positions are packed as ``level * (2 * width + 1) + sibling + width``.
+StructLookup = dict[tuple[str, str], dict[int, int]]
+#: Compiled nearby-text lookup: ``(string, down path) → {ups: column}``.
+TextLookup = dict[tuple[str, str], dict[int, int]]
+
+#: Shared immutable sentinels for elements contributing nothing.
+_NO_POSITIONS: dict[int, tuple[int, ...]] = {}
+_NO_COLUMNS: list[int] = []
+
+#: Safety valve for the cross-page merged-positions cache; sites with
+#: pathologically many distinct attribute combinations just recompute.
+_MERGED_CACHE_LIMIT = 4096
+
+#: Scratch-record layout (``ElementNode._scoring``): the pass token, the
+#: element's merged positions, its window target dicts and identity key
+#: (level-independent: the sibling window is the same at every ancestry
+#: level), one chain slot per ancestry level, one text slot per ups
+#: value.
+_RECORD_MERGED = 1
+_RECORD_WINDOW_DICTS = 2
+_RECORD_WINDOW_KEY = 3
+_RECORD_CHAINS = 4
+
+
+def compile_vocabulary(
+    vocabulary: dict[str, int],
+    levels: int = 0,
+    width: int = 0,
+) -> tuple[StructLookup, TextLookup]:
+    """Invert the vectorizer's feature names into direct column lookups.
+
+    Feature names are ``s|{attr}|{value}|{level}|{sibling}`` and
+    ``t|{text}|u{ups}|{down_path}``.  Attribute names, levels, siblings,
+    ups tokens, and down paths (tag names joined by ``/``) never contain
+    ``|``, so splitting the fixed-position fields off the ends recovers
+    the original tuple exactly even when ``value``/``text`` themselves
+    contain pipes.  Names that don't parse — or whose level/sibling fall
+    outside the ``levels``/``width`` window the scorer probes — are
+    skipped: the hot loop could never generate them, exactly as the
+    legacy path could never generate their names.
+    """
+    span = 2 * width + 1
+    struct: StructLookup = {}
+    text: TextLookup = {}
+    for name, column in vocabulary.items():
+        if name.startswith("s|"):
+            try:
+                attribute, rest = name[2:].split("|", 1)
+                value, level_text, sibling_text = rest.rsplit("|", 2)
+                level = int(level_text)
+                sibling = int(sibling_text)
+            except ValueError:
+                continue
+            if not (0 <= level <= levels and -width <= sibling <= width):
+                continue
+            packed = level * span + sibling + width
+            struct.setdefault((attribute, value), {})[packed] = column
+        elif name.startswith("t|"):
+            head, _, down_path = name.rpartition("|")
+            head, _, ups_token = head.rpartition("|")
+            if len(head) < 2 or not ups_token.startswith("u"):
+                continue
+            try:
+                ups = int(ups_token[1:])
+            except ValueError:
+                continue
+            text.setdefault((head[2:], down_path), {})[ups] = column
+    return struct, text
+
+
+class BatchScorer:
+    """Scores batches of pages against one trained :class:`CeresModel`."""
+
+    def __init__(self, model: CeresModel) -> None:
+        extractor = model.feature_extractor
+        config = extractor.config
+        self._feature_extractor = extractor
+        self._classifier = model.classifier
+        self._n_features = model.vectorizer.n_features
+        self._levels = config.struct_ancestor_levels
+        self._width = config.struct_sibling_width
+        self._span = 2 * self._width + 1
+        self._attributes = config.struct_attributes
+        self._height = config.text_feature_height
+        self._struct, self._text = compile_vocabulary(
+            model.vectorizer.vocabulary_, self._levels, self._width
+        )
+        self._text_base = _RECORD_CHAINS + self._levels + 1
+        self._record_size = self._text_base + self._height + 1
+        #: Cross-page caches.  Template pages repeat the same elements,
+        #: windows, and ancestor chains on every page, so each converges
+        #: to one entry per distinct template position and warm pages
+        #: resolve structural features almost entirely by cache hits:
+        #:
+        #: * ``_element_merged``: attribute fingerprint → merged ``{packed
+        #:   position: (columns,)}`` dict for one element;
+        #: * ``_merged_cache``: identity of an element's compiled position
+        #:   dicts → the same merged dict (fingerprint-miss fallback);
+        #: * ``_window_caches[level]``: (window shape, merged-dict
+        #:   identities) → sorted window columns at that level;
+        #: * ``_chain_cache``: (window identity, suffix identity) → sorted
+        #:   chain columns.
+        #:
+        #: Identity keys stay valid because every cache value holds strong
+        #: references to the objects whose ids appear in its key.
+        self._element_merged: dict[tuple, dict[int, tuple[int, ...]]] = {}
+        self._merged_cache: dict[tuple[int, ...], dict[int, tuple[int, ...]]] = {}
+        self._window_caches: list[dict[tuple, tuple[list[int], list]]] = [
+            {} for _ in range(self._levels + 1)
+        ]
+        self._chain_cache: dict[
+            tuple[int, int], tuple[list[int], list[int], list[int]]
+        ] = {}
+        #: (ups, ups-dict identities) → canonical nearby-text columns for
+        #: one (element, ups) contribution.
+        self._text_part_cache: dict[tuple, tuple[list[int], list]] = {}
+        #: (chain identity, text-part identities) → the node's finished
+        #: row as an ``array('i')`` — warm template pages append rows to
+        #: the CSR buffer with a single C-level copy, no sort, no
+        #: per-int conversion.
+        self._row_cache: dict[tuple, tuple[array, list, tuple]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def score_pages(self, documents: Sequence[Document]) -> list[PageScores]:
+        """Score every text field of every page with one matrix multiply.
+
+        Returns one ``(nodes, probabilities)`` pair per document, in
+        order; pages without text fields get an empty node list and a
+        ``(0, n_classes)`` probability block.
+        """
+        # C-backed growable buffers: row column indices and per-row
+        # lengths; turned into the CSR arrays with zero-copy views.
+        indices = array("i")
+        lengths = array("i")
+        page_nodes: list[list[TextNode]] = []
+        for document in documents:
+            # text_fields() already excludes whitespace-only nodes.
+            nodes = document.text_fields()
+            page_nodes.append(nodes)
+            if nodes:
+                self._page_rows(nodes, indices, lengths)
+        probabilities = self._classifier.predict_proba(
+            self._assemble(indices, lengths)
+        )
+        results: list[PageScores] = []
+        offset = 0
+        for nodes in page_nodes:
+            results.append((nodes, probabilities[offset : offset + len(nodes)]))
+            offset += len(nodes)
+        return results
+
+    # -- CSR assembly ------------------------------------------------------
+
+    def _assemble(self, indices: array, lengths: array) -> sp.csr_matrix:
+        """One CSR matrix over all scored nodes; rows hold sorted unique
+        column indices with unit values (the canonical layout the legacy
+        vectorizer emits)."""
+        n_rows = len(lengths)
+        indptr = np.zeros(n_rows + 1, dtype=np.int32)
+        if n_rows:
+            np.cumsum(np.frombuffer(lengths, dtype=np.int32), out=indptr[1:])
+        column_indices = (
+            np.frombuffer(indices, dtype=np.int32)
+            if indices
+            else np.empty(0, dtype=np.int32)
+        )
+        matrix = sp.csr_matrix(
+            (np.ones(len(column_indices), dtype=np.float64), column_indices, indptr),
+            shape=(n_rows, self._n_features),
+        )
+        matrix.has_sorted_indices = True
+        return matrix
+
+    # -- per-page scoring --------------------------------------------------
+
+    def _page_rows(
+        self, nodes: list[TextNode], indices: array, lengths: array
+    ) -> None:
+        """Append one sorted column-index row per node to the buffers.
+
+        Per-pass element state lives in a token-validated scratch record
+        on each :class:`ElementNode` (``_scoring``), so the hot loops do
+        attribute reads instead of hashing ``id()`` keys; a fresh token
+        per call invalidates every record from earlier passes.  Rows are
+        duplicate-free by construction — structural columns are unique
+        per window position, text columns carry their ups in the compiled
+        key, and the two families occupy disjoint vocabulary prefixes —
+        matching the legacy path's unique dict keys.
+        """
+        text_map = self._text_map(nodes) if self._text else None
+        token: list = []  # unique object per scoring pass
+        extend_indices = indices.extend
+        append_length = lengths.append
+        row_cache = self._row_cache
+        chain_slot = _RECORD_CHAINS
+        for node in nodes:
+            parent = node.parent
+            if parent is None:
+                struct_columns = _NO_COLUMNS
+            else:
+                record = parent._scoring
+                if record is None or record[0] is not token:
+                    record = self._element_record(parent, token)
+                struct_columns = record[chain_slot]
+                if struct_columns is None:
+                    struct_columns = self._chain_columns(parent, 0, token)
+            if text_map is not None:
+                parts = self._text_parts(node, text_map, token)
+                row_key = (id(struct_columns), *map(id, parts))
+            else:
+                parts = ()
+                row_key = (id(struct_columns),)
+            entry = row_cache.get(row_key)
+            if entry is None:
+                row = list(struct_columns)
+                for part in parts:
+                    row += part
+                row.sort()
+                self._cache_guard()
+                # struct/parts ride along to pin the ids in the key.
+                entry = (array("i", row), struct_columns, tuple(parts))
+                row_cache[row_key] = entry
+            row_array = entry[0]
+            extend_indices(row_array)
+            append_length(len(row_array))
+
+    def _element_record(self, element: ElementNode, token: list) -> list:
+        """Fresh scratch record for one element in one scoring pass:
+        ``[token, merged positions, window dicts, window key, chains per
+        level..., text columns per ups...]``.  The window fields resolve
+        lazily (window-target-only elements never need their own)."""
+        record = [None] * self._record_size
+        record[0] = token
+        record[_RECORD_MERGED] = self._merged_positions(element)
+        element._scoring = record
+        return record
+
+    def _resolve_window(
+        self, element: ElementNode, record: list, token: list
+    ) -> tuple:
+        """Resolve the element's sibling window once per pass: the merged
+        position dicts of every target (the element itself is offset 0)
+        and the identity key ``(left_count, *dict ids)`` shared by all
+        ancestry levels."""
+        width = self._width
+        parent = element.parent
+        position = element.element_index
+        if parent is not None:
+            siblings = parent._element_children
+            if position >= len(siblings) or siblings[position] is not element:
+                # Hand-assembled node; matches the legacy scan's
+                # ValueError fallback (self features only).
+                siblings = (element,)
+                position = 0
+        else:
+            siblings = (element,)
+            position = 0
+        low = position - width
+        if low < 0:
+            low = 0
+        high = position + width + 1
+        if high > len(siblings):
+            high = len(siblings)
+        merged_dicts: list[dict[int, tuple[int, ...]]] = []
+        append_merged = merged_dicts.append
+        for index in range(low, high):
+            target = siblings[index]
+            target_record = target._scoring
+            if target_record is None or target_record[0] is not token:
+                target_record = self._element_record(target, token)
+            append_merged(target_record[_RECORD_MERGED])
+        record[_RECORD_WINDOW_DICTS] = merged_dicts
+        record[_RECORD_WINDOW_KEY] = window_key = (
+            position - low,
+            *map(id, merged_dicts),
+        )
+        return window_key
+
+    # -- structural features -----------------------------------------------
+
+    def _chain_columns(
+        self, element: ElementNode, level: int, token: list
+    ) -> list[int]:
+        """Sorted columns of the ancestor chain from ``element`` upward,
+        with ``element`` sitting at ``level``.
+
+        Memoized per ``(element, level)`` within the pass, and across
+        pages by the identities of the (cached) window and suffix lists —
+        warm template pages never re-merge or re-sort a chain.  Returned
+        lists are shared; callers must not mutate them.
+        """
+        record = element._scoring
+        if record is None or record[0] is not token:
+            record = self._element_record(element, token)
+        slot = _RECORD_CHAINS + level
+        cached = record[slot]
+        if cached is not None:
+            return cached
+        parent = element.parent
+        # -- the element's sibling window at this level.  The window's
+        # targets are level-independent, so they are resolved once per
+        # element per pass; each level's columns are cached across pages
+        # by the targets' merged-dict identities, so warm template pages
+        # pay one tuple lookup instead of probing every position.
+        window_key = record[_RECORD_WINDOW_KEY]
+        if window_key is None:
+            window_key = self._resolve_window(element, record, token)
+        window_entry = self._window_caches[level].get(window_key)
+        if window_entry is not None:
+            window = window_entry[0]
+        else:
+            merged_dicts = record[_RECORD_WINDOW_DICTS]
+            window = []
+            extend_window = window.extend
+            # pos = level * span + (index - position) + width; the
+            # window's first target sits at offset -left_count.
+            packed = level * self._span + self._width - window_key[0]
+            for merged in merged_dicts:
+                if merged:
+                    found = merged.get(packed)
+                    if found is not None:
+                        extend_window(found)
+                packed += 1
+            window.sort()
+            self._cache_guard()
+            # merged_dicts rides along to pin the ids in the key.
+            self._window_caches[level][window_key] = (window, merged_dicts)
+
+        if level < self._levels and parent is not None:
+            suffix = self._chain_columns(parent, level + 1, token)
+            chain_key = (id(window), id(suffix))
+            entry = self._chain_cache.get(chain_key)
+            if entry is None:
+                combined = window + suffix
+                combined.sort()
+                # The value keeps window/suffix alive so the ids in the
+                # key can never be recycled while the entry exists.
+                self._cache_guard()
+                self._chain_cache[chain_key] = entry = (combined, window, suffix)
+            columns = entry[0]
+        else:
+            columns = window
+        record[slot] = columns
+        return columns
+
+    def _merged_positions(
+        self, element: ElementNode
+    ) -> dict[int, tuple[int, ...]]:
+        """One ``{packed position: columns}`` dict for an element.
+
+        The element's attribute fingerprint identifies the result, and
+        template pages repeat the same fingerprints on every page — so
+        the resolution against the compiled vocabulary and the merge are
+        each computed once per distinct template element.
+        """
+        attrs = element.attrs
+        fingerprint = (element.tag, *map(attrs.get, self._attributes))
+        merged = self._element_merged.get(fingerprint)
+        if merged is not None:
+            return merged
+        struct_get = self._struct.get
+        found = struct_get(("tag", element.tag))
+        dicts = [] if found is None else [found]
+        for attribute in self._attributes:
+            value = attrs.get(attribute)
+            if value:
+                found = struct_get((attribute, value))
+                if found is not None:
+                    dicts.append(found)
+        if not dicts:
+            merged = _NO_POSITIONS
+        else:
+            cache_key = tuple(map(id, dicts))
+            merged = self._merged_cache.get(cache_key)
+            if merged is None:
+                merged = {}
+                for positions in dicts:
+                    for packed, column in positions.items():
+                        existing = merged.get(packed)
+                        merged[packed] = (
+                            (column,) if existing is None else existing + (column,)
+                        )
+                self._cache_guard()
+                self._merged_cache[cache_key] = merged
+        self._element_merged[fingerprint] = merged
+        return merged
+
+    def _cache_guard(self) -> None:
+        """Bound the cross-page caches (pathological sites only).
+
+        All four are cleared together: window/chain keys embed ids of
+        objects kept alive by the upstream caches and cache values, so a
+        partial clear could let a recycled id alias a stale entry.
+        """
+        if (
+            len(self._element_merged) >= _MERGED_CACHE_LIMIT
+            or len(self._merged_cache) >= _MERGED_CACHE_LIMIT
+            or len(self._chain_cache) >= _MERGED_CACHE_LIMIT
+            or len(self._text_part_cache) >= _MERGED_CACHE_LIMIT
+            or len(self._row_cache) >= _MERGED_CACHE_LIMIT
+            or any(
+                len(cache) >= _MERGED_CACHE_LIMIT
+                for cache in self._window_caches
+            )
+        ):
+            self._element_merged.clear()
+            self._merged_cache.clear()
+            self._chain_cache.clear()
+            self._text_part_cache.clear()
+            self._row_cache.clear()
+            for cache in self._window_caches:
+                cache.clear()
+
+    # -- nearby-text features ----------------------------------------------
+
+    def _text_map(
+        self, nodes: list[TextNode]
+    ) -> dict[int, list[dict[int, int]]]:
+        """id(ancestor element) → compiled ups→column dicts of the
+        frequent strings registered on it.
+
+        The single-pass equivalent of the legacy per-page registry
+        (``NodeFeatureExtractor.registry_for``) with the ``(string,
+        path)`` keys pre-resolved against the compiled vocabulary.
+        """
+        frequent = self._feature_extractor.frequent_strings
+        text_get = self._text.get
+        height = self._height
+        text_map: dict[int, list[dict[int, int]]] = {}
+        for node in nodes:
+            text = node.text.strip()
+            if text not in frequent:
+                continue
+            path = ""
+            element = node.parent
+            hop = 0
+            while element is not None and hop <= height:
+                ups_columns = text_get((text, path))
+                if ups_columns is not None:
+                    text_map.setdefault(id(element), []).append(ups_columns)
+                # Incremental form of "/".join(reversed(tags so far)).
+                path = element.tag if not path else f"{element.tag}/{path}"
+                element = element.parent
+                hop += 1
+        return text_map
+
+    def _text_parts(
+        self,
+        node: TextNode,
+        text_map: dict[int, list[dict[int, int]]],
+        token: list,
+    ) -> list[list[int]]:
+        """The node's non-empty nearby-frequent-string contributions, one
+        canonical column list per ancestor hop.
+
+        Each ``(ancestor, ups)`` contribution is resolved once per pass
+        (cached in the ancestor's scratch record) and canonicalized
+        across pages by the identity of the ancestor's ups dicts, so
+        identical contributions share one list object — which lets the
+        row cache key whole rows by identity.  The union over hops is
+        duplicate-free: each hop's list is deduplicated at build time
+        (duplicate registrations collapse the way the legacy feature dict
+        collapsed them), and different hops resolve to different columns
+        by construction.
+        """
+        parts: list[list[int]] = []
+        stride = self._height + 1
+        text_base = self._text_base
+        map_get = text_map.get
+        element = node.parent
+        ups = 0
+        while element is not None and ups < stride:
+            record = element._scoring
+            if record is None or record[0] is not token:
+                record = self._element_record(element, token)
+            slot = text_base + ups
+            part = record[slot]
+            if part is None:
+                ups_dicts = map_get(id(element))
+                if not ups_dicts:
+                    part = _NO_COLUMNS
+                else:
+                    built: list[int] = []
+                    for ups_columns in ups_dicts:
+                        column = ups_columns.get(ups)
+                        if column is not None and column not in built:
+                            built.append(column)
+                    if not built:
+                        part = _NO_COLUMNS
+                    else:
+                        part_key = (ups, *map(id, ups_dicts))
+                        entry = self._text_part_cache.get(part_key)
+                        if entry is None:
+                            self._cache_guard()
+                            # ups_dicts rides along to pin the key ids.
+                            entry = (built, ups_dicts)
+                            self._text_part_cache[part_key] = entry
+                        part = entry[0]
+                record[slot] = part
+            if part:
+                parts.append(part)
+            element = element.parent
+            ups += 1
+        return parts

@@ -4,17 +4,23 @@ Bundles the fitted pieces into a :class:`CeresModel`: the node feature
 extractor (with the site's frequent-string lexicon), the feature
 vectorizer, and the multinomial logistic-regression classifier over
 ``{predicates} ∪ {name} ∪ {OTHER}``.
+
+Serving scores through the model's :class:`~repro.core.extraction.scoring.BatchScorer`
+(compiled at train/load time); :meth:`CeresModel.predict_proba_for_nodes`
+keeps the original per-node chain as the equivalence oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.annotation.examples import TrainingExample
 from repro.core.config import CeresConfig
 from repro.core.extraction.features import NodeFeatureExtractor
+from repro.core.extraction.scoring import BatchScorer, PageScores
 from repro.dom.node import TextNode
 from repro.dom.parser import Document
 from repro.ml.features import FeatureVectorizer
@@ -31,17 +37,55 @@ class CeresModel:
     vectorizer: FeatureVectorizer
     classifier: SoftmaxRegression
 
+    def __post_init__(self) -> None:
+        self._scorer: BatchScorer | None = None
+
     @property
     def labels(self) -> list[str]:
         return list(self.classifier.classes_)
 
+    @property
+    def scorer(self) -> BatchScorer:
+        """The batched, vocabulary-compiled scoring engine (lazy)."""
+        if self._scorer is None:
+            self._scorer = BatchScorer(self)
+        return self._scorer
+
+    def compile(self) -> CeresModel:
+        """Eagerly build the batched scorer.
+
+        Called at train time (:class:`CeresTrainer`) and artifact-load
+        time (:func:`repro.runtime.serialize.model_from_dict`) so serving
+        never pays compilation inside a request.
+        """
+        _ = self.scorer
+        return self
+
     def predict_proba_for_nodes(
         self, nodes: list[TextNode], document: Document
     ) -> np.ndarray:
-        """Class probabilities for each node, rows aligned with ``nodes``."""
+        """Class probabilities for each node, rows aligned with ``nodes``.
+
+        This is the legacy per-node chain (feature dicts → vectorizer →
+        classifier), retained as the equivalence oracle for the batched
+        engine; hot paths use :meth:`score_pages` instead.
+        """
         samples = [self.feature_extractor.features(node, document) for node in nodes]
         X = self.vectorizer.transform(samples)
         return self.classifier.predict_proba(X)
+
+    def score_pages(self, documents: Sequence[Document]) -> list[PageScores]:
+        """Batched ``(nodes, probabilities)`` per page — one CSR matrix
+        over every node of every page and a single matmul."""
+        return self.scorer.score_pages(documents)
+
+    def predict_proba_for_pages(
+        self, documents: Sequence[Document]
+    ) -> list[np.ndarray]:
+        """Batched class probabilities per page, aligned with each page's
+        non-empty text fields (the rows :meth:`predict_proba_for_nodes`
+        would produce page by page)."""
+        return [probabilities for _, probabilities in self.score_pages(documents)]
 
 
 class CeresTrainer:
@@ -72,4 +116,4 @@ class CeresTrainer:
             C=self.config.classifier_C, max_iter=self.config.classifier_max_iter
         )
         classifier.fit(X, labels)
-        return CeresModel(extractor, vectorizer, classifier)
+        return CeresModel(extractor, vectorizer, classifier).compile()

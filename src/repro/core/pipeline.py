@@ -182,16 +182,17 @@ class CeresPipeline:
 
         Builds one extractor per modeled cluster up front (not one per
         page) via :class:`ClusterExtractorPool` — the same cached path the
-        serving layer (``repro.runtime.service``) uses.
+        serving layer (``repro.runtime.service``) uses — and scores the
+        whole document list in cluster-grouped batches (one CSR matrix and
+        one matmul per cluster model, not one per page).
         """
         pool = self.extractor_pool(result)
         result.candidates = []
         result.extractions = []
         if not pool:
             return result
-        for page_index, document in enumerate(documents):
-            candidates = pool.candidates_for_page(document, page_index)
-            result.candidates.append(candidates)
+        result.candidates = pool.candidates(documents)
+        for candidates in result.candidates:
             result.extractions.extend(
                 candidates.extractions(self.config.confidence_threshold)
             )

@@ -44,8 +44,11 @@ class ElementNode:
         "children",
         "tag_index",
         "child_position",
+        "element_index",
+        "_element_children",
         "_xpath",
         "_depth",
+        "_scoring",
     )
 
     def __init__(self, tag: str, attrs: dict[str, str] | None = None) -> None:
@@ -57,8 +60,17 @@ class ElementNode:
         self.tag_index: int = 1
         #: 0-based position among *all* siblings (element and text).
         self.child_position: int = 0
+        #: 0-based position among *element* siblings, assigned at append
+        #: time so feature extraction never runs an O(siblings) index scan.
+        self.element_index: int = 0
+        self._element_children: list[ElementNode] = []
         self._xpath: str | None = None
         self._depth: int | None = None
+        #: Scratch record for the batched scorer
+        #: (:mod:`repro.core.extraction.scoring`): a token-validated list
+        #: of per-scoring-pass caches.  Opaque to everything else; one
+        #: scoring pass per document at a time.
+        self._scoring: list | None = None
 
     def __repr__(self) -> str:
         return f"<ElementNode {self.xpath}>"
@@ -96,14 +108,13 @@ class ElementNode:
         child.parent = self
         child.child_position = len(self.children)
         if isinstance(child, ElementNode):
+            element_siblings = self._element_children
             child.tag_index = (
-                sum(
-                    1
-                    for sibling in self.children
-                    if isinstance(sibling, ElementNode) and sibling.tag == child.tag
-                )
+                sum(1 for sibling in element_siblings if sibling.tag == child.tag)
                 + 1
             )
+            child.element_index = len(element_siblings)
+            element_siblings.append(child)
         else:
             child.text_index = (
                 sum(1 for sibling in self.children if sibling.is_text) + 1
@@ -141,8 +152,23 @@ class ElementNode:
                 stack.extend(reversed(node.children))
 
     def element_children(self) -> list[ElementNode]:
-        """Child nodes that are elements, in document order."""
-        return [child for child in self.children if isinstance(child, ElementNode)]
+        """Child nodes that are elements, in document order.
+
+        Maintained incrementally by :meth:`append` (trees are immutable
+        once parsed), so this is O(1); the returned list is internal state
+        and must not be mutated.  Each child's position in it is its
+        ``element_index``.
+        """
+        return self._element_children
+
+    def reindex_children(self) -> None:
+        """Recompute element-sibling bookkeeping after direct ``children``
+        surgery (e.g. :func:`repro.dom.parser.strip_non_content`)."""
+        self._element_children = [
+            child for child in self.children if isinstance(child, ElementNode)
+        ]
+        for index, child in enumerate(self._element_children):
+            child.element_index = index
 
     def text_content(self, separator: str = " ") -> str:
         """Concatenated text of all descendant text nodes."""

@@ -66,6 +66,11 @@ class Document:
         self.doc_id: int = next(_DOC_ID_COUNTER)
         self._text_fields: list[TextNode] | None = None
         self._xpath_index: dict[str, ElementNode | TextNode] | None = None
+        #: memoized structural signature; written by
+        #: :func:`repro.clustering.templates.page_signature` so clustering
+        #: and cluster assignment traverse the DOM once per page, not once
+        #: per batch.
+        self._page_signature: frozenset[str] | None = None
 
     def __repr__(self) -> str:
         return f"<Document url={self.url!r} fields={len(self.text_fields())}>"
@@ -74,12 +79,24 @@ class Document:
         """Document-order visible text nodes with non-whitespace content.
 
         The list is computed once and cached; CERES iterates it many times
-        (matching, annotation, feature extraction, extraction).
+        (matching, annotation, feature extraction, extraction).  The walk
+        is inlined (no generator) because it runs once per freshly parsed
+        page on the serving hot path.
         """
         if self._text_fields is None:
-            self._text_fields = [
-                node for node in self.root.iter_text_nodes() if node.text.strip()
-            ]
+            fields: list[TextNode] = []
+            append_field = fields.append
+            stack: list = [self.root]
+            pop = stack.pop
+            extend = stack.extend
+            while stack:
+                node = pop()
+                if node.is_text:
+                    if node.text.strip():
+                        append_field(node)
+                elif node.tag not in NON_CONTENT_ELEMENTS:
+                    extend(reversed(node.children))
+            self._text_fields = fields
         return self._text_fields
 
     def iter_elements(self):
@@ -210,4 +227,9 @@ def strip_non_content(document: Document) -> int:
                 kept.append(child)
         if len(kept) != len(element.children):
             element.children = kept
+            element.reindex_children()
+    if removed:
+        # The structural signature (and any cached signature-derived state)
+        # no longer reflects the tree.
+        document._page_signature = None
     return removed

@@ -113,7 +113,11 @@ class PageMatcher:
         fields_by_norm: dict[str, list[TextNode]] = defaultdict(list)
         field_value_keys: dict[int, set[ValueKey]] = {}
 
+        kb = self.kb
         for node in document.text_fields():
+            # Hoisted per-field work: strip once, normalize once, and
+            # compute the surface variants once — both index probes below
+            # used to redo the variant generation per lookup.
             text = node.text.strip()
             if not text:
                 continue
@@ -122,12 +126,13 @@ class PageMatcher:
                 fields_by_norm[norm].append(node)
             if len(text) > MAX_MENTION_LENGTH:
                 continue
-            entity_ids = self.kb.entity_ids_for_text(text)
+            variants = surface_variants(text)
+            entity_ids = kb.entity_ids_for_variants(variants)
             if entity_ids:
                 field_entities[id(node)] = entity_ids
                 for entity_id in entity_ids:
                     entity_mentions[entity_id].append(node)
-            keys = self.kb.value_keys_for_text(text)
+            keys = kb.value_keys_for_variants(variants)
             if keys:
                 value_keys |= keys
                 field_value_keys[id(node)] = keys

@@ -110,6 +110,15 @@ class KnowledgeBase:
         """Value keys (entities and literals) matching ``text``."""
         return self._value_index.lookup(text)
 
+    def entity_ids_for_variants(self, variants: Iterable[str]) -> set[str]:
+        """:meth:`entity_ids_for_text` with precomputed surface variants
+        (lets callers normalize each field once across both indexes)."""
+        return self._entity_index.lookup_variants(variants)
+
+    def value_keys_for_variants(self, variants: Iterable[str]) -> set[ValueKey]:
+        """:meth:`value_keys_for_text` with precomputed surface variants."""
+        return self._value_index.lookup_variants(variants)
+
     def object_surfaces(self, triple: Triple) -> list[str]:
         """All surface strings under which the triple's object may appear."""
         if triple.object.is_entity:

@@ -38,25 +38,39 @@ class FeatureVectorizer:
         return self
 
     def transform(self, samples: Sequence[Mapping[str, float]]) -> sp.csr_matrix:
-        """Vectorize ``samples`` against the learned vocabulary."""
+        """Vectorize ``samples`` against the learned vocabulary.
+
+        Mapping keys are unique, so duplicate columns within a row are
+        impossible and no ``sum_duplicates()`` pass is needed; entries are
+        emitted in ascending column order (the canonical CSR layout that
+        ``sum_duplicates()`` used to establish) into preallocated buffers.
+        """
         if not self._fitted:
             raise RuntimeError("vectorizer is not fitted")
-        indptr = [0]
-        indices: list[int] = []
-        data: list[float] = []
         vocabulary = self.vocabulary_
-        for sample in samples:
-            for name, value in sample.items():
-                column = vocabulary.get(name)
-                if column is not None and value:
-                    indices.append(column)
-                    data.append(float(value))
-            indptr.append(len(indices))
+        n_samples = len(samples)
+        capacity = sum(len(sample) for sample in samples)
+        indices = np.empty(capacity, dtype=np.int32)
+        data = np.empty(capacity, dtype=np.float64)
+        indptr = np.empty(n_samples + 1, dtype=np.int32)
+        indptr[0] = 0
+        cursor = 0
+        for row, sample in enumerate(samples):
+            entries = sorted(
+                (column, value)
+                for name, value in sample.items()
+                if value and (column := vocabulary.get(name)) is not None
+            )
+            for column, value in entries:
+                indices[cursor] = column
+                data[cursor] = value
+                cursor += 1
+            indptr[row + 1] = cursor
         matrix = sp.csr_matrix(
-            (np.asarray(data), np.asarray(indices, dtype=np.int32), np.asarray(indptr, dtype=np.int32)),
-            shape=(len(samples), len(vocabulary)),
+            (data[:cursor], indices[:cursor], indptr),
+            shape=(n_samples, len(vocabulary)),
         )
-        matrix.sum_duplicates()
+        matrix.has_sorted_indices = True
         return matrix
 
     def fit_transform(self, samples: Sequence[Mapping[str, float]]) -> sp.csr_matrix:

@@ -225,6 +225,8 @@ def _run_site(
 
         service = ExtractionService()
         service.add_site_model(site_model)
+        # Batched serving path: one CSR matrix + matmul per cluster model
+        # over the whole site, same engine the long-lived service runs.
         extractions = service.extract_pages(site, documents, threshold)
         report.n_extractions = len(extractions)
         rows = [

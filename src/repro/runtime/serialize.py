@@ -155,9 +155,12 @@ def model_from_dict(data: dict, config: CeresConfig) -> CeresModel:
         name: index for index, name in enumerate(data["vocabulary"])
     }
     vectorizer._fitted = True
-    return CeresModel(
+    model = CeresModel(
         feature_extractor, vectorizer, _classifier_from_dict(data["classifier"])
     )
+    # Compile the batched scoring engine now, not inside the first serving
+    # request (mirrors CeresTrainer.train).
+    return model.compile()
 
 
 # -- site artifacts --------------------------------------------------------

@@ -5,9 +5,12 @@ for read traffic.  Per site it loads the artifact once, builds one
 :class:`~repro.core.extraction.extractor.CeresExtractor` per modeled
 cluster (via the shared :class:`ClusterExtractorPool`), and memoizes the
 ``page_signature → cluster`` assignment — so a warm ``extract_pages()``
-call does only feature extraction and a matrix multiply per page.  The
-cold pipeline re-runs clustering, topic identification, annotation, and
-L-BFGS training on every call.
+call groups the batch by cluster and runs the batched,
+vocabulary-compiled scoring engine once per cluster model (one CSR
+matrix over every node of every page, one matmul; see
+:mod:`repro.core.extraction.scoring`).  The cold pipeline re-runs
+clustering, topic identification, annotation, and L-BFGS training on
+every call.
 
 Memory is bounded on both axes of a long-lived server:
 
@@ -157,10 +160,11 @@ class ExtractionService:
     ) -> list[Extraction]:
         """Batched, thresholded extraction using cached extractors only.
 
-        ``threshold`` defaults to the trained config's
-        ``confidence_threshold``.  No annotation or training happens here,
-        and no per-batch cleanup is needed: per-page state lives in
-        bounded LRUs keyed by ``doc_id``.
+        The whole document list is scored in cluster-grouped batches by
+        the compiled scoring engine — not page by page.  ``threshold``
+        defaults to the trained config's ``confidence_threshold``.  No
+        annotation or training happens here, and no per-batch cleanup is
+        needed: per-page state lives in bounded LRUs keyed by ``doc_id``.
         """
         return self.pool(site).extract(documents, threshold)
 

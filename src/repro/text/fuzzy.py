@@ -92,8 +92,17 @@ class StringIndex:
 
     def lookup(self, text: str) -> set:
         """Return the union of payloads for all variants of ``text``."""
+        return self.lookup_variants(surface_variants(text))
+
+    def lookup_variants(self, variants: Iterable[str]) -> set:
+        """Union of payloads for precomputed ``variants``.
+
+        Callers probing several indexes with the same text (e.g.
+        :meth:`repro.kb.matcher.PageMatcher.match`) compute
+        :func:`surface_variants` once and reuse it here.
+        """
         result: set = set()
-        for variant in surface_variants(text):
+        for variant in variants:
             found = self._index.get(variant)
             if found:
                 result |= found

@@ -226,8 +226,12 @@ class TestStatsCommand:
         assert payload["served"]["extractions"] > 0
         assert payload["loaded_sites"] == [pages_dir.name]
         site_stats = payload["cache_stats"]["per_site"][pages_dir.name]
-        assert site_stats["feature_registry"]["misses"] >= 16
-        assert site_stats["cluster_assignment"]["size"] >= 1
+        # The batched scoring engine compiles features directly from the
+        # vocabulary; the per-page registry LRU (and, for single-cluster
+        # sites, the assignment memo) is a training/legacy-path cache and
+        # stays cold during serving.
+        assert site_stats["feature_registry"]["misses"] == 0
+        assert site_stats["cluster_assignment"]["misses"] == 0
 
     def test_stats_unknown_site_errors(self, site_on_disk, tmp_path):
         _, _, pages_dir = site_on_disk

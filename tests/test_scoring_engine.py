@@ -1,0 +1,249 @@
+"""Equivalence tests: batched scoring engine vs. the legacy per-node path.
+
+The batched, vocabulary-compiled engine (repro.core.extraction.scoring)
+must reproduce the legacy chain (feature dicts → vectorizer → per-page
+matmul) to full float precision: same subjects, same predicates, same
+confidences, across the SWDE and IMDb fixtures, including pages with
+zero text fields and single-class models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.annotation.examples import TrainingExample
+from repro.core.config import CeresConfig
+from repro.core.extraction.extractor import CeresExtractor
+from repro.core.extraction.scoring import compile_vocabulary
+from repro.core.extraction.trainer import CeresTrainer
+from repro.core.pipeline import CeresPipeline
+from repro.datasets import generate_imdb, generate_swde, seed_kb_for
+from repro.dom.parser import parse_html
+from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL
+
+
+def assert_pages_identical(batched, legacy):
+    """Full-precision equality of two PageCandidates lists."""
+    assert len(batched) == len(legacy)
+    for fast, slow in zip(batched, legacy):
+        assert fast.page_index == slow.page_index
+        assert fast.subject == slow.subject
+        assert fast.name_confidence == slow.name_confidence  # exact, not approx
+        assert len(fast.candidates) == len(slow.candidates)
+        for (node_f, pred_f, conf_f), (node_s, pred_s, conf_s) in zip(
+            fast.candidates, slow.candidates
+        ):
+            assert node_f is node_s
+            assert pred_f == pred_s
+            assert conf_f == conf_s  # exact, not approx
+
+
+def pool_vs_legacy(pool, documents):
+    batched = pool.candidates(documents)
+    legacy = []
+    for page_index, document in enumerate(documents):
+        extractor = pool.extractor_for(document)
+        if extractor is None:
+            from repro.core.extraction.extractor import PageCandidates
+
+            legacy.append(PageCandidates(page_index, None, 0.0, []))
+        else:
+            legacy.append(extractor.legacy_candidates_for_page(document, page_index))
+    return batched, legacy
+
+
+class TestSWDEEquivalence:
+    @pytest.fixture(scope="class")
+    def swde_pool_and_docs(self):
+        dataset = generate_swde("movie", n_sites=2, pages_per_site=14, seed=5)
+        kb = seed_kb_for(dataset, 5)
+        site = dataset.sites[0]
+        documents = [page.document for page in site.pages]
+        pipeline = CeresPipeline(kb, CeresConfig())
+        result = pipeline.run(documents, documents)
+        assert result.extractions, "fixture must actually extract"
+        return pipeline.extractor_pool(result), documents
+
+    def test_pool_candidates_identical(self, swde_pool_and_docs):
+        pool, documents = swde_pool_and_docs
+        batched, legacy = pool_vs_legacy(pool, documents)
+        assert_pages_identical(batched, legacy)
+
+    def test_extractions_identical(self, swde_pool_and_docs):
+        pool, documents = swde_pool_and_docs
+        threshold = CeresConfig().confidence_threshold
+        batched, legacy = pool_vs_legacy(pool, documents)
+        fast_rows = [
+            (e.subject, e.predicate, e.object, e.confidence, e.page_index)
+            for page in batched
+            for e in page.extractions(threshold)
+        ]
+        slow_rows = [
+            (e.subject, e.predicate, e.object, e.confidence, e.page_index)
+            for page in legacy
+            for e in page.extractions(threshold)
+        ]
+        assert fast_rows == slow_rows
+        assert fast_rows  # non-degenerate
+
+    def test_zero_text_field_page_in_batch(self, swde_pool_and_docs):
+        pool, documents = swde_pool_and_docs
+        empty = parse_html("<html><body><div class='x'></div></body></html>")
+        mixed = [documents[0], empty, documents[1]]
+        batched, legacy = pool_vs_legacy(pool, mixed)
+        assert_pages_identical(batched, legacy)
+        assert batched[1].subject is None
+        assert batched[1].candidates == []
+
+    def test_unseen_template_pages(self, swde_pool_and_docs):
+        """Pages from a different site still route and score identically."""
+        pool, _ = swde_pool_and_docs
+        other = generate_swde("movie", n_sites=2, pages_per_site=6, seed=9)
+        documents = [page.document for page in other.sites[1].pages]
+        batched, legacy = pool_vs_legacy(pool, documents)
+        assert_pages_identical(batched, legacy)
+
+
+class TestIMDbEquivalence:
+    def test_film_pages_identical(self):
+        dataset = generate_imdb(seed=3, n_films=14, n_people=8, n_episodes=4)
+        documents = [page.document for page in dataset.film_pages]
+        pipeline = CeresPipeline(dataset.kb, CeresConfig())
+        result = pipeline.run(documents, documents)
+        pool = pipeline.extractor_pool(result)
+        if not pool:
+            pytest.skip("fixture trained no cluster model")
+        batched, legacy = pool_vs_legacy(pool, documents)
+        assert_pages_identical(batched, legacy)
+
+
+def tiny_page(i: int) -> str:
+    return (
+        "<html><body><div class='main'>"
+        f"<h1 class='title'>Title {i}</h1>"
+        f"<div class='row'><span class='label'>Director:</span>"
+        f"<span class='dval'>Director {i}</span></div>"
+        f"<p class='blurb'>Blurb {i}</p>"
+        "</div></body></html>"
+    )
+
+
+class TestDirectModelEquivalence:
+    def test_single_class_model(self):
+        """A degenerate one-label model batches identically (probability 1)."""
+        docs = [parse_html(tiny_page(i)) for i in range(6)]
+        examples = [
+            TrainingExample(i, doc.text_fields()[0], OTHER_LABEL)
+            for i, doc in enumerate(docs)
+        ]
+        model = CeresTrainer(CeresConfig()).train(examples, docs)
+        assert len(model.labels) == 1
+        extractor = CeresExtractor(model, CeresConfig())
+        for page_index, doc in enumerate(docs):
+            fast = extractor.candidates_for_page(doc, page_index)
+            slow = extractor.legacy_candidates_for_page(doc, page_index)
+            assert_pages_identical([fast], [slow])
+
+    def test_predict_proba_for_pages_matches_per_node(self):
+        docs = [parse_html(tiny_page(i)) for i in range(8)]
+        examples = []
+        for i, doc in enumerate(docs):
+            fields = doc.text_fields()
+            examples.append(TrainingExample(i, fields[0], NAME_PREDICATE))
+            examples.append(
+                TrainingExample(
+                    i,
+                    next(f for f in fields if f.text.startswith("Director ")),
+                    "directed_by",
+                )
+            )
+            examples.append(TrainingExample(i, fields[-1], OTHER_LABEL))
+        model = CeresTrainer(CeresConfig()).train(examples, docs)
+        batched = model.predict_proba_for_pages(docs)
+        for doc, fast in zip(docs, batched):
+            nodes = [n for n in doc.text_fields() if n.text.strip()]
+            slow = model.predict_proba_for_nodes(nodes, doc)
+            assert fast.shape == slow.shape
+            assert np.array_equal(fast, slow)  # bitwise, not allclose
+
+    def test_pipe_characters_in_attributes_and_text(self):
+        """Vocabulary compilation must invert names whose values contain
+        the separator character."""
+
+        def weird_page(i: int) -> str:
+            return (
+                "<html><body><div class='a|b|2|0'>"
+                f"<h1 class='t|u1|'>Name|{i}</h1>"
+                "<div class='row'><span class='l|bl'>Price|label:</span>"
+                f"<span class='v'>Value {i}</span></div>"
+                "</div></body></html>"
+            )
+
+        docs = [parse_html(weird_page(i)) for i in range(8)]
+        examples = []
+        for i, doc in enumerate(docs):
+            fields = doc.text_fields()
+            examples.append(TrainingExample(i, fields[0], NAME_PREDICATE))
+            examples.append(TrainingExample(i, fields[-1], "price"))
+            examples.append(TrainingExample(i, fields[1], OTHER_LABEL))
+        config = CeresConfig(frequent_string_min_fraction=0.2)
+        model = CeresTrainer(config).train(examples, docs)
+        assert model.feature_extractor.frequent_strings  # text features active
+        extractor = CeresExtractor(model, config)
+        for page_index, doc in enumerate(docs):
+            fast = extractor.candidates_for_page(doc, page_index)
+            slow = extractor.legacy_candidates_for_page(doc, page_index)
+            assert_pages_identical([fast], [slow])
+
+
+class TestCompileVocabulary:
+    LEVELS = 4
+    WIDTH = 5
+
+    def packed(self, level: int, sibling: int) -> int:
+        return level * (2 * self.WIDTH + 1) + sibling + self.WIDTH
+
+    def test_structural_names_invert_exactly(self):
+        vocabulary = {
+            "s|tag|div|0|0": 0,
+            "s|class|hero|2|-3": 1,
+            "s|class|a|b|1|4": 2,  # value contains the separator
+            "s|id|x|0|0": 3,
+        }
+        struct, text = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
+        assert struct[("tag", "div")] == {self.packed(0, 0): 0}
+        assert struct[("class", "hero")] == {self.packed(2, -3): 1}
+        assert struct[("class", "a|b")] == {self.packed(1, 4): 2}
+        assert struct[("id", "x")] == {self.packed(0, 0): 3}
+        assert text == {}
+
+    def test_out_of_window_positions_skipped(self):
+        """Positions the scorer can never probe don't enter the lookup
+        (and can't alias another window slot via packing)."""
+        vocabulary = {
+            "s|tag|div|9|0": 0,  # level beyond the ancestor window
+            "s|tag|div|0|7": 1,  # sibling beyond the width
+            "s|tag|div|1|-2": 2,
+        }
+        struct, _ = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
+        assert struct[("tag", "div")] == {self.packed(1, -2): 2}
+
+    def test_text_names_invert_exactly(self):
+        vocabulary = {
+            "t|Director:|u0|": 0,
+            "t|Director:|u2|div/span": 1,
+            "t|Genre | mix|u1|td": 2,  # text contains the separator
+        }
+        struct, text = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
+        assert struct == {}
+        assert text[("Director:", "")] == {0: 0}
+        assert text[("Director:", "div/span")] == {2: 1}
+        assert text[("Genre | mix", "td")] == {1: 2}
+
+    def test_foreign_names_skipped(self):
+        struct, text = compile_vocabulary(
+            {"bias": 0, "s|broken": 1, "t|x": 2, "s|tag|div|a|b": 3},
+            self.LEVELS,
+            self.WIDTH,
+        )
+        assert struct == {}
+        assert text == {}
