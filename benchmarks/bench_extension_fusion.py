@@ -15,9 +15,9 @@ from conftest import report
 
 from repro.datasets.commoncrawl import CCSiteConfig, generate_commoncrawl
 from repro.evaluation.experiments import run_table8
+from repro.evaluation.fusion_eval import dataset_fact_keys
 from repro.evaluation.report import format_number, format_prf, format_table
 from repro.fusion import fuse_extractions
-from repro.text.normalize import normalize_text
 
 SITES = (
     CCSiteConfig("fusion-a", "General", "en", 30, 0.8),
@@ -34,22 +34,6 @@ SITES = (
 )
 
 
-def _truth_keys(dataset):
-    """All true (subject, predicate, object) keys across all sites."""
-    keys = set()
-    for site in dataset.sites:
-        for page in site.pages:
-            if not page.topic_name:
-                continue
-            subject = normalize_text(page.topic_name)
-            for predicate, values in page.truth.objects.items():
-                if predicate == "name":
-                    continue
-                for value in values:
-                    keys.add((subject, predicate, normalize_text(value)))
-    return keys
-
-
 def _run(seed=0):
     # A deliberately small universe: the five sites cover overlapping film
     # rosters, so true facts gather support from several sites.
@@ -62,7 +46,7 @@ def _run(seed=0):
     by_site = {
         name: result.extractions for name, result in results.items()
     }
-    truth = _truth_keys(dataset)
+    truth = dataset_fact_keys(dataset.sites)
 
     fused = fuse_extractions(by_site)
     buckets = defaultdict(lambda: [0, 0])  # n_sites bucket -> [correct, total]

@@ -20,7 +20,15 @@ Corpus mode (many sites, a process pool, per-site failure isolation)::
 
 ``--corpus`` accepts a directory of per-site subdirectories or a JSONL
 manifest of ``{"site": ..., "pages": ...}`` lines; see
-:mod:`repro.runtime.runner`.
+:mod:`repro.runtime.runner`.  Adding ``--fuse-output facts.jsonl``
+streams every completed site into a :class:`~repro.fusion.store.FactStore`
+and writes reliability-weighted fused facts when the corpus finishes.
+
+Standalone fusion (the same fused output, from extraction JSONL already
+on disk)::
+
+    python -m repro fuse --input triples.jsonl --kb seed_kb.json \
+        --output facts.jsonl --min-sites 2
 
 Cache observability (hit/miss/eviction counters of the serving LRUs)::
 
@@ -139,6 +147,62 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--no-template-clustering", action="store_true",
         help="treat each site's pages as one template",
+    )
+    corpus.add_argument(
+        "--fuse-output", default=None,
+        help="also fuse all sites' extractions and write fused-fact JSONL here",
+    )
+    corpus.add_argument(
+        "--fuse-min-sites", type=int, default=1,
+        help="fused facts need support from this many sites (default 1)",
+    )
+    corpus.add_argument(
+        "--fuse-min-score", type=float, default=0.0,
+        help="drop fused facts scoring below this (default 0)",
+    )
+    corpus.add_argument(
+        "--no-fuse-reliability", action="store_true",
+        help="plain noisy-OR: skip seed-KB site-reliability weighting",
+    )
+
+    fuse = sub.add_parser(
+        "fuse",
+        help="fuse extraction JSONL (run-corpus output) into scored facts",
+    )
+    fuse.add_argument(
+        "--input", required=True,
+        help="extraction JSONL with per-row 'site' labels ('-' for stdin)",
+    )
+    fuse.add_argument(
+        "--output", default="-", help="fused-fact JSONL path (default: stdout)"
+    )
+    fuse.add_argument(
+        "--kb", default=None,
+        help="seed KB JSON; enables site-reliability weighting",
+    )
+    fuse.add_argument(
+        "--site", default=None,
+        help="site label for rows that carry no 'site' field (extract/serve output)",
+    )
+    fuse.add_argument(
+        "--min-sites", type=int, default=1,
+        help="fused facts need support from this many sites (default 1)",
+    )
+    fuse.add_argument(
+        "--min-score", type=float, default=0.0,
+        help="drop fused facts scoring below this (default 0)",
+    )
+    fuse.add_argument(
+        "--shards", type=int, default=8,
+        help="predicate-keyed shard count (default 8; output-invariant)",
+    )
+    fuse.add_argument(
+        "--max-resident-facts", type=int, default=None,
+        help="spill partial aggregates to disk beyond this many facts",
+    )
+    fuse.add_argument(
+        "--spill-dir", default=None,
+        help="spill directory (default: a self-cleaning temp dir)",
     )
 
     stats = sub.add_parser(
@@ -299,6 +363,96 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fuse(args) -> int:
+    from repro.fusion import (
+        AgreementTally,
+        FactStore,
+        estimate_reliability,
+        write_fused_jsonl,
+    )
+
+    if args.min_sites < 1:
+        raise SystemExit("--min-sites must be >= 1")
+    tally = None
+    if args.kb is not None:
+        tally = AgreementTally(load_kb(args.kb))
+    try:
+        source = sys.stdin if args.input == "-" else open(
+            args.input, "r", encoding="utf-8"
+        )
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    seen_sites: set[str] = set()
+    # The with-block guarantees spill files are removed even when a bad
+    # row aborts the run before finalize().
+    with FactStore(
+        n_shards=args.shards,
+        max_resident_facts=args.max_resident_facts,
+        spill_dir=args.spill_dir,
+    ) as store:
+        try:
+            for line_no, line in enumerate(source, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    if not isinstance(row, dict):
+                        raise TypeError(f"row is {type(row).__name__}, not an object")
+                    # --site is a fallback for label-less extract/serve
+                    # rows; a row's own site label always wins.
+                    site = row.get("site") or args.site
+                    if not site:
+                        raise KeyError("site")
+                    store.add_row(row, site)
+                except (json.JSONDecodeError, AttributeError, KeyError,
+                        TypeError, ValueError) as exc:
+                    raise SystemExit(
+                        f"{args.input}:{line_no}: bad extraction row "
+                        f"(need site/subject/predicate/object/confidence; "
+                        f"--site supplies a missing site label): {exc}"
+                    )
+                seen_sites.add(site)
+                if tally is not None:
+                    tally.observe(
+                        site, row["subject"], row["predicate"], row["object"]
+                    )
+        finally:
+            if source is not sys.stdin:
+                source.close()
+
+        if tally is not None:
+            # Every site gets a weight — an unadjudicated site (no
+            # checkable extraction) falls to the prior, exactly as in
+            # run-corpus fusion.
+            for site in sorted(seen_sites):
+                store.site_reliability[site] = estimate_reliability(
+                    *tally.counts(site)
+                )
+        facts = store.finalize(
+            min_score=args.min_score, min_sites=args.min_sites
+        )
+    sink = _open_sink(args.output)
+    try:
+        n_facts = write_fused_jsonl(facts, sink)
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    stats = store.stats()
+    print(
+        f"[repro] fused {stats['rows']} extraction row(s) into "
+        f"{n_facts} fact(s) ({stats['spills']} spill(s)"
+        + (
+            f", reliability over {stats['reliability_sites']} site(s)"
+            if tally is not None
+            else ""
+        )
+        + ")",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.runtime import ExtractionService, RegistryError
 
@@ -343,28 +497,53 @@ def _cmd_run_corpus(args) -> int:
         discover_corpus(args.corpus)
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(str(error))
+    store = None
+    if args.fuse_output is not None:
+        from repro.fusion import FactStore
+
+        store = FactStore(use_reliability=not args.no_fuse_reliability)
     sink = _open_sink(args.output)
+    fused_note = ""
     try:
-        reports = run_corpus(
-            args.corpus,
-            args.kb,
-            args.registry,
-            config=config,
-            threshold=args.threshold,
-            max_workers=args.workers,
-            output=sink,
-            log=lambda line: print(f"[repro] {line}", file=sys.stderr),
-        )
-    except (FileNotFoundError, ValueError) as error:
-        raise SystemExit(str(error))
+        try:
+            reports = run_corpus(
+                args.corpus,
+                args.kb,
+                args.registry,
+                config=config,
+                threshold=args.threshold,
+                max_workers=args.workers,
+                output=sink,
+                fuse=store,
+                log=lambda line: print(f"[repro] {line}", file=sys.stderr),
+            )
+        except (FileNotFoundError, ValueError) as error:
+            raise SystemExit(str(error))
+        finally:
+            if sink is not sys.stdout:
+                sink.close()
+        if store is not None:
+            from repro.fusion import write_fused_jsonl
+
+            facts = store.finalize(
+                min_score=args.fuse_min_score, min_sites=args.fuse_min_sites
+            )
+            fused_sink = _open_sink(args.fuse_output)
+            try:
+                n_facts = write_fused_jsonl(facts, fused_sink)
+            finally:
+                if fused_sink is not sys.stdout:
+                    fused_sink.close()
+            fused_note = f", {n_facts} fused fact(s) → {args.fuse_output}"
     finally:
-        if sink is not sys.stdout:
-            sink.close()
+        if store is not None:
+            store.close()  # no-op after finalize; reclaims spills on abort
     succeeded = sum(1 for report in reports if report.ok)
     failed = len(reports) - succeeded
     print(
         f"[repro] corpus done: {succeeded} site(s) ok, {failed} failed, "
-        f"{sum(r.n_extractions for r in reports)} triples extracted",
+        f"{sum(r.n_extractions for r in reports)} triples extracted"
+        f"{fused_note}",
         file=sys.stderr,
     )
     return 0 if succeeded else 1
@@ -378,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "serve": _cmd_serve,
         "run-corpus": _cmd_run_corpus,
+        "fuse": _cmd_fuse,
         "stats": _cmd_stats,
     }
     return handlers[args.command](args)

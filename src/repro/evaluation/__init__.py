@@ -1,5 +1,12 @@
 """Evaluation: scoring protocols, report rendering, experiment runners."""
 
+from repro.evaluation.fusion_eval import (
+    dataset_fact_keys,
+    fusion_gain,
+    kb_fact_keys,
+    precision_at_k,
+    rank_unfused,
+)
 from repro.evaluation.report import format_number, format_prf, format_table
 from repro.evaluation.scoring import (
     annotation_scores,
@@ -10,6 +17,11 @@ from repro.evaluation.scoring import (
 )
 
 __all__ = [
+    "dataset_fact_keys",
+    "fusion_gain",
+    "kb_fact_keys",
+    "precision_at_k",
+    "rank_unfused",
     "format_number",
     "format_prf",
     "format_table",

@@ -7,8 +7,42 @@ fusion layer: extractions from many sites vote on each candidate fact, and
 cross-site agreement separates template artifacts (one site extracting the
 same wrong region everywhere) from true facts (asserted independently by
 several sites).
+
+Two entry points share one merge/scoring path:
+
+* :func:`fuse_extractions` — in-memory, for per-run result dicts;
+* :class:`FactStore` — streaming, predicate-sharded, disk-spilling; the
+  corpus-scale path fed by ``run_corpus(..., fuse=...)`` and the
+  ``python -m repro fuse`` CLI.
+
+Per-site reliability weights (agreement with the seed KB) live in
+:mod:`repro.fusion.reliability`.
 """
 
-from repro.fusion.fuse import FusedFact, fuse_extractions
+from repro.fusion.fuse import (
+    FusedFact,
+    canonical_value,
+    fact_key,
+    fuse_extractions,
+)
+from repro.fusion.reliability import (
+    AgreementTally,
+    agreement_counts,
+    estimate_reliability,
+    extraction_agreement,
+)
+from repro.fusion.store import FactStore, fused_fact_row, write_fused_jsonl
 
-__all__ = ["FusedFact", "fuse_extractions"]
+__all__ = [
+    "AgreementTally",
+    "FactStore",
+    "FusedFact",
+    "agreement_counts",
+    "canonical_value",
+    "estimate_reliability",
+    "extraction_agreement",
+    "fact_key",
+    "fuse_extractions",
+    "fused_fact_row",
+    "write_fused_jsonl",
+]

@@ -6,25 +6,71 @@ confidences of its supporting extractions, damped per source so that one
 site repeating an error a hundred times cannot outvote two independent
 sites asserting the truth once:
 
-    score(f) = 1 - Π_sites (1 - site_confidence(f))
+    score(f) = 1 - Π_sites (1 - reliability(site) * site_confidence(f))
     site_confidence(f) = max confidence of f's extractions on that site
 
-Facts are keyed by normalized ``(subject, predicate, object)``; surface
-variation between sites ("June 30, 1989" vs "1989-06-30") is bridged by
-the same normalization used for KB matching.
+``reliability(site)`` defaults to 1 (plain noisy-OR); when estimated from
+a site's agreement with the seed KB (:mod:`repro.fusion.reliability`),
+an unreliable site's vote is discounted before it enters the product —
+the CERES §fusion / source-reliability treatment.
+
+Facts are keyed by canonicalized ``(subject, predicate, object)``;
+surface variation between sites ("June 30, 1989" vs "1989-06-30") is
+bridged by the same normalization used for KB matching plus date
+canonicalization (:func:`repro.kb.literals.parse_date`).
+
+The canonical *surface form* of a fused fact is taken from its
+highest-confidence supporting extraction (ties broken lexically), so the
+fused output never depends on site iteration or arrival order.
+
+For corpus-scale streaming ingestion (bounded memory, disk spill), see
+:class:`repro.fusion.store.FactStore`; :func:`fuse_extractions` is the
+in-memory convenience wrapper over the same merge logic.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.core.extraction.extractor import Extraction
+from repro.kb.literals import parse_date
 from repro.text.normalize import normalize_text
 
-__all__ = ["FusedFact", "fuse_extractions"]
+__all__ = [
+    "FusedFact",
+    "canonical_value",
+    "fact_key",
+    "fuse_extractions",
+]
 
 FactKey = tuple[str, str, str]
+
+#: A single site's confidence never contributes certainty: the noisy-OR
+#: product must stay > 0 so cross-site agreement still moves the score.
+MAX_SITE_CONFIDENCE = 0.999999
+
+
+def canonical_value(text: str) -> str:
+    """The canonical matching form of an object value.
+
+    Dates are canonicalized to ISO first ("June 30, 1989" and
+    "1989-06-30" key identically); everything else goes through
+    :func:`~repro.text.normalize.normalize_text`.
+    """
+    iso = parse_date(text)
+    if iso is not None:
+        return iso
+    return normalize_text(text)
+
+
+def fact_key(subject: str, predicate: str, obj: str) -> FactKey:
+    """Canonical identity of a candidate fact across sites."""
+    return (normalize_text(subject), predicate, canonical_value(obj))
+
+
+def clamp_confidence(confidence: float) -> float:
+    """Confidence clamped into [0, MAX_SITE_CONFIDENCE] for the noisy-OR."""
+    return min(max(confidence, 0.0), MAX_SITE_CONFIDENCE)
 
 
 @dataclass
@@ -36,6 +82,14 @@ class FusedFact:
     object: str
     #: site name -> best extraction confidence on that site.
     site_support: dict[str, float] = field(default_factory=dict)
+    #: site name -> reliability weight in [0, 1]; sites absent from the
+    #: mapping weigh 1.0 (plain noisy-OR).
+    site_reliability: dict[str, float] = field(default_factory=dict)
+    #: set by FactStore.finalize once support is final, so ranking and
+    #: serialization reuse one computation and stay mutually consistent.
+    _score_cache: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_sites(self) -> int:
@@ -43,24 +97,34 @@ class FusedFact:
 
     @property
     def score(self) -> float:
-        """Noisy-OR over per-site confidences."""
+        """Reliability-weighted noisy-OR over per-site confidences.
+
+        Sites enter the product in sorted name order so the score is
+        bit-identical regardless of ingestion order.
+        """
+        if self._score_cache is not None:
+            return self._score_cache
         remaining = 1.0
-        for confidence in self.site_support.values():
-            remaining *= 1.0 - min(max(confidence, 0.0), 0.999999)
+        for site in sorted(self.site_support):
+            weight = self.site_reliability.get(site, 1.0)
+            remaining *= 1.0 - weight * clamp_confidence(self.site_support[site])
         return 1.0 - remaining
 
+    def freeze_score(self) -> float:
+        """Compute, cache, and return the score (support is final)."""
+        self._score_cache = None
+        self._score_cache = self.score
+        return self._score_cache
+
     def key(self) -> FactKey:
-        return (
-            normalize_text(self.subject),
-            self.predicate,
-            normalize_text(self.object),
-        )
+        return fact_key(self.subject, self.predicate, self.object)
 
 
 def fuse_extractions(
     extractions_by_site: dict[str, list[Extraction]],
     min_score: float = 0.0,
     min_sites: int = 1,
+    site_reliability: dict[str, float] | None = None,
 ) -> list[FusedFact]:
     """Fuse per-site extraction lists into scored candidate facts.
 
@@ -69,38 +133,18 @@ def fuse_extractions(
         min_score: drop fused facts scoring below this.
         min_sites: require support from at least this many distinct sites
             (2+ filters single-site template artifacts).
+        site_reliability: optional site -> weight in [0, 1] applied to
+            each site's vote (see :mod:`repro.fusion.reliability`).
 
     Returns:
-        Fused facts sorted by descending score, then by key for
-        determinism.
+        Fused facts sorted by descending score, then by key — a total,
+        insertion-order-independent order.
     """
-    facts: dict[FactKey, FusedFact] = {}
-    for site, extractions in extractions_by_site.items():
-        best_on_site: dict[FactKey, Extraction] = {}
-        for extraction in extractions:
-            key = (
-                normalize_text(extraction.subject),
-                extraction.predicate,
-                normalize_text(extraction.object),
-            )
-            current = best_on_site.get(key)
-            if current is None or extraction.confidence > current.confidence:
-                best_on_site[key] = extraction
-        for key, extraction in best_on_site.items():
-            fact = facts.get(key)
-            if fact is None:
-                fact = FusedFact(
-                    extraction.subject, extraction.predicate, extraction.object
-                )
-                facts[key] = fact
-            fact.site_support[site] = max(
-                fact.site_support.get(site, 0.0), extraction.confidence
-            )
+    # One code path with the streaming store: fuse_extractions is the
+    # everything-fits-in-memory special case.
+    from repro.fusion.store import FactStore
 
-    fused = [
-        fact
-        for fact in facts.values()
-        if fact.n_sites >= min_sites and fact.score >= min_score
-    ]
-    fused.sort(key=lambda f: (-f.score, f.key()))
-    return fused
+    store = FactStore(site_reliability=site_reliability)
+    for site, extractions in extractions_by_site.items():
+        store.add_extractions(site, extractions)
+    return store.finalize(min_score=min_score, min_sites=min_sites)

@@ -1,0 +1,145 @@
+"""Site reliability estimated from agreement with the seed KB.
+
+CERES §fusion / the PGM-based distant-supervision line treat each source
+as having a latent accuracy; here it is estimated directly, per site,
+from the extractions the seed KB can adjudicate:
+
+* an extraction is **checkable** when the KB knows its subject (some
+  entity matches the subject surface) *and* asserts at least one triple
+  for its predicate on that subject — the KB has an opinion;
+* a checkable extraction **agrees** when its object canonicalizes to one
+  of the KB object surfaces for that (subject, predicate).
+
+``reliability = (agreed + prior·weight) / (checked + weight)`` — a
+Beta-smoothed agreement rate, so a site with three checkable facts is
+pulled toward the prior while a site with three hundred earns its own
+rate.  The weight discounts a site's vote inside the fused noisy-OR
+(:attr:`repro.fusion.fuse.FusedFact.score`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fusion.fuse import canonical_value
+from repro.kb.store import KnowledgeBase
+from repro.runtime.cache import LRUCache
+from repro.text.fuzzy import surface_variants
+
+__all__ = [
+    "AgreementTally",
+    "agreement_counts",
+    "estimate_reliability",
+    "extraction_agreement",
+]
+
+#: Beta prior on site accuracy: centered, worth PRIOR_WEIGHT observations.
+PRIOR = 0.5
+PRIOR_WEIGHT = 2.0
+#: Reliability clamps: a weight of exactly 0 would erase a site entirely
+#: and exactly 1 would claim a perfect source; neither is believable.
+MIN_RELIABILITY = 0.05
+MAX_RELIABILITY = 0.99
+
+
+def estimate_reliability(
+    checked: int,
+    agreed: int,
+    *,
+    prior: float = PRIOR,
+    prior_weight: float = PRIOR_WEIGHT,
+) -> float:
+    """Smoothed per-site accuracy from seed-KB agreement counts."""
+    if checked < 0 or agreed < 0 or agreed > checked:
+        raise ValueError(f"bad agreement counts: {agreed}/{checked}")
+    estimate = (agreed + prior * prior_weight) / (checked + prior_weight)
+    return min(max(estimate, MIN_RELIABILITY), MAX_RELIABILITY)
+
+
+class AgreementTally:
+    """Streaming per-site (checked, agreed) tallies against one KB.
+
+    Lookup work is memoized per distinct subject surface and per
+    ``(entity, predicate)`` — extractions repeat both heavily — in
+    bounded LRUs shared across sites, so a corpus-scale stream (the
+    FactStore's bounded-memory regime) cannot grow the tally's resident
+    set without bound either.
+    """
+
+    #: Memo capacities: a site's distinct subjects are its page topics
+    #: (hundreds), so tens of thousands of slots span many sites' working
+    #: sets while capping worst-case growth on corpus-scale streams.
+    CACHE_SIZE = 65536
+
+    def __init__(self, kb: KnowledgeBase, cache_size: int = CACHE_SIZE) -> None:
+        self._kb = kb
+        self._subject_cache: LRUCache[str, frozenset[str]] = LRUCache(
+            cache_size, name="tally_subjects"
+        )
+        self._object_cache: LRUCache[tuple[str, str], frozenset[str]] = (
+            LRUCache(cache_size, name="tally_objects")
+        )
+        #: site -> [checked, agreed]
+        self._counts: dict[str, list[int]] = {}
+
+    def observe(
+        self, site: str, subject: str, predicate: str, obj: str
+    ) -> None:
+        """Tally one extraction surface against the KB."""
+        entity_ids = self._subject_cache.get(subject)
+        if entity_ids is None:
+            entity_ids = frozenset(
+                self._kb.entity_ids_for_variants(surface_variants(subject))
+            )
+            self._subject_cache.put(subject, entity_ids)
+        if not entity_ids:
+            return
+        known: set[str] = set()
+        for entity_id in entity_ids:
+            cache_key = (entity_id, predicate)
+            surfaces = self._object_cache.get(cache_key)
+            if surfaces is None:
+                surfaces = frozenset(
+                    canonical_value(surface)
+                    for triple in self._kb.triples_for_subject(entity_id)
+                    if triple.predicate == predicate
+                    for surface in self._kb.object_surfaces(triple)
+                )
+                self._object_cache.put(cache_key, surfaces)
+            known.update(surfaces)
+        if not known:
+            return  # the KB has no opinion on this (subject, predicate)
+        counts = self._counts.setdefault(site, [0, 0])
+        counts[0] += 1
+        if canonical_value(obj) in known:
+            counts[1] += 1
+
+    def counts(self, site: str) -> tuple[int, int]:
+        """(checked, agreed) observed for ``site`` so far."""
+        checked, agreed = self._counts.get(site, (0, 0))
+        return checked, agreed
+
+    def sites(self) -> list[str]:
+        return sorted(self._counts)
+
+
+def agreement_counts(
+    kb: KnowledgeBase,
+    facts: Iterable[tuple[str, str, str]],
+) -> tuple[int, int]:
+    """(checked, agreed) of ``(subject, predicate, object)`` surfaces
+    against the seed KB."""
+    tally = AgreementTally(kb)
+    for subject, predicate, obj in facts:
+        tally.observe("_", subject, predicate, obj)
+    return tally.counts("_")
+
+
+def extraction_agreement(
+    kb: KnowledgeBase, extractions: Iterable
+) -> tuple[int, int]:
+    """:func:`agreement_counts` over extraction objects."""
+    return agreement_counts(
+        kb,
+        ((e.subject, e.predicate, e.object) for e in extractions),
+    )

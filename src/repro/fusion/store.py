@@ -1,0 +1,397 @@
+"""FactStore: corpus-scale streaming fusion with bounded memory.
+
+CERES fuses the output of hundreds of thousands of sites; the full
+candidate-fact set does not fit in one dict.  :class:`FactStore` ingests
+extractions incrementally — site by site, as
+:func:`repro.runtime.runner.run_corpus` reports completions, or row by
+row from extraction JSONL — and maintains per-fact site support in
+predicate-keyed shards.  When resident facts exceed a bound, the largest
+shard spills its partial aggregates to a sorted run file on disk;
+:meth:`finalize` k-way-merges the in-memory remainder with every spilled
+run and scores each fact once.
+
+Determinism is the contract: the fused output is bit-identical no matter
+the ingestion order (worker completion order under a process pool), the
+shard count, or how often spills happened.  Three properties make that
+hold:
+
+* the per-fact merge (max confidence per site, best-surface selection)
+  is associative and commutative;
+* the noisy-OR iterates sites in sorted name order
+  (:attr:`FusedFact.score`);
+* the final ordering ``(-score, key)`` is total — keys are unique.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import shutil
+import tempfile
+import zlib
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.core.extraction.extractor import Extraction
+from repro.fusion.fuse import FactKey, FusedFact, fact_key
+from repro.fusion.reliability import estimate_reliability
+
+__all__ = ["FactStore", "fused_fact_row", "write_fused_jsonl"]
+
+#: best-surface selector: minimal (-confidence, subject, object) wins, so
+#: the highest-confidence extraction names the fact, ties broken lexically.
+_Best = tuple[float, str, str]
+#: one partially merged fact: [best, {site: max confidence}].
+_Partial = list
+
+
+def _shard_of(predicate: str, n_shards: int) -> int:
+    """Stable predicate -> shard assignment (never the randomized
+    built-in ``hash``, which would break cross-process determinism)."""
+    return zlib.crc32(predicate.encode("utf-8")) % n_shards
+
+
+def _merge_partial(into: _Partial, other: _Partial) -> None:
+    if other[0] < into[0]:
+        into[0] = other[0]
+    support = into[1]
+    for site, confidence in other[1].items():
+        current = support.get(site)
+        if current is None or confidence > current:
+            support[site] = confidence
+
+
+def _merge_streams(
+    streams: list[Iterator[tuple[FactKey, _Partial]]],
+) -> Iterator[tuple[FactKey, _Partial]]:
+    """K-way merge of key-sorted partial streams, combining equal keys."""
+    merged = heapq.merge(*streams, key=lambda item: item[0])
+    current_key: FactKey | None = None
+    current: _Partial | None = None
+    for key, partial in merged:
+        if key == current_key:
+            _merge_partial(current, partial)
+            continue
+        if current_key is not None:
+            yield current_key, current
+        current_key, current = key, partial
+    if current_key is not None:
+        yield current_key, current
+
+
+class FactStore:
+    """Streaming aggregation of extractions into scored fused facts.
+
+    Args:
+        n_shards: predicate-keyed shard count; affects spill granularity
+            only, never the fused output.
+        max_resident_facts: spill to disk once this many distinct facts
+            are held in memory (the bound that keeps corpus-scale RSS
+            flat).  ``None`` never spills.
+        spill_dir: where run files land; ``None`` uses a self-cleaning
+            temporary directory.
+        site_reliability: optional pre-computed site -> weight mapping.
+        use_reliability: when True, :meth:`observe_agreement` converts
+            seed-KB agreement counts into reliability weights; when
+            False those observations are ignored (plain noisy-OR).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_shards: int = 8,
+        max_resident_facts: int | None = None,
+        spill_dir: str | Path | None = None,
+        site_reliability: dict[str, float] | None = None,
+        use_reliability: bool = False,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if max_resident_facts is not None and max_resident_facts < 1:
+            raise ValueError("max_resident_facts must be >= 1 or None")
+        self.n_shards = n_shards
+        self.max_resident_facts = max_resident_facts
+        self.site_reliability: dict[str, float] = dict(site_reliability or {})
+        self.use_reliability = use_reliability
+        self._shards: list[dict[FactKey, _Partial]] = [
+            {} for _ in range(n_shards)
+        ]
+        self._runs: list[list[Path]] = [[] for _ in range(n_shards)]
+        self._run_counter = 0
+        self._resident = 0
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._tmp_dir: str | None = None
+        self._finalized = False
+        self.n_rows = 0
+        self.n_spills = 0
+        self.n_spilled_facts = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(
+        self,
+        site: str,
+        subject: str,
+        predicate: str,
+        obj: str,
+        confidence: float,
+    ) -> None:
+        """Ingest one extraction (any order; duplicates merge)."""
+        if self._finalized:
+            raise RuntimeError("FactStore already finalized")
+        key = fact_key(subject, predicate, obj)
+        shard = self._shards[_shard_of(predicate, self.n_shards)]
+        best: _Best = (-confidence, subject, obj)
+        partial = shard.get(key)
+        if partial is None:
+            shard[key] = [best, {site: confidence}]
+            self._resident += 1
+            if (
+                self.max_resident_facts is not None
+                and self._resident > self.max_resident_facts
+            ):
+                self._spill_largest_shard()
+        else:
+            _merge_partial(partial, [best, {site: confidence}])
+        self.n_rows += 1
+
+    def add_extractions(
+        self, site: str, extractions: Iterable[Extraction]
+    ) -> None:
+        """Ingest one site's extraction objects."""
+        for extraction in extractions:
+            self.add(
+                site,
+                extraction.subject,
+                extraction.predicate,
+                extraction.object,
+                extraction.confidence,
+            )
+
+    def add_row(self, row: dict, site: str | None = None) -> None:
+        """Ingest one extraction JSONL row (the :func:`extraction_row`
+        format); ``site`` overrides/supplies the row's site label."""
+        label = site if site is not None else row.get("site")
+        if not label:
+            raise ValueError(
+                "extraction row has no 'site' field and no site was given"
+            )
+        self.add(
+            label, row["subject"], row["predicate"], row["object"],
+            float(row["confidence"]),
+        )
+
+    def ingest_rows(
+        self, rows: Iterable[dict], site: str | None = None
+    ) -> None:
+        for row in rows:
+            self.add_row(row, site)
+
+    # -- reliability -------------------------------------------------------
+
+    def observe_agreement(self, site: str, checked: int, agreed: int) -> None:
+        """Record a site's seed-KB agreement counts; converted to a
+        reliability weight when ``use_reliability`` is on, ignored
+        otherwise (so callers may always report)."""
+        if self.use_reliability:
+            self.site_reliability[site] = estimate_reliability(checked, agreed)
+
+    # -- spilling ----------------------------------------------------------
+
+    @property
+    def resident_facts(self) -> int:
+        """Distinct facts currently held in memory (spilled ones excluded)."""
+        return self._resident
+
+    def _spill_root(self) -> Path:
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            return self._spill_dir
+        if self._tmp_dir is None:
+            self._tmp_dir = tempfile.mkdtemp(prefix="repro-factstore-")
+        return Path(self._tmp_dir)
+
+    #: Compact a shard's runs once this many accumulate, so merging (here
+    #: and in finalize) never opens more than this many files at once —
+    #: extreme cap/fact ratios must not hit the process fd limit.
+    MAX_RUNS_PER_SHARD = 16
+
+    def _next_run_path(self, index: int) -> Path:
+        self._run_counter += 1
+        return (
+            self._spill_root()
+            / f"shard{index:03d}.run{self._run_counter:06d}.jsonl"
+        )
+
+    @staticmethod
+    def _write_run(
+        path: Path, items: Iterable[tuple[FactKey, _Partial]]
+    ) -> None:
+        with path.open("w", encoding="utf-8") as sink:
+            for key, (best, support) in items:
+                sink.write(
+                    json.dumps([list(key), list(best), support],
+                               ensure_ascii=False)
+                    + "\n"
+                )
+
+    def _spill_largest_shard(self) -> None:
+        index = max(range(self.n_shards), key=lambda i: len(self._shards[i]))
+        shard = self._shards[index]
+        if not shard:
+            return
+        run_path = self._next_run_path(index)
+        self._write_run(
+            run_path, ((key, shard[key]) for key in sorted(shard))
+        )
+        self._runs[index].append(run_path)
+        self.n_spills += 1
+        self.n_spilled_facts += len(shard)
+        self._resident -= len(shard)
+        shard.clear()
+        if len(self._runs[index]) >= self.MAX_RUNS_PER_SHARD:
+            self._compact_runs(index)
+
+    def _compact_runs(self, index: int) -> None:
+        """Merge a shard's runs into one (streaming, fd-bounded)."""
+        runs = self._runs[index]
+        compacted = self._next_run_path(index)
+        self._write_run(
+            compacted, _merge_streams([self._read_run(p) for p in runs])
+        )
+        for path in runs:
+            path.unlink()
+        self._runs[index] = [compacted]
+
+    @staticmethod
+    def _read_run(path: Path) -> Iterator[tuple[FactKey, _Partial]]:
+        with path.open("r", encoding="utf-8") as source:
+            for line in source:
+                key, best, support = json.loads(line)
+                yield tuple(key), [tuple(best), support]
+
+    # -- finalization ------------------------------------------------------
+
+    def finalize(
+        self, *, min_score: float = 0.0, min_sites: int = 1
+    ) -> list[FusedFact]:
+        """Merge memory + spilled runs into scored, filtered, sorted facts.
+
+        The store is consumed: spill files are removed and further
+        ingestion raises.
+        """
+        if self._finalized:
+            raise RuntimeError("FactStore already finalized")
+        self._finalized = True
+        #: (-score, key, fact) — score and canonical key computed exactly
+        #: once per fact; the sort then compares plain tuples.
+        fused: list[tuple[float, FactKey, FusedFact]] = []
+        try:
+            for index in range(self.n_shards):
+                shard = self._shards[index]
+                streams: list[Iterator[tuple[FactKey, _Partial]]] = [
+                    iter(sorted(shard.items()))
+                ]
+                streams.extend(self._read_run(p) for p in self._runs[index])
+                for key, partial in _merge_streams(streams):
+                    self._emit(key, partial, fused, min_score, min_sites)
+                shard.clear()
+        finally:
+            self._cleanup()
+        self._resident = 0
+        fused.sort(key=lambda entry: entry[:2])
+        return [fact for _, _, fact in fused]
+
+    def _emit(
+        self,
+        key: FactKey,
+        partial: _Partial,
+        fused: list[tuple[float, FactKey, FusedFact]],
+        min_score: float,
+        min_sites: int,
+    ) -> None:
+        best, support = partial
+        if len(support) < min_sites:
+            return
+        fact = FusedFact(
+            subject=best[1],
+            predicate=key[1],
+            object=best[2],
+            site_support=support,
+            # Per-fact snapshot of the supporting sites' weights: the
+            # emitted fact must not alias the store's mutable mapping.
+            site_reliability={
+                site: self.site_reliability[site]
+                for site in support
+                if site in self.site_reliability
+            },
+        )
+        score = fact.freeze_score()
+        if score >= min_score:
+            fused.append((-score, key, fact))
+
+    def close(self) -> None:
+        """Discard all state and remove spill files (idempotent).
+
+        ``finalize`` consumes the store and cleans up after itself;
+        ``close`` covers the abandonment path — an error between the
+        first spill and ``finalize`` must not leak run files in /tmp.
+        """
+        self._finalized = True
+        for shard in self._shards:
+            shard.clear()
+        self._resident = 0
+        self._cleanup()
+
+    def __enter__(self) -> "FactStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _cleanup(self) -> None:
+        for runs in self._runs:
+            for path in runs:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            runs.clear()
+        if self._tmp_dir is not None:
+            shutil.rmtree(self._tmp_dir, ignore_errors=True)
+            self._tmp_dir = None
+
+    def stats(self) -> dict:
+        """Ingestion counters, JSON-friendly."""
+        return {
+            "rows": self.n_rows,
+            "resident_facts": self._resident,
+            "spills": self.n_spills,
+            "spilled_facts": self.n_spilled_facts,
+            "shards": self.n_shards,
+            "reliability_sites": len(self.site_reliability),
+        }
+
+
+def fused_fact_row(fact: FusedFact) -> dict:
+    """The canonical fused-fact JSONL row (sites sorted — byte-stable)."""
+    return {
+        "subject": fact.subject,
+        "predicate": fact.predicate,
+        "object": fact.object,
+        "score": fact.score,
+        "n_sites": fact.n_sites,
+        "sites": {
+            site: fact.site_support[site]
+            for site in sorted(fact.site_support)
+        },
+    }
+
+
+def write_fused_jsonl(facts: Iterable[FusedFact], sink: IO[str]) -> int:
+    """Write fused facts as JSONL; returns the number of rows written."""
+    count = 0
+    for fact in facts:
+        sink.write(json.dumps(fused_fact_row(fact), ensure_ascii=False) + "\n")
+        count += 1
+    return count

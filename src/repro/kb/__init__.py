@@ -1,6 +1,11 @@
 """Knowledge base: entities, triples, ontology, store, and page matching."""
 
-from repro.kb.literals import date_variants, literal_variants, number_variants
+from repro.kb.literals import (
+    date_variants,
+    literal_variants,
+    number_variants,
+    parse_date,
+)
 from repro.kb.matcher import PageMatch, PageMatcher
 from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL, Ontology, Predicate
 from repro.kb.store import KnowledgeBase
@@ -10,6 +15,7 @@ __all__ = [
     "date_variants",
     "literal_variants",
     "number_variants",
+    "parse_date",
     "PageMatch",
     "PageMatcher",
     "NAME_PREDICATE",

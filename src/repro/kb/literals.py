@@ -13,10 +13,18 @@ from __future__ import annotations
 import re
 from datetime import date
 
-__all__ = ["date_variants", "number_variants", "literal_variants"]
+__all__ = ["date_variants", "number_variants", "literal_variants", "parse_date"]
 
 _ISO_DATE_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
 _NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+
+# Inverse-direction patterns: the surface formats date_variants() renders
+# (plus unpadded ISO), recognized back into canonical ISO form.
+_MONTH_DAY_YEAR_RE = re.compile(r"^([A-Za-z]+)\.?\s+(\d{1,2})(?:st|nd|rd|th)?,?\s+(\d{4})$")
+_DAY_MONTH_YEAR_RE = re.compile(r"^(\d{1,2})(?:st|nd|rd|th)?\.?\s+([A-Za-z]+)\.?,?\s+(\d{4})$")
+_SLASH_DATE_RE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
+_DOT_DATE_RE = re.compile(r"^(\d{1,2})\.\s?(\d{1,2})\.\s?(\d{4})$")
+_ISO_LOOSE_RE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
 
 MONTH_NAMES = (
     "January", "February", "March", "April", "May", "June",
@@ -52,6 +60,78 @@ def date_variants(text: str) -> list[str]:
         f"{month:02d}/{day:02d}/{year}",
         f"{day}. {month}. {year}",  # central-European format
     ]
+
+
+def _valid_iso(year: int, month: int, day: int) -> str | None:
+    try:
+        date(year, month, day)
+    except ValueError:
+        return None
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+#: month name (and 3-letter abbreviation) -> month number, built once:
+#: parse_date sits on fusion's per-row canonicalization hot path.
+_MONTH_INDEX = {
+    name.casefold(): i + 1 for i, name in enumerate(MONTH_NAMES)
+}
+_MONTH_INDEX.update(
+    (name[:3].casefold(), i + 1) for i, name in enumerate(MONTH_NAMES)
+)
+
+
+def parse_date(text: str) -> str | None:
+    """Parse a surface date back into canonical ISO form (the inverse of
+    :func:`date_variants`), or None when ``text`` is not a recognizable
+    date.
+
+    The contract is *never wrong, sometimes abstains*: every non-None
+    result is the date the rendering actually meant.  Dot-separated
+    numeric dates (``30. 6. 1989``) are day-first, as
+    :func:`date_variants` renders them; slash dates are parsed only when
+    unambiguous (one of day-first/month-first is valid) — ``05/06/1989``
+    could mean May 6 or June 5, so it returns None rather than guess a
+    valid-but-wrong date.
+
+    >>> parse_date("June 30, 1989")
+    '1989-06-30'
+    >>> parse_date("30 June 1989")
+    '1989-06-30'
+    >>> parse_date("05/06/1989") is None
+    True
+    >>> parse_date("Drama") is None
+    True
+    """
+    stripped = text.strip()
+    match = _ISO_LOOSE_RE.match(stripped)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        return _valid_iso(year, month, day)
+    match = _MONTH_DAY_YEAR_RE.match(stripped)
+    if match:
+        month = _MONTH_INDEX.get(match.group(1).casefold())
+        if month is not None:
+            return _valid_iso(int(match.group(3)), month, int(match.group(2)))
+        return None
+    match = _DAY_MONTH_YEAR_RE.match(stripped)
+    if match:
+        month = _MONTH_INDEX.get(match.group(2).casefold())
+        if month is not None:
+            return _valid_iso(int(match.group(3)), month, int(match.group(1)))
+        return None
+    match = _DOT_DATE_RE.match(stripped)
+    if match:
+        day, month, year = (int(g) for g in match.groups())
+        return _valid_iso(year, month, day)
+    match = _SLASH_DATE_RE.match(stripped)
+    if match:
+        first, second, year = (int(g) for g in match.groups())
+        month_first = _valid_iso(year, first, second)
+        day_first = _valid_iso(year, second, first)
+        if month_first and day_first and month_first != day_first:
+            return None  # ambiguous: dd/mm vs mm/dd both plausible
+        return month_first or day_first
+    return None
 
 
 def number_variants(text: str) -> list[str]:

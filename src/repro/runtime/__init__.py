@@ -21,8 +21,11 @@ Exports resolve lazily (PEP 562): the low layers (``repro.kb.matcher``,
 without dragging in the serving stack — which would otherwise be a
 circular import, since the serving stack imports those same layers.
 
-The CLI (``python -m repro train | serve | run-corpus | stats``) fronts
-all of it; see the root README for a quickstart.
+The CLI (``python -m repro train | serve | run-corpus | fuse | stats``)
+fronts all of it; see the root README for a quickstart.  Cross-site
+fusion of the runner's output lives in :mod:`repro.fusion`
+(``run_corpus(..., fuse=...)`` streams completed sites into a
+:class:`~repro.fusion.store.FactStore`).
 """
 
 from __future__ import annotations

@@ -10,7 +10,8 @@ rows to JSONL as sites finish.
 Corpus formats (:func:`discover_corpus`):
 
 * **directory-of-directories** — every immediate subdirectory containing
-  at least one ``*.html`` file is one site (named after the subdirectory);
+  at least one HTML page (``.html``/``.htm``, any case) is one site
+  (named after the subdirectory);
 * **JSONL manifest** — one object per line:
   ``{"site": "name", "pages": "path/to/html/dir"}``, relative paths
   resolved against the manifest's directory.
@@ -29,7 +30,10 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, TextIO
+from typing import TYPE_CHECKING, Callable, TextIO
+
+if TYPE_CHECKING:
+    from repro.fusion.store import FactStore
 
 from repro.core.config import CeresConfig
 from repro.dom.parser import Document, parse_html
@@ -75,6 +79,11 @@ class SiteReport:
     #: unmodeled pages never disappear silently.
     n_skipped_clusters: int = 0
     n_skipped_pages: int = 0
+    #: seed-KB adjudication of this site's extractions: how many the KB
+    #: could check (it knows the subject and predicate) and how many of
+    #: those agreed — the inputs to fusion's site-reliability weight.
+    kb_checked: int = 0
+    kb_agreed: int = 0
     artifact_path: str | None = None
     seconds: float = 0.0
 
@@ -88,11 +97,29 @@ class SiteReport:
                 f" skipped={self.n_skipped_pages}p/"
                 f"{self.n_skipped_clusters}c"
             )
+        kb_note = ""
+        if self.kb_checked:
+            kb_note = f" kb={self.kb_agreed}/{self.kb_checked}"
         return (
             f"site={self.site} ok pages={self.n_pages} "
             f"clusters={self.n_clusters} extractions={self.n_extractions}"
-            f"{skipped} ({self.seconds:.1f}s)"
+            f"{skipped}{kb_note} ({self.seconds:.1f}s)"
         )
+
+
+#: Page file suffixes accepted by discovery and loading, matched
+#: case-insensitively: real crawls mix ``.html``, ``.htm``, and
+#: uppercase-suffixed pages freely.
+PAGE_SUFFIXES = frozenset({".html", ".htm"})
+
+
+def _page_files(pages_dir: Path) -> list[Path]:
+    """HTML page files of one site directory, sorted by file name."""
+    return sorted(
+        child
+        for child in pages_dir.iterdir()
+        if child.is_file() and child.suffix.lower() in PAGE_SUFFIXES
+    )
 
 
 def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
@@ -102,11 +129,11 @@ def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
         specs = [
             SiteSpec(child.name, str(child))
             for child in sorted(path.iterdir())
-            if child.is_dir() and any(child.glob("*.html"))
+            if child.is_dir() and _page_files(child)
         ]
         if not specs:
             raise ValueError(
-                f"no site subdirectories with .html files under {path}"
+                f"no site subdirectories with .html/.htm files under {path}"
             )
         return specs
     if path.is_file():
@@ -150,10 +177,11 @@ def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
 
 
 def load_site_documents(pages_dir: str | Path) -> list[Document]:
-    """Parse every ``*.html`` file of one site, sorted by file name."""
-    paths = sorted(Path(pages_dir).glob("*.html"))
+    """Parse every HTML page of one site (``.html``/``.htm``, any case),
+    sorted by file name."""
+    paths = _page_files(Path(pages_dir))
     if not paths:
-        raise FileNotFoundError(f"no .html files found in {pages_dir!r}")
+        raise FileNotFoundError(f"no .html/.htm files found in {pages_dir!r}")
     return [
         parse_html(
             page.read_text(encoding="utf-8", errors="replace"), url=page.name
@@ -164,7 +192,13 @@ def load_site_documents(pages_dir: str | Path) -> list[Document]:
 
 def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
     """The canonical JSONL row — shared by extract, serve, and run-corpus
-    so the three streams never drift apart."""
+    so the three streams never drift apart.
+
+    ``confidence`` is emitted at full precision: JSON floats round-trip
+    exactly, so fusing from rows on disk is bit-identical to fusing the
+    in-memory extractions.  Rounding belongs in human-facing summaries
+    only — a rounded row made the two paths diverge.
+    """
     row: dict = {"site": site} if site is not None else {}
     row.update(
         {
@@ -172,7 +206,7 @@ def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
             "subject": extraction.subject,
             "predicate": extraction.predicate,
             "object": extraction.object,
-            "confidence": round(extraction.confidence, 4),
+            "confidence": extraction.confidence,
         }
     )
     return row
@@ -229,6 +263,15 @@ def _run_site(
         # over the whole site, same engine the long-lived service runs.
         extractions = service.extract_pages(site, documents, threshold)
         report.n_extractions = len(extractions)
+
+        # Seed-KB agreement for fusion's reliability weights — computed
+        # here, where the KB is already resident, so the coordinator
+        # never has to load it.
+        from repro.fusion.reliability import extraction_agreement
+
+        report.kb_checked, report.kb_agreed = extraction_agreement(
+            kb, extractions
+        )
         rows = [
             extraction_row(
                 extraction, documents[extraction.page_index].url, site
@@ -256,6 +299,7 @@ def run_corpus(
     threshold: float | None = None,
     max_workers: int | None = None,
     output: TextIO | None = None,
+    fuse: "FactStore | TextIO | None" = None,
     log: Callable[[str], None] | None = None,
 ) -> list[SiteReport]:
     """Train and extract every site of ``corpus``; returns per-site reports.
@@ -271,6 +315,14 @@ def run_corpus(
             ``<= 1`` runs inline (no subprocesses — simplest to debug).
         output: writable text stream receiving extraction JSONL rows,
             streamed per site as each finishes.
+        fuse: a :class:`~repro.fusion.store.FactStore` ingests each
+            site's rows (and seed-KB agreement counts) as the site
+            completes — the caller finalizes it; a plain text stream
+            instead receives fused-fact JSONL from a default
+            reliability-weighted store (matching the CLI's
+            ``--fuse-output`` default), finalized after the last site.
+            The fused output is bit-identical regardless of worker
+            completion order.
         log: per-site progress callback (e.g. ``print`` to stderr).
 
     Reports come back in completion order; failed sites carry their error
@@ -281,52 +333,85 @@ def run_corpus(
     registry = str(registry_root) if registry_root is not None else None
     emit = log or (lambda message: None)
 
+    store = None
+    fused_sink: TextIO | None = None
+    if fuse is not None:
+        from repro.fusion.store import FactStore
+
+        if isinstance(fuse, FactStore):
+            store = fuse
+        else:
+            store = FactStore(use_reliability=True)
+            fused_sink = fuse
+
     def handle(payload: dict) -> SiteReport:
         report = SiteReport(**payload["report"])
         if output is not None:
             for row in payload["rows"]:
                 output.write(json.dumps(row, ensure_ascii=False) + "\n")
             output.flush()
+        if store is not None and report.ok:
+            store.ingest_rows(payload["rows"])
+            store.observe_agreement(
+                report.site, report.kb_checked, report.kb_agreed
+            )
         emit(report.summary())
         return report
 
-    reports: list[SiteReport] = []
-    if max_workers is not None and max_workers <= 1:
-        for spec in specs:
-            reports.append(
-                handle(
-                    _run_site(
-                        spec.site, spec.pages_dir, str(kb_path),
-                        registry, config_data, threshold,
-                    )
-                )
-            )
+    def finish(reports: list[SiteReport]) -> list[SiteReport]:
+        if fused_sink is not None:
+            from repro.fusion.store import write_fused_jsonl
+
+            write_fused_jsonl(store.finalize(), fused_sink)
+            fused_sink.flush()
         return reports
 
-    # Workers inherit the parent's sys.path under every start method
-    # (fork directly; spawn/forkserver via multiprocessing's preparation
-    # data), so `import repro` resolves in children exactly as it did here.
-    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            pool.submit(
-                _run_site,
-                spec.site, spec.pages_dir, str(kb_path),
-                registry, config_data, threshold,
-            ): spec
-            for spec in specs
-        }
-        for future in concurrent.futures.as_completed(futures):
-            spec = futures[future]
-            try:
-                payload = future.result()
-            except Exception as exc:  # worker crashed outside _run_site
-                payload = {
-                    "report": SiteReport(
-                        site=spec.site,
-                        ok=False,
-                        error=f"worker crashed: {type(exc).__name__}: {exc}",
-                    ).__dict__,
-                    "rows": [],
-                }
-            reports.append(handle(payload))
-    return reports
+    reports: list[SiteReport] = []
+    try:
+        if max_workers is not None and max_workers <= 1:
+            for spec in specs:
+                reports.append(
+                    handle(
+                        _run_site(
+                            spec.site, spec.pages_dir, str(kb_path),
+                            registry, config_data, threshold,
+                        )
+                    )
+                )
+            return finish(reports)
+
+        # Workers inherit the parent's sys.path under every start method
+        # (fork directly; spawn/forkserver via multiprocessing's preparation
+        # data), so `import repro` resolves in children exactly as it did
+        # here.
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_site,
+                    spec.site, spec.pages_dir, str(kb_path),
+                    registry, config_data, threshold,
+                ): spec
+                for spec in specs
+            }
+            for future in concurrent.futures.as_completed(futures):
+                spec = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # worker crashed outside _run_site
+                    payload = {
+                        "report": SiteReport(
+                            site=spec.site,
+                            ok=False,
+                            error=f"worker crashed: {type(exc).__name__}: {exc}",
+                        ).__dict__,
+                        "rows": [],
+                    }
+                reports.append(handle(payload))
+        return finish(reports)
+    finally:
+        if fused_sink is not None:
+            # We own this store; close() is a no-op after a clean
+            # finish() but reclaims spill files if the run aborted.
+            store.close()

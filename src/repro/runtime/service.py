@@ -173,3 +173,37 @@ class ExtractionService:
     ) -> list[PageCandidates]:
         """Unthresholded candidates per page (for sweeps / re-thresholding)."""
         return self.pool(site).candidates(documents)
+
+    # -- fusion ------------------------------------------------------------
+
+    def fused_facts(
+        self,
+        documents_by_site: dict[str, list[Document]],
+        threshold: float | None = None,
+        *,
+        min_score: float = 0.0,
+        min_sites: int = 1,
+        site_reliability: dict[str, float] | None = None,
+    ):
+        """Cross-site fused facts over served extractions.
+
+        Each site's documents are extracted through the warm batched path
+        (loading models from the registry as needed), then fused with the
+        Knowledge-Vault-style noisy-OR (see :mod:`repro.fusion`).  Sites
+        are served in sorted name order and the fused output carries a
+        total deterministic order, so the result is reproducible across
+        calls and residency states.
+
+        Returns a list of :class:`~repro.fusion.fuse.FusedFact`.
+        """
+        # Imported lazily like the trainer stack: minimal serving
+        # deployments that never fuse don't pay for the fusion layer.
+        from repro.fusion.store import FactStore
+
+        store = FactStore(site_reliability=site_reliability)
+        for site in sorted(documents_by_site):
+            store.add_extractions(
+                site,
+                self.extract_pages(site, documents_by_site[site], threshold),
+            )
+        return store.finalize(min_score=min_score, min_sites=min_sites)

@@ -124,24 +124,25 @@ class TestTrainServeCommands:
         assert len(high.read_text().splitlines()) <= len(low.read_text().splitlines())
 
 
-class TestRunCorpusCommand:
-    @pytest.fixture(scope="class")
-    def corpus_on_disk(self, tmp_path_factory):
-        tmp = tmp_path_factory.mktemp("corpus_cli")
-        dataset = generate_swde("movie", n_sites=4, pages_per_site=14, seed=9)
-        kb = seed_kb_for(dataset, 9)
-        kb_path = tmp / "kb.json"
-        save_kb(kb, kb_path)
-        corpus = tmp / "sites"
-        corpus.mkdir()
-        for site in dataset.sites[1:4]:
-            site_dir = corpus / site.name
-            site_dir.mkdir()
-            for index, page in enumerate(site.pages):
-                (site_dir / f"page{index:03d}.html").write_text(page.html)
-        (corpus / "empty_site").mkdir()  # ignored: no .html files
-        return tmp, kb_path, corpus, [s.name for s in dataset.sites[1:4]]
+@pytest.fixture(scope="module")
+def corpus_on_disk(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("corpus_cli")
+    dataset = generate_swde("movie", n_sites=4, pages_per_site=14, seed=9)
+    kb = seed_kb_for(dataset, 9)
+    kb_path = tmp / "kb.json"
+    save_kb(kb, kb_path)
+    corpus = tmp / "sites"
+    corpus.mkdir()
+    for site in dataset.sites[1:4]:
+        site_dir = corpus / site.name
+        site_dir.mkdir()
+        for index, page in enumerate(site.pages):
+            (site_dir / f"page{index:03d}.html").write_text(page.html)
+    (corpus / "empty_site").mkdir()  # ignored: no .html/.htm files
+    return tmp, kb_path, corpus, [s.name for s in dataset.sites[1:4]]
 
+
+class TestRunCorpusCommand:
     def test_run_corpus_writes_artifacts_and_rows(self, corpus_on_disk, tmp_path):
         tmp, kb_path, corpus, site_names = corpus_on_disk
         out = tmp_path / "triples.jsonl"
@@ -198,6 +199,132 @@ class TestRunCorpusCommand:
             main(["run-corpus", "--kb", str(kb_path),
                   "--corpus", str(tmp_path / "nothing"),
                   "--registry", str(tmp_path / "models")])
+
+
+class TestFuseCommand:
+    def test_run_corpus_fuse_output_equals_standalone_fuse(
+        self, corpus_on_disk, tmp_path
+    ):
+        """The acceptance contract: run-corpus --fuse-output and
+        `repro fuse --kb` over the same rows are byte-identical."""
+        tmp, kb_path, corpus, _ = corpus_on_disk
+        rows = tmp_path / "triples.jsonl"
+        fused_inline = tmp_path / "fused_inline.jsonl"
+        code = main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+                     "--registry", str(tmp_path / "models"),
+                     "--output", str(rows), "--workers", "1",
+                     "--fuse-output", str(fused_inline)])
+        assert code == 0
+        fused_standalone = tmp_path / "fused_standalone.jsonl"
+        assert main(["fuse", "--input", str(rows), "--kb", str(kb_path),
+                     "--output", str(fused_standalone)]) == 0
+        assert fused_inline.read_text() == fused_standalone.read_text()
+        assert fused_inline.read_text().strip()
+
+    def test_fuse_output_shape_and_order(self, corpus_on_disk, tmp_path):
+        tmp, kb_path, corpus, site_names = corpus_on_disk
+        rows = tmp_path / "triples.jsonl"
+        main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+              "--registry", str(tmp_path / "models"),
+              "--output", str(rows), "--workers", "1"])
+        fused = tmp_path / "fused.jsonl"
+        assert main(["fuse", "--input", str(rows),
+                     "--output", str(fused)]) == 0
+        facts = [json.loads(line) for line in fused.read_text().splitlines()]
+        assert facts
+        assert set(facts[0]) == {"subject", "predicate", "object", "score",
+                                 "n_sites", "sites"}
+        scores = [f["score"] for f in facts]
+        assert scores == sorted(scores, reverse=True)
+        assert {s for f in facts for s in f["sites"]} <= set(site_names)
+
+    def test_fuse_shard_count_does_not_change_output(
+        self, corpus_on_disk, tmp_path
+    ):
+        tmp, kb_path, corpus, _ = corpus_on_disk
+        rows = tmp_path / "triples.jsonl"
+        main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+              "--registry", str(tmp_path / "models"),
+              "--output", str(rows), "--workers", "1"])
+        outputs = []
+        for shards, resident in (("1", None), ("13", "5")):
+            fused = tmp_path / f"fused_{shards}.jsonl"
+            argv = ["fuse", "--input", str(rows), "--output", str(fused),
+                    "--shards", shards,
+                    "--spill-dir", str(tmp_path / f"spill_{shards}")]
+            if resident is not None:
+                argv += ["--max-resident-facts", resident]
+            assert main(argv) == 0
+            outputs.append(fused.read_text())
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip()
+
+    def test_fuse_min_sites_filters(self, corpus_on_disk, tmp_path):
+        tmp, kb_path, corpus, _ = corpus_on_disk
+        rows = tmp_path / "triples.jsonl"
+        main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+              "--registry", str(tmp_path / "models"),
+              "--output", str(rows), "--workers", "1"])
+        all_facts = tmp_path / "all.jsonl"
+        multi = tmp_path / "multi.jsonl"
+        main(["fuse", "--input", str(rows), "--output", str(all_facts)])
+        main(["fuse", "--input", str(rows), "--output", str(multi),
+              "--min-sites", "2"])
+        n_all = len(all_facts.read_text().splitlines())
+        n_multi = len(multi.read_text().splitlines())
+        assert n_multi <= n_all
+        for line in multi.read_text().splitlines():
+            assert json.loads(line)["n_sites"] >= 2
+
+    def test_fuse_siteless_rows_need_site_flag(self, site_on_disk, tmp_path):
+        tmp, kb_path, pages_dir = site_on_disk
+        rows = tmp_path / "rows.jsonl"
+        main(["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+              "--output", str(rows)])
+        with pytest.raises(SystemExit, match="bad extraction row"):
+            main(["fuse", "--input", str(rows),
+                  "--output", str(tmp_path / "f.jsonl")])
+        assert main(["fuse", "--input", str(rows), "--site", "onesite",
+                     "--output", str(tmp_path / "f.jsonl")]) == 0
+        fact = json.loads((tmp_path / "f.jsonl").read_text().splitlines()[0])
+        assert list(fact["sites"]) == ["onesite"]
+
+    def test_fuse_site_flag_never_overrides_row_labels(
+        self, corpus_on_disk, tmp_path
+    ):
+        """--site is a fallback for label-less rows only; relabeling
+        labeled rows would collapse all cross-site support to one site."""
+        tmp, kb_path, corpus, _ = corpus_on_disk
+        rows = tmp_path / "triples.jsonl"
+        main(["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+              "--registry", str(tmp_path / "models"),
+              "--output", str(rows), "--workers", "1"])
+        plain = tmp_path / "plain.jsonl"
+        flagged = tmp_path / "flagged.jsonl"
+        assert main(["fuse", "--input", str(rows),
+                     "--output", str(plain)]) == 0
+        assert main(["fuse", "--input", str(rows), "--site", "ignored",
+                     "--output", str(flagged)]) == 0
+        assert plain.read_text() == flagged.read_text()
+        assert "ignored" not in flagged.read_text()
+
+    def test_fuse_missing_input(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fuse", "--input", str(tmp_path / "nope.jsonl")])
+
+    def test_fuse_malformed_rows_fail_cleanly(self, tmp_path):
+        """Valid JSON that is not an extraction row must name the line,
+        not crash with a traceback."""
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('"not a dict"\n')
+        with pytest.raises(SystemExit, match=r"bad\.jsonl:1: bad extraction row"):
+            main(["fuse", "--input", str(bad)])
+        bad.write_text(
+            '{"site": "a", "subject": "X", "predicate": "p", '
+            '"object": 7, "confidence": 0.5}\n'
+        )
+        with pytest.raises(SystemExit, match="bad extraction row"):
+            main(["fuse", "--input", str(bad)])
 
 
 class TestStatsCommand:

@@ -1,8 +1,11 @@
 """Tests for repro.fusion (cross-site knowledge fusion)."""
 
+import random
+
 from repro.core.extraction.extractor import Extraction
 from repro.dom.node import TextNode
-from repro.fusion import fuse_extractions
+from repro.fusion import canonical_value, fact_key, fuse_extractions
+from repro.kb.literals import parse_date
 
 
 def ext(subject, predicate, obj, confidence, page=0):
@@ -82,3 +85,140 @@ class TestFuseExtractions:
                    ext("X", "directed_by", "Drama", 0.9)]}
         )
         assert len(fused) == 2
+
+
+class TestSurfaceFormDeterminism:
+    """The canonical surface of a fused fact must not depend on which
+    site's extraction happened to arrive first."""
+
+    def test_highest_confidence_surface_wins(self):
+        fused = fuse_extractions(
+            {
+                "low": [ext("film x", "genre", "DRAMA", 0.4)],
+                "high": [ext("Film X", "genre", "Drama", 0.9)],
+            }
+        )
+        (fact,) = fused
+        assert (fact.subject, fact.object) == ("Film X", "Drama")
+
+    def test_ties_break_lexically(self):
+        fused = fuse_extractions(
+            {
+                "b": [ext("film x", "genre", "drama", 0.7)],
+                "a": [ext("Film X", "genre", "Drama", 0.7)],
+            }
+        )
+        (fact,) = fused
+        # "Film X" < "film x" lexically (uppercase sorts first).
+        assert (fact.subject, fact.object) == ("Film X", "Drama")
+
+    def test_deterministic_under_shuffled_insertion_order(self):
+        sites = {
+            f"site_{i}": [
+                ext(s, "genre", o, c)
+                for s, o, c in [
+                    ("Film X", "Drama", 0.5 + i / 100),
+                    ("film x", "DRAMA", 0.91 - i / 100),
+                    ("FILM X", "drama", 0.7),
+                ]
+            ]
+            for i in range(8)
+        }
+        baseline = None
+        rng = random.Random(13)
+        for _ in range(6):
+            items = list(sites.items())
+            rng.shuffle(items)
+            fused = fuse_extractions(dict(items))
+            snapshot = [
+                (f.subject, f.predicate, f.object, f.score,
+                 sorted(f.site_support.items()))
+                for f in fused
+            ]
+            if baseline is None:
+                baseline = snapshot
+            assert snapshot == baseline
+
+
+class TestConfidenceClamping:
+    def test_confidence_at_or_above_one_clamps(self):
+        """conf >= 1.0 hits the 0.999999 clamp; the score never exceeds 1."""
+        fused = fuse_extractions(
+            {"a": [ext("X", "genre", "Drama", 1.0)],
+             "b": [ext("X", "genre", "Drama", 1.7)]}
+        )
+        (fact,) = fused
+        assert fact.score <= 1.0
+        assert fact.score > 0.999999
+
+    def test_negative_confidence_clamps_to_zero(self):
+        fused = fuse_extractions(
+            {"a": [ext("X", "genre", "Drama", -0.3)],
+             "b": [ext("X", "genre", "Drama", 0.8)]}
+        )
+        (fact,) = fused
+        # The negative vote contributes nothing — and never *raises* the
+        # noisy-OR product above what site b alone produces.
+        assert abs(fact.score - 0.8) < 1e-12
+
+    def test_min_sites_two_filters_single_site_artifacts(self):
+        """A template artifact repeated across one site's pages dies at
+        min_sites=2; a cross-site fact survives."""
+        artifact = [ext("X", "genre", "War", 0.95, page=i) for i in range(50)]
+        fused = fuse_extractions(
+            {
+                "broken": artifact,
+                "a": [ext("X", "genre", "Drama", 0.6)],
+                "b": [ext("x", "genre", "DRAMA!", 0.6)],
+            },
+            min_sites=2,
+        )
+        assert [(f.subject, f.object) for f in fused] == [("X", "Drama")]
+
+
+class TestDateBridging:
+    def test_parse_date_inverts_date_variants(self):
+        from repro.kb.literals import date_variants
+
+        for variant in date_variants("1989-06-30"):
+            assert parse_date(variant) == "1989-06-30", variant
+
+    def test_parse_date_never_wrong_on_ambiguous_days(self):
+        """Day <= 12 renders ambiguously in slash form; the contract is
+        abstain (None), never a valid-but-wrong date."""
+        from repro.kb.literals import date_variants
+
+        for variant in date_variants("1989-06-05"):
+            assert parse_date(variant) in (None, "1989-06-05"), variant
+        # Named-month, ISO, and day-first dot forms stay unambiguous...
+        assert parse_date("June 5, 1989") == "1989-06-05"
+        assert parse_date("5 June 1989") == "1989-06-05"
+        assert parse_date("5. 6. 1989") == "1989-06-05"
+        # ...while both slash readings abstain rather than guess.
+        assert parse_date("05/06/1989") is None
+        assert parse_date("06/05/1989") is None
+        # Identical day/month is not ambiguous.
+        assert parse_date("06/06/1989") == "1989-06-06"
+
+    def test_parse_date_rejects_non_dates(self):
+        for text in ("Drama", "Spike Lee", "1989", "30/30/1989", ""):
+            assert parse_date(text) is None, text
+
+    def test_canonical_value_bridges_date_styles(self):
+        assert canonical_value("June 30, 1989") == canonical_value("1989-06-30")
+        assert canonical_value("30 June 1989") == canonical_value("1989-06-30")
+        assert canonical_value("Drama!") == canonical_value("DRAMA")
+
+    def test_fusion_merges_date_variants_across_sites(self):
+        fused = fuse_extractions(
+            {
+                "us": [ext("Film X", "release_date", "June 30, 1989", 0.8)],
+                "eu": [ext("Film X", "release_date", "30 June 1989", 0.7)],
+                "iso": [ext("Film X", "release_date", "1989-06-30", 0.6)],
+            }
+        )
+        (fact,) = fused
+        assert fact.n_sites == 3
+        assert fact.key() == fact_key("Film X", "release_date", "1989-06-30")
+        # The canonical surface is the highest-confidence rendering.
+        assert fact.object == "June 30, 1989"

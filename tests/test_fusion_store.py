@@ -1,0 +1,243 @@
+"""Tests for repro.fusion.store (streaming FactStore) and reliability."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.core.extraction.extractor import Extraction
+from repro.dom.node import TextNode
+from repro.fusion import (
+    FactStore,
+    estimate_reliability,
+    fuse_extractions,
+    fused_fact_row,
+    write_fused_jsonl,
+)
+
+
+def ext(subject, predicate, obj, confidence, page=0):
+    return Extraction(subject, predicate, obj, confidence, page, TextNode(obj))
+
+
+def synthetic_rows(n_sites=12, n_facts=60, seed=3):
+    """Overlapping per-site extraction rows over a shared fact universe."""
+    rng = random.Random(seed)
+    predicates = ["genre", "directed_by", "release_date", "runtime"]
+    rows = []
+    for site_index in range(n_sites):
+        site = f"site_{site_index:02d}"
+        for fact_index in rng.sample(range(n_facts), k=n_facts // 2):
+            predicate = predicates[fact_index % len(predicates)]
+            rows.append(
+                {
+                    "site": site,
+                    "page": f"p{fact_index}.html",
+                    "subject": f"Film {fact_index // len(predicates)}",
+                    "predicate": predicate,
+                    "object": f"Value {fact_index}",
+                    "confidence": round(rng.uniform(0.3, 0.99), 6),
+                }
+            )
+    return rows
+
+
+def fused_bytes(rows, **store_kwargs):
+    store = FactStore(**store_kwargs)
+    for row in rows:
+        store.add_row(row)
+    sink = io.StringIO()
+    write_fused_jsonl(store.finalize(), sink)
+    return sink.getvalue()
+
+
+class TestFactStoreBasics:
+    def test_matches_fuse_extractions(self):
+        extractions_by_site = {
+            "a": [ext("X", "genre", "Drama", 0.8), ext("Y", "genre", "War", 0.6)],
+            "b": [ext("x", "genre", "DRAMA", 0.7)],
+        }
+        store = FactStore()
+        for site, extractions in extractions_by_site.items():
+            store.add_extractions(site, extractions)
+        from_store = store.finalize()
+        from_function = fuse_extractions(extractions_by_site)
+        assert [fused_fact_row(f) for f in from_store] == [
+            fused_fact_row(f) for f in from_function
+        ]
+
+    def test_add_row_requires_site(self):
+        store = FactStore()
+        with pytest.raises(ValueError, match="site"):
+            store.add_row({"subject": "X", "predicate": "p", "object": "o",
+                           "confidence": 0.5})
+        store.add_row(
+            {"subject": "X", "predicate": "p", "object": "o",
+             "confidence": 0.5},
+            site="a",
+        )
+        assert store.resident_facts == 1
+
+    def test_finalize_consumes_the_store(self):
+        store = FactStore()
+        store.add("a", "X", "genre", "Drama", 0.5)
+        store.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            store.add("a", "X", "genre", "Drama", 0.5)
+        with pytest.raises(RuntimeError, match="finalized"):
+            store.finalize()
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            FactStore(n_shards=0)
+        with pytest.raises(ValueError):
+            FactStore(max_resident_facts=0)
+
+
+class TestSpillAndMerge:
+    def test_spill_bounds_resident_facts(self, tmp_path):
+        rows = synthetic_rows(n_sites=10, n_facts=80)
+        store = FactStore(
+            n_shards=4, max_resident_facts=25, spill_dir=tmp_path
+        )
+        peak = 0
+        for row in rows:
+            store.add_row(row)
+            peak = max(peak, store.resident_facts)
+        # One over-the-bound insert triggers a spill of the largest
+        # shard, so residency never runs away.
+        assert peak <= 25 + 1
+        assert store.n_spills > 0
+        assert list(tmp_path.iterdir())  # runs landed on disk
+        facts = store.finalize()
+        assert facts
+        assert not list(tmp_path.iterdir())  # finalize cleans its runs
+
+    def test_output_invariant_to_shards_spills_and_order(self):
+        """The acceptance bar: byte-identical fused JSONL regardless of
+        shard count, spill pressure, and ingestion order."""
+        rows = synthetic_rows()
+        baseline = fused_bytes(rows)
+        assert baseline.strip()
+        shuffled = list(rows)
+        random.Random(99).shuffle(shuffled)
+        variants = [
+            fused_bytes(rows, n_shards=1),
+            fused_bytes(rows, n_shards=16),
+            fused_bytes(rows, n_shards=3, max_resident_facts=10),
+            fused_bytes(shuffled, n_shards=5, max_resident_facts=7),
+        ]
+        for variant in variants:
+            assert variant == baseline
+
+    def test_run_files_compact_below_fd_bound(self, tmp_path):
+        """Hundreds of spills must not accumulate hundreds of run files:
+        runs compact at MAX_RUNS_PER_SHARD so finalize never opens more
+        than that many files at once (fd-limit safety at corpus scale)."""
+        store = FactStore(n_shards=1, max_resident_facts=1, spill_dir=tmp_path)
+        for index in range(400):
+            store.add("a", f"S{index}", "genre", f"O{index}", 0.5)
+        assert store.n_spills > FactStore.MAX_RUNS_PER_SHARD
+        n_run_files = len(list(tmp_path.iterdir()))
+        assert n_run_files <= FactStore.MAX_RUNS_PER_SHARD
+        facts = store.finalize()
+        assert len(facts) == 400  # compaction loses nothing
+
+    def test_compaction_preserves_output(self, tmp_path):
+        rows = synthetic_rows(n_sites=8, n_facts=50)
+        # max_resident_facts=1 forces a spill per insert — far past the
+        # compaction threshold.
+        assert fused_bytes(rows) == fused_bytes(
+            rows, n_shards=2, max_resident_facts=1,
+            spill_dir=tmp_path,
+        )
+
+    def test_close_reclaims_spills_without_finalize(self, tmp_path):
+        """An aborted run (error before finalize) must not leak run files."""
+        store = FactStore(n_shards=2, max_resident_facts=2, spill_dir=tmp_path)
+        for index in range(10):
+            store.add("a", f"S{index}", "genre", f"O{index}", 0.5)
+        assert list(tmp_path.iterdir())
+        store.close()
+        assert not list(tmp_path.iterdir())
+        with pytest.raises(RuntimeError, match="finalized"):
+            store.finalize()
+        store.close()  # idempotent
+
+    def test_context_manager_cleans_up_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with FactStore(
+                n_shards=1, max_resident_facts=1, spill_dir=tmp_path
+            ) as store:
+                for index in range(5):
+                    store.add("a", f"S{index}", "genre", "O", 0.5)
+                assert list(tmp_path.iterdir())
+                raise RuntimeError("boom")
+        assert not list(tmp_path.iterdir())
+
+    def test_merged_support_takes_max_per_site(self):
+        store = FactStore(n_shards=1, max_resident_facts=1)
+        store.add("a", "X", "genre", "Drama", 0.4)
+        store.add("a", "Y", "genre", "War", 0.5)  # forces a spill
+        store.add("a", "X", "genre", "Drama", 0.9)
+        store.add("b", "X", "genre", "Drama", 0.2)
+        facts = store.finalize()
+        by_key = {f.key(): f for f in facts}
+        fact = by_key[("x", "genre", "drama")]
+        assert fact.site_support == {"a": 0.9, "b": 0.2}
+
+
+class TestReliabilityWeighting:
+    def test_low_reliability_site_discounted(self):
+        support = {"good": [ext("X", "genre", "Drama", 0.8)],
+                   "bad": [ext("X", "genre", "War", 0.8)]}
+        plain = fuse_extractions(support)
+        weighted = fuse_extractions(
+            support, site_reliability={"good": 0.9, "bad": 0.1}
+        )
+        plain_scores = {f.object: f.score for f in plain}
+        weighted_scores = {f.object: f.score for f in weighted}
+        assert plain_scores["Drama"] == plain_scores["War"]
+        assert weighted_scores["Drama"] > weighted_scores["War"]
+        assert abs(weighted_scores["War"] - 0.1 * 0.8) < 1e-12
+
+    def test_estimate_reliability_smoothing(self):
+        assert estimate_reliability(0, 0) == 0.5  # pure prior
+        assert estimate_reliability(50, 49) == pytest.approx(50 / 52)
+        assert estimate_reliability(50, 2) == pytest.approx(3 / 52)
+        # Clamps: never exactly 0 or 1.
+        assert estimate_reliability(100000, 0) == 0.05
+        assert estimate_reliability(100000, 100000) == 0.99
+        with pytest.raises(ValueError):
+            estimate_reliability(1, 2)
+
+    def test_observe_agreement_respects_flag(self):
+        silent = FactStore()
+        silent.observe_agreement("a", 10, 9)
+        assert silent.site_reliability == {}
+        active = FactStore(use_reliability=True)
+        active.observe_agreement("a", 10, 9)
+        assert active.site_reliability["a"] == pytest.approx(10 / 12)
+
+
+class TestFusedRows:
+    def test_row_shape_and_site_order(self):
+        store = FactStore()
+        store.add("zeta", "X", "genre", "Drama", 0.5)
+        store.add("alpha", "X", "genre", "Drama", 0.7)
+        (fact,) = store.finalize()
+        row = fused_fact_row(fact)
+        assert list(row["sites"]) == ["alpha", "zeta"]
+        assert row["n_sites"] == 2
+        assert row["subject"] == "X"
+
+    def test_jsonl_confidences_round_trip(self):
+        """Row-level float precision survives JSON exactly."""
+        confidence = 0.7234567890123456
+        store = FactStore()
+        store.add("a", "X", "genre", "Drama", confidence)
+        sink = io.StringIO()
+        write_fused_jsonl(store.finalize(), sink)
+        row = json.loads(sink.getvalue())
+        assert row["sites"]["a"] == confidence

@@ -123,6 +123,28 @@ class TestDiscovery:
         with pytest.raises(ValueError, match="no site subdirectories"):
             discover_corpus(tmp_path)
 
+    def test_htm_and_uppercase_suffixes_accepted(self, tmp_path):
+        """Crawls mix .html/.htm and uppercase suffixes; none may be
+        silently dropped, and sort order stays name-stable."""
+        site_dir = tmp_path / "mixed"
+        site_dir.mkdir()
+        for name in ("b.htm", "a.HTML", "c.html", "d.HTM"):
+            (site_dir / name).write_text("<html><body>x</body></html>")
+        (site_dir / "notes.txt").write_text("not a page")
+        (site_dir / "sub.html").mkdir()  # a directory is never a page
+
+        (spec,) = discover_corpus(tmp_path)
+        assert spec.site == "mixed"
+        documents = load_site_documents(site_dir)
+        assert [d.url for d in documents] == ["a.HTML", "b.htm", "c.html", "d.HTM"]
+
+    def test_htm_only_site_discovered(self, tmp_path):
+        site_dir = tmp_path / "legacy"
+        site_dir.mkdir()
+        (site_dir / "index.htm").write_text("<html><body>x</body></html>")
+        specs = discover_corpus(tmp_path)
+        assert [spec.site for spec in specs] == ["legacy"]
+
 
 class TestRunCorpus:
     def test_inline_with_failure_isolation(self, corpus_on_disk, tmp_path):
@@ -142,7 +164,7 @@ class TestRunCorpus:
         assert len(reports) == len(site_names) + 1
         by_site = {report.site: report for report in reports}
         assert not by_site["broken"].ok
-        assert "no .html files" in by_site["broken"].error
+        assert "no .html/.htm files" in by_site["broken"].error
         assert by_site["broken"].traceback
         for name in site_names:
             assert by_site[name].ok, by_site[name].error
@@ -208,6 +230,93 @@ class TestRunCorpus:
         assert len(served) == len(runner_rows)
         report = next(r for r in reports if r.site == site)
         assert report.n_extractions == len(served)
+
+
+class TestRunCorpusFusion:
+    def test_fuse_stream_writes_fused_rows(self, corpus_on_disk, tmp_path):
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        fused_out = io.StringIO()
+        reports = run_corpus(
+            corpus_dir, kb_path, None, max_workers=1, fuse=fused_out
+        )
+        assert all(report.ok for report in reports)
+        rows = [json.loads(line) for line in fused_out.getvalue().splitlines()]
+        assert rows
+        assert set(rows[0]) == {
+            "subject", "predicate", "object", "score", "n_sites", "sites",
+        }
+        for row in rows:
+            assert 0.0 <= row["score"] <= 1.0
+            assert set(row["sites"]) <= set(site_names)
+            assert list(row["sites"]) == sorted(row["sites"])
+        # Scores are descending (ties broken by key — total order).
+        scores = [row["score"] for row in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fused_output_independent_of_completion_order(
+        self, corpus_on_disk, tmp_path
+    ):
+        """The acceptance bar: inline and pooled runs fuse to
+        byte-identical JSONL despite different completion orders."""
+        _, kb_path, corpus_dir, _, _ = corpus_on_disk
+        inline_fused, pooled_fused = io.StringIO(), io.StringIO()
+        run_corpus(corpus_dir, kb_path, None, max_workers=1, fuse=inline_fused)
+        run_corpus(corpus_dir, kb_path, None, max_workers=2, fuse=pooled_fused)
+        assert inline_fused.getvalue() == pooled_fused.getvalue()
+        assert inline_fused.getvalue().strip()
+
+    def test_factstore_fuse_receives_reliability(self, corpus_on_disk):
+        from repro.fusion import FactStore
+
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        store = FactStore(use_reliability=True)
+        reports = run_corpus(
+            corpus_dir, kb_path, None, max_workers=1, fuse=store
+        )
+        assert set(store.site_reliability) == set(site_names)
+        assert all(0.0 < w < 1.0 for w in store.site_reliability.values())
+        by_site = {r.site: r for r in reports}
+        for name in site_names:
+            assert by_site[name].kb_checked >= by_site[name].kb_agreed >= 0
+        facts = store.finalize()
+        assert facts
+
+    def test_jsonl_roundtrip_equals_in_memory_fusion(self, corpus_on_disk):
+        """Full-precision confidence in rows: fusing the JSONL stream is
+        byte-identical to fusing the same rows fed directly to a store."""
+        from repro.fusion import FactStore, write_fused_jsonl
+
+        _, kb_path, corpus_dir, _, _ = corpus_on_disk
+        rows_out, fused_direct = io.StringIO(), io.StringIO()
+        store = FactStore()
+        run_corpus(
+            corpus_dir, kb_path, None, max_workers=1,
+            output=rows_out, fuse=store,
+        )
+        write_fused_jsonl(store.finalize(), fused_direct)
+
+        replayed = FactStore()
+        for line in rows_out.getvalue().splitlines():
+            replayed.add_row(json.loads(line))
+        fused_replayed = io.StringIO()
+        write_fused_jsonl(replayed.finalize(), fused_replayed)
+        assert fused_direct.getvalue() == fused_replayed.getvalue()
+        assert fused_direct.getvalue().strip()
+
+    def test_rows_carry_full_precision_confidence(self, corpus_on_disk):
+        """Row confidences must round-trip exactly (no 4-decimal rounding)."""
+        _, kb_path, corpus_dir, _, _ = corpus_on_disk
+        output = io.StringIO()
+        run_corpus(corpus_dir, kb_path, None, max_workers=1, output=output)
+        confidences = [
+            json.loads(line)["confidence"]
+            for line in output.getvalue().splitlines()
+        ]
+        assert confidences
+        # A model-probability output rounded to 4 decimals is astronomically
+        # unlikely to equal its own rounding everywhere; at least one row
+        # must carry more precision.
+        assert any(c != round(c, 4) for c in confidences)
 
 
 class TestSiteReportSkips:
