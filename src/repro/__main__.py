@@ -49,6 +49,26 @@ from repro.kb.io import load_kb
 __all__ = ["main"]
 
 
+def _add_min_predicate_pages(parser: argparse.ArgumentParser) -> None:
+    """Annotation knob shared by the commands that run Algorithm 2."""
+    parser.add_argument(
+        "--min-predicate-pages", type=int, default=None, metavar="N",
+        help="judge object over-representation only for predicates seen on "
+        "at least N pages (default: CeresConfig.min_predicate_pages)",
+    )
+
+
+def _annotation_overrides(args) -> dict:
+    """CeresConfig overrides from annotation-stage CLI flags."""
+    overrides = {}
+    min_pages = getattr(args, "min_predicate_pages", None)
+    if min_pages is not None:
+        if min_pages < 1:
+            raise SystemExit("--min-predicate-pages must be >= 1")
+        overrides["min_predicate_pages"] = min_pages
+    return overrides
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,12 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-template-clustering", action="store_true",
         help="treat all pages as one template",
     )
+    _add_min_predicate_pages(extract)
 
     annotate = sub.add_parser(
         "annotate", help="run annotation only and print the labels"
     )
     annotate.add_argument("--kb", required=True)
     annotate.add_argument("--pages", required=True)
+    _add_min_predicate_pages(annotate)
 
     train = sub.add_parser(
         "train", help="annotate + train a site and persist the model to a registry"
@@ -100,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-template-clustering", action="store_true",
         help="treat all pages as one template",
     )
+    _add_min_predicate_pages(train)
 
     serve = sub.add_parser(
         "serve",
@@ -148,6 +171,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-template-clustering", action="store_true",
         help="treat each site's pages as one template",
     )
+    _add_min_predicate_pages(corpus)
     corpus.add_argument(
         "--fuse-output", default=None,
         help="also fuse all sites' extractions and write fused-fact JSONL here",
@@ -255,7 +279,7 @@ def _write_extractions(extractions, documents, sink) -> None:
 def _cmd_annotate(args) -> int:
     kb = load_kb(args.kb)
     documents = _load_documents(args.pages)
-    pipeline = CeresPipeline(kb, CeresConfig())
+    pipeline = CeresPipeline(kb, CeresConfig(**_annotation_overrides(args)))
     result = pipeline.annotate(documents)
     for page in result.annotated_pages:
         topic = kb.entity(page.topic_entity_id).name
@@ -281,6 +305,7 @@ def _cmd_extract(args) -> int:
     config = CeresConfig(
         confidence_threshold=args.threshold,
         use_template_clustering=not args.no_template_clustering,
+        **_annotation_overrides(args),
     )
     pipeline = CeresPipeline(kb, config)
     result = pipeline.run(documents, documents)
@@ -318,6 +343,7 @@ def _cmd_train(args) -> int:
     config = CeresConfig(
         confidence_threshold=args.threshold,
         use_template_clustering=not args.no_template_clustering,
+        **_annotation_overrides(args),
     )
     pipeline = CeresPipeline(kb, config)
     result = pipeline.annotate(documents)
@@ -491,6 +517,7 @@ def _cmd_run_corpus(args) -> int:
     config = CeresConfig(
         confidence_threshold=args.threshold,
         use_template_clustering=not args.no_template_clustering,
+        **_annotation_overrides(args),
     )
     # Validate the corpus before _open_sink truncates a prior output file.
     try:

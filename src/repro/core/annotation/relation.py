@@ -15,6 +15,20 @@ participating in several relations — is resolved by:
   when (1) local evidence ties and the predicate is frequently duplicated,
   or (2) the object is over-represented across pages (informativeness:
   the all-genres-on-every-page hazard).
+
+The annotator runs a vectorized hot path by default and keeps the
+original implementations as the equivalence oracle (the same pattern as
+PR 3's ``legacy_candidates_for_page``); :meth:`RelationAnnotator.legacy_annotate`
+produces byte-identical annotations through the pure-Python code:
+
+* mention gathering reads precomputed per-subject surface variants from a
+  :class:`repro.kb.surfaces.SurfaceIndex` instead of re-expanding
+  ``surface_variants`` for every triple on every page;
+* local evidence packs each mention's ancestor set into an int bitset and
+  forms the per-mention blocked set from prefix/suffix unions —
+  O(M·depth) instead of the O(M²·depth) pairwise frozenset unions;
+* XPath clustering runs the interned-token batched Levenshtein matrix
+  (:mod:`repro.text.distance`) instead of pairwise Python calls.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ from repro.dom.parser import Document
 from repro.dom.xpath import xpath_steps
 from repro.kb.matcher import PageMatcher
 from repro.kb.store import KnowledgeBase
+from repro.kb.surfaces import SurfaceIndex
 from repro.ml.cluster import cluster_xpaths
 
 __all__ = ["RelationAnnotator", "ObjectMentions"]
@@ -58,6 +73,9 @@ class RelationAnnotator:
         self.kb = kb
         self.config = config or CeresConfig()
         self.matcher = matcher or PageMatcher(kb)
+        #: Per-subject precomputed surface variants; lazily filled, shared
+        #: by every page of every cluster this annotator processes.
+        self.surface_index = SurfaceIndex(kb)
 
     # -- mention gathering --------------------------------------------------
 
@@ -67,8 +85,31 @@ class RelationAnnotator:
         """Mentions of every KB object of the topic, grouped by predicate.
 
         The topic node itself is excluded — it expresses the ``name``
-        relation, never an object mention.
+        relation, never an object mention.  Surface variants come
+        precomputed from the :class:`~repro.kb.surfaces.SurfaceIndex`.
         """
+        match = self.matcher.match(document)
+        by_predicate: dict[str, list[ObjectMentions]] = defaultdict(list)
+        topic_node = topic.node
+        for entry in self.surface_index.entries_for_subject(topic.entity_id):
+            mentions = [
+                node
+                for node in match.mentions_of_variants(entry.variants)
+                if node is not topic_node
+            ]
+            if not mentions:
+                continue
+            by_predicate[entry.predicate].append(
+                ObjectMentions(
+                    entry.predicate, entry.object_key, entry.object_text, mentions
+                )
+            )
+        return dict(by_predicate)
+
+    def legacy_collect_object_mentions(
+        self, document: Document, topic: TopicResult
+    ) -> dict[str, list[ObjectMentions]]:
+        """The original per-triple mention gathering (equivalence oracle)."""
         match = self.matcher.match(document)
         by_predicate: dict[str, list[ObjectMentions]] = defaultdict(list)
         seen: set[tuple[str, ValueKey]] = set()
@@ -108,13 +149,85 @@ class RelationAnnotator:
         mentions: list[TextNode],
         co_object_mentions: list[list[TextNode]],
     ) -> list[TextNode]:
-        """``BestLocalMention`` of Algorithm 2.
+        """``BestLocalMention`` of Algorithm 2 — bitset implementation.
 
         For each mention, climb to the highest ancestor containing no other
         mention of the same object, count how many distinct co-objects of
         the predicate fall under that ancestor, and return the mentions
         with the maximal count (singleton = unambiguous).
+
+        Each distinct ancestor element gets one bit; a mention's ancestor
+        set is an int mask, the blocked set for mention ``m`` is the union
+        of every *other* mention's mask — prefix/suffix unions make that
+        O(M) masks total — and a co-object group blocks an anchor iff the
+        OR of its members' masks has the anchor's bit set.
         """
+        if len(mentions) == 1:
+            return list(mentions)
+        bit_of: dict[int, int] = {}
+        masks: list[int] = []
+        for mention in mentions:
+            mask = 0
+            for ancestor in mention.ancestors():
+                key = id(ancestor)
+                bit = bit_of.get(key)
+                if bit is None:
+                    bit = len(bit_of)
+                    bit_of[key] = bit
+                mask |= 1 << bit
+            masks.append(mask)
+
+        count = len(mentions)
+        prefix = [0] * (count + 1)
+        for index in range(count):
+            prefix[index + 1] = prefix[index] | masks[index]
+        suffix = [0] * (count + 1)
+        for index in range(count - 1, -1, -1):
+            suffix[index] = suffix[index + 1] | masks[index]
+
+        group_masks: list[int] = []
+        for group in co_object_mentions:
+            group_mask = 0
+            for node in group:
+                for ancestor in node.ancestors():
+                    key = id(ancestor)
+                    bit = bit_of.get(key)
+                    if bit is None:
+                        bit = len(bit_of)
+                        bit_of[key] = bit
+                    group_mask |= 1 << bit
+            group_masks.append(group_mask)
+
+        best_count = -1
+        best: list[TextNode] = []
+        for index, mention in enumerate(mentions):
+            blocked = prefix[index] | suffix[index + 1]
+            ancestor = mention.element
+            parent = ancestor.parent
+            while parent is not None:
+                parent_bit = bit_of.get(id(parent))
+                if parent_bit is not None and (blocked >> parent_bit) & 1:
+                    break
+                ancestor = parent
+                parent = ancestor.parent
+            anchor_mask = 1 << bit_of[id(ancestor)]
+            neighbor_count = 0
+            for group_mask in group_masks:
+                if group_mask & anchor_mask:
+                    neighbor_count += 1
+            if neighbor_count > best_count:
+                best_count = neighbor_count
+                best = [mention]
+            elif neighbor_count == best_count:
+                best.append(mention)
+        return best
+
+    def legacy_best_local_mentions(
+        self,
+        mentions: list[TextNode],
+        co_object_mentions: list[list[TextNode]],
+    ) -> list[TextNode]:
+        """The original frozenset-union implementation (equivalence oracle)."""
         if len(mentions) == 1:
             return list(mentions)
         ancestor_sets = {id(m): self._ancestor_ids(m) for m in mentions}
@@ -172,7 +285,7 @@ class RelationAnnotator:
         over_represented = {
             (predicate, object_key)
             for (predicate, object_key), count in object_page_counts.items()
-            if pages_with_predicate[predicate] >= 4
+            if pages_with_predicate[predicate] >= self.config.min_predicate_pages
             and count
             > self.config.over_represented_object_fraction
             * pages_with_predicate[predicate]
@@ -180,7 +293,10 @@ class RelationAnnotator:
         return frequently_duplicated, over_represented
 
     def _cluster_predicate(
-        self, predicate: str, page_mentions: dict[int, dict[str, list[ObjectMentions]]]
+        self,
+        predicate: str,
+        page_mentions: dict[int, dict[str, list[ObjectMentions]]],
+        engine: str = "batched",
     ) -> tuple[dict[int, int], Counter]:
         """Cluster all mention XPaths of a predicate across the site.
 
@@ -198,7 +314,10 @@ class RelationAnnotator:
             return {}, Counter()
         paths = [xpath_steps(node) for node in nodes]
         labels = cluster_xpaths(
-            paths, n_clusters=max_mentions, max_items=self.config.max_cluster_items
+            paths,
+            n_clusters=max_mentions,
+            max_items=self.config.max_cluster_items,
+            engine=engine,
         )
         labels_by_node = {id(node): label for node, label in zip(nodes, labels)}
         return labels_by_node, Counter(labels)
@@ -210,20 +329,45 @@ class RelationAnnotator:
         documents: list[Document],
         topics: dict[int, TopicResult],
     ) -> list[AnnotatedPage]:
-        """Annotate all pages of one template cluster.
+        """Annotate all pages of one template cluster (vectorized path).
 
         Pages failing the informativeness filter (fewer than
         ``min_annotations_per_page`` relation annotations) are dropped,
         completing Algorithm 1's final step.
         """
+        return self._annotate(documents, topics, legacy=False)
+
+    def legacy_annotate(
+        self,
+        documents: list[Document],
+        topics: dict[int, TopicResult],
+    ) -> list[AnnotatedPage]:
+        """:meth:`annotate` through the original pure-Python implementations.
+
+        Kept as the equivalence oracle: output is byte-identical to the
+        vectorized path (covered by tests and the annotation benchmark).
+        """
+        return self._annotate(documents, topics, legacy=True)
+
+    def _annotate(
+        self,
+        documents: list[Document],
+        topics: dict[int, TopicResult],
+        legacy: bool,
+    ) -> list[AnnotatedPage]:
         config = self.config
+        collect = (
+            self.legacy_collect_object_mentions if legacy else self.collect_object_mentions
+        )
+        best_local = (
+            self.legacy_best_local_mentions if legacy else self.best_local_mentions
+        )
+        cluster_engine = "python" if legacy else "batched"
 
         # Pass 1: gather mentions for every page with a topic.
         page_mentions: dict[int, dict[str, list[ObjectMentions]]] = {}
         for page_index, topic in topics.items():
-            page_mentions[page_index] = self.collect_object_mentions(
-                documents[page_index], topic
-            )
+            page_mentions[page_index] = collect(documents[page_index], topic)
 
         frequently_duplicated, over_represented = self._compute_global_stats(
             page_mentions
@@ -235,7 +379,7 @@ class RelationAnnotator:
         def clusters_for(predicate: str) -> tuple[dict[int, int], Counter]:
             if predicate not in cluster_cache:
                 cluster_cache[predicate] = self._cluster_predicate(
-                    predicate, page_mentions
+                    predicate, page_mentions, engine=cluster_engine
                 )
             return cluster_cache[predicate]
 
@@ -253,6 +397,7 @@ class RelationAnnotator:
                         frequently_duplicated,
                         over_represented,
                         clusters_for,
+                        best_local,
                     )
                     if chosen is not None:
                         annotations.append(
@@ -277,9 +422,12 @@ class RelationAnnotator:
         frequently_duplicated: set[str],
         over_represented: set[tuple[str, ValueKey]],
         clusters_for,
+        best_local=None,
     ) -> TextNode | None:
         """Decide which mention (if any) of ``obj`` to annotate."""
-        best = self.best_local_mentions(obj.mentions, co_mentions)
+        if best_local is None:
+            best_local = self.best_local_mentions
+        best = best_local(obj.mentions, co_mentions)
         predicate = obj.predicate
         if len(best) == 1:
             mention = best[0]

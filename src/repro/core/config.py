@@ -44,6 +44,10 @@ class CeresConfig:
     #: of its (page, object) instances have two or more mentions; only such
     #: predicates get cluster-based tie-breaking (Algorithm 2, line 25).
     duplicated_predicate_fraction: float = 0.2
+    #: Over-representation is only judged for predicates appearing on at
+    #: least this many pages — below that, "appears on more than half the
+    #: pages" is noise, not evidence (e.g. 2 of 3 pages).
+    min_predicate_pages: int = 4
     #: Cap on distinct XPaths fed to agglomerative clustering per predicate.
     max_cluster_items: int = 300
 

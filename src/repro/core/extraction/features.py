@@ -34,9 +34,14 @@ from repro.dom.node import ElementNode, TextNode
 from repro.dom.parser import Document
 from repro.runtime.cache import CacheStats, LRUCache
 
-__all__ = ["NodeFeatureExtractor"]
+__all__ = ["NodeFeatureExtractor", "FeatureNameBatcher"]
 
 FeatureDict = dict[str, float]
+
+#: Safety valve for the cross-page caches of :class:`FeatureNameBatcher`;
+#: template clusters converge to a handful of entries, pathological sites
+#: just recompute.
+_BATCHER_CACHE_LIMIT = 4096
 
 
 class NodeFeatureExtractor:
@@ -188,3 +193,264 @@ class NodeFeatureExtractor:
         e.g. right before serializing a model.
         """
         self._page_registry.clear()
+
+
+class FeatureNameBatcher:
+    """Batched feature-*name* rows for training (the cold-path analogue of
+    :class:`repro.core.extraction.scoring.BatchScorer`).
+
+    Training cannot use the compiled scorer — the vocabulary it compiles
+    does not exist until the vectorizer has been fitted — but it can
+    avoid rebuilding feature names node by node.  A node's feature dict
+    depends only on its *parent element*: structural features read the
+    parent's ancestor chain and sibling windows, text features read the
+    same chain against the page registry.  Template pages repeat those
+    chains, so the batcher
+
+    * fingerprints each element once per page (tag + the structural
+      attribute values — exactly the inputs the name strings are built
+      from);
+    * caches each sibling window's rendered names per ancestry level
+      across pages, keyed by the window's fingerprint signature;
+    * caches whole ancestor chains by the identity of their (cached)
+      window and suffix tuples, and whole rows by the identity of their
+      struct and text parts — warm template pages resolve a node's entire
+      name row with a few dict probes and **zero** f-string formatting.
+
+    Rows are returned as tuples whose *name sets* equal the key sets of
+    ``NodeFeatureExtractor.features`` for the same node (struct names are
+    unique by construction; duplicate text registrations may repeat and
+    are deduplicated by the vectorizer exactly as ``dict`` keys were).
+    Identical template rows are returned as the *same object*, which lets
+    :meth:`repro.ml.features.FeatureVectorizer.transform_name_rows` sort
+    each distinct row once.
+    """
+
+    def __init__(self, extractor: NodeFeatureExtractor) -> None:
+        self.extractor = extractor
+        config = extractor.config
+        self._levels = config.struct_ancestor_levels
+        self._width = config.struct_sibling_width
+        self._attributes = config.struct_attributes
+        self._height = config.text_feature_height
+        # -- cross-page caches (template-convergent) ----------------------
+        #: (tag, attr values...) -> interned fingerprint id; the parallel
+        #: list is the inverse (ids are assigned densely).
+        self._fingerprints: dict[tuple, int] = {}
+        self._fingerprint_keys: list[tuple] = []
+        #: window signature (self offset, member fps...) -> interned id,
+        #: with the parallel inverse list for rendering.
+        self._window_sigs: dict[tuple, int] = {}
+        self._window_sig_keys: list[tuple] = []
+        #: (window sig id, level) -> rendered window names tuple.
+        self._window_names: dict[tuple[int, int], tuple[str, ...]] = {}
+        #: (id(window names), id(suffix names)) -> combined chain tuple;
+        #: values pin the keyed tuples so their ids stay valid.
+        self._chain_cache: dict[tuple[int, int], tuple] = {}
+        #: text-name tuple (by value) -> the shared interned tuple.
+        self._text_intern: dict[tuple[str, ...], tuple[str, ...]] = {}
+        #: (id(struct row), id(text row)) -> (full row, struct, text);
+        #: the value pins the keyed tuples so their ids stay valid even
+        #: after a guard clear drops the upstream caches that held them.
+        self._row_cache: dict[tuple[int, int], tuple] = {}
+        # -- per-page scratch ---------------------------------------------
+        self._page_key: int | None = None
+        self._page_fps: dict[int, int] = {}
+        self._page_sigs: dict[int, int] = {}
+        self._page_chains: dict[int, list] = {}
+        self._page_rows: dict[int, tuple[str, ...]] = {}
+        self._registry: dict[int, list[tuple[str, str]]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def row_for(self, node: TextNode, document: Document) -> tuple[str, ...]:
+        """The feature-name row of ``node`` (shared tuple for template twins)."""
+        if self._page_key != document.doc_id:
+            self._page_key = document.doc_id
+            self._page_fps = {}
+            self._page_sigs = {}
+            self._page_chains = {}
+            self._page_rows = {}
+            self._registry = (
+                self.extractor.registry_for(document)
+                if self.extractor.frequent_strings
+                else {}
+            )
+        parent = node.parent
+        if parent is None:
+            return ()
+        cached = self._page_rows.get(id(parent))
+        if cached is not None:
+            return cached
+        struct = self._chain_names(parent, 0)
+        text = self._text_names(parent)
+        if text:
+            row_key = (id(struct), id(text))
+            entry = self._row_cache.get(row_key)
+            if entry is None:
+                self._cache_guard()
+                # struct/text ride along in the value to pin the key ids.
+                row = struct + text
+                self._row_cache[row_key] = (row, struct, text)
+            else:
+                row = entry[0]
+        else:
+            row = struct
+        self._page_rows[id(parent)] = row
+        return row
+
+    # -- structural names --------------------------------------------------
+
+    def _fingerprint(self, element: ElementNode) -> int:
+        found = self._page_fps.get(id(element))
+        if found is not None:
+            return found
+        attrs = element.attrs
+        key = (element.tag, *(attrs.get(a) or None for a in self._attributes))
+        fp = self._fingerprints.get(key)
+        if fp is None:
+            fp = len(self._fingerprints)
+            self._fingerprints[key] = fp
+            self._fingerprint_keys.append(key)
+        self._page_fps[id(element)] = fp
+        return fp
+
+    def _window_sig(self, element: ElementNode) -> int:
+        """Interned signature of the element's sibling window.
+
+        Mirrors the legacy scan exactly: no parent or a stale
+        ``element_index`` (hand-assembled trees) collapses the window to
+        the element alone.  Memoized per element per page — chains from
+        different starting depths revisit the same ancestors at different
+        levels, and the window itself is level-independent.
+        """
+        cached = self._page_sigs.get(id(element))
+        if cached is not None:
+            return cached
+        parent = element.parent
+        position = element.element_index
+        if parent is not None:
+            siblings = parent.element_children()
+            if position >= len(siblings) or siblings[position] is not element:
+                siblings = (element,)
+                position = 0
+        else:
+            siblings = (element,)
+            position = 0
+        width = self._width
+        low = position - width
+        if low < 0:
+            low = 0
+        high = position + width + 1
+        if high > len(siblings):
+            high = len(siblings)
+        fingerprint = self._fingerprint
+        key = (
+            position - low,
+            *(fingerprint(siblings[i]) for i in range(low, high)),
+        )
+        sig = self._window_sigs.get(key)
+        if sig is None:
+            sig = len(self._window_sigs)
+            self._window_sigs[key] = sig
+            # Remember the key for rendering (sig -> key via parallel list).
+            self._window_sig_keys.append(key)
+        self._page_sigs[id(element)] = sig
+        return sig
+
+    def _render_window(self, sig: int, level: int) -> tuple[str, ...]:
+        """Names of one window at one ancestry level (cached cross-page)."""
+        cached = self._window_names.get((sig, level))
+        if cached is not None:
+            return cached
+        key = self._window_sig_keys[sig]
+        self_offset = key[0]
+        names: list[str] = []
+        fingerprint_keys = self._fingerprint_keys
+        for index, fp in enumerate(key[1:]):
+            offset = index - self_offset
+            tag, *values = fingerprint_keys[fp]
+            names.append(f"s|tag|{tag}|{level}|{offset}")
+            for attribute, value in zip(self._attributes, values):
+                if value:
+                    names.append(f"s|{attribute}|{value}|{level}|{offset}")
+        result = tuple(names)
+        self._cache_guard()
+        self._window_names[(sig, level)] = result
+        return result
+
+    def _chain_names(self, element: ElementNode, level: int) -> tuple[str, ...]:
+        """Rendered names of the ancestor chain from ``element`` at ``level``."""
+        slots = self._page_chains.get(id(element))
+        if slots is None:
+            slots = [None] * (self._levels + 1)
+            self._page_chains[id(element)] = slots
+        cached = slots[level]
+        if cached is not None:
+            return cached
+        window = self._render_window(self._window_sig(element), level)
+        parent = element.parent
+        if level < self._levels and parent is not None:
+            suffix = self._chain_names(parent, level + 1)
+            chain_key = (id(window), id(suffix))
+            chain = self._chain_cache.get(chain_key)
+            if chain is None:
+                self._cache_guard()
+                # The value tuple holds window/suffix refs via concatenation
+                # sources; pin them explicitly to keep the key ids valid.
+                chain = window + suffix
+                self._chain_cache[chain_key] = (chain, window, suffix)
+            else:
+                chain = chain[0]
+        else:
+            chain = window
+        slots[level] = chain
+        return chain
+
+    # -- text names --------------------------------------------------------
+
+    def _text_names(self, parent: ElementNode) -> tuple[str, ...]:
+        """Nearby-frequent-string names (interned tuple, shared by value)."""
+        registry = self._registry
+        if not registry:
+            return ()
+        names: list[str] = []
+        element: ElementNode | None = parent
+        ups = 0
+        height = self._height
+        while element is not None and ups <= height:
+            for text, down_path in registry.get(id(element), ()):
+                names.append(f"t|{text}|u{ups}|{down_path}")
+            element = element.parent
+            ups += 1
+        if not names:
+            return ()
+        key = tuple(names)
+        interned = self._text_intern.get(key)
+        if interned is None:
+            self._cache_guard()
+            self._text_intern[key] = key
+            interned = key
+        return interned
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _cache_guard(self) -> None:
+        """Bound the cross-page caches (pathological sites only).
+
+        Cleared together: chain and row keys embed ids of tuples kept
+        alive by the upstream caches, so a partial clear could let a
+        recycled id alias a stale entry.
+        """
+        if (
+            len(self._window_names) >= _BATCHER_CACHE_LIMIT
+            or len(self._chain_cache) >= _BATCHER_CACHE_LIMIT
+            or len(self._text_intern) >= _BATCHER_CACHE_LIMIT
+            or len(self._row_cache) >= _BATCHER_CACHE_LIMIT
+        ):
+            self._window_names.clear()
+            self._chain_cache.clear()
+            self._text_intern.clear()
+            self._row_cache.clear()
+            self._page_chains.clear()
+            self._page_rows.clear()

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.annotation.examples import TrainingExample
 from repro.core.config import CeresConfig
-from repro.core.extraction.features import NodeFeatureExtractor
+from repro.core.extraction.features import FeatureNameBatcher, NodeFeatureExtractor
 from repro.core.extraction.scoring import BatchScorer, PageScores
 from repro.dom.node import TextNode
 from repro.dom.parser import Document
@@ -101,7 +101,45 @@ class CeresTrainer:
     ) -> CeresModel:
         """Train on ``examples``; ``documents`` is the full template cluster
         (used to compile the frequent-string lexicon, which must reflect
-        the whole site, not only annotated pages)."""
+        the whole site, not only annotated pages).
+
+        This is the vectorized path: feature-name rows come batched from a
+        :class:`~repro.core.extraction.features.FeatureNameBatcher`
+        (template-convergent caches, shared row objects), land in the CSR
+        matrix through the vectorizer's preallocated name-row path, and
+        the classifier fits through the deduplicated fast objective.  The
+        resulting model — vocabulary, matrix, and coefficients — is
+        byte-identical to :meth:`legacy_train` (covered by tests and the
+        annotation hot-path benchmark).
+        """
+        if not examples:
+            raise ValueError("no training examples — annotation produced nothing")
+        extractor = NodeFeatureExtractor(self.config).fit(documents)
+        batcher = FeatureNameBatcher(extractor)
+        rows = [
+            batcher.row_for(example.node, documents[example.page_index])
+            for example in examples
+        ]
+        labels = [example.label for example in examples]
+        vectorizer = FeatureVectorizer()
+        X = vectorizer.fit_transform_name_rows(rows)
+        classifier = SoftmaxRegression(
+            C=self.config.classifier_C, max_iter=self.config.classifier_max_iter
+        )
+        classifier.fit(X, labels)
+        return CeresModel(extractor, vectorizer, classifier).compile()
+
+    def legacy_train(
+        self,
+        examples: list[TrainingExample],
+        documents: list[Document],
+    ) -> CeresModel:
+        """:meth:`train` through the original row-by-row chain.
+
+        Kept as the equivalence oracle: per-node feature dicts, dict
+        vectorization, and the reference L-BFGS objective under
+        ``scipy.optimize.minimize``.
+        """
         if not examples:
             raise ValueError("no training examples — annotation produced nothing")
         extractor = NodeFeatureExtractor(self.config).fit(documents)
@@ -115,5 +153,5 @@ class CeresTrainer:
         classifier = SoftmaxRegression(
             C=self.config.classifier_C, max_iter=self.config.classifier_max_iter
         )
-        classifier.fit(X, labels)
+        classifier.fit(X, labels, engine="reference")
         return CeresModel(extractor, vectorizer, classifier).compile()

@@ -106,7 +106,22 @@ class CeresPipeline:
 
     def annotate(self, documents: list[Document]) -> CeresResult:
         """Run clustering, topic identification, and relation annotation."""
+        return self._annotate(documents, legacy=False)
+
+    def legacy_annotate(self, documents: list[Document]) -> CeresResult:
+        """:meth:`annotate` through the annotator's legacy oracle path.
+
+        Requires an annotator exposing ``legacy_annotate`` (the default
+        :class:`~repro.core.annotation.relation.RelationAnnotator` does);
+        output is byte-identical to :meth:`annotate`'s.
+        """
+        return self._annotate(documents, legacy=True)
+
+    def _annotate(self, documents: list[Document], legacy: bool) -> CeresResult:
         config = self.config
+        annotate_cluster = (
+            self.annotator.legacy_annotate if legacy else self.annotator.annotate
+        )
         if config.use_template_clustering:
             clusters = cluster_pages(documents, config.template_similarity_threshold)
         else:
@@ -133,7 +148,7 @@ class CeresPipeline:
                 continue
             cluster_documents = [documents[i] for i in page_indices]
             local_topics = self.topic_identifier.identify(cluster_documents)
-            annotated = self.annotator.annotate(cluster_documents, local_topics)
+            annotated = annotate_cluster(cluster_documents, local_topics)
             # Re-key page indices from cluster-local to global.
             global_topics = {
                 page_indices[local]: TopicResult(
@@ -160,18 +175,42 @@ class CeresPipeline:
     # -- training --------------------------------------------------------------
 
     def train(self, documents: list[Document], result: CeresResult) -> CeresResult:
-        """Fit one model per cluster with enough annotated pages."""
+        """Fit one model per cluster with enough annotated pages.
+
+        Example building is batched up front for every cluster (one pass
+        over the shared negative-sampling RNG, in cluster order — exactly
+        the stream the sequential loop consumed), then the models fit
+        through the trainer's vectorized path.
+        """
+        per_cluster = self._build_cluster_examples(result)
+        for cluster, examples in per_cluster:
+            cluster.model = self.trainer.train(examples, documents)
+        return result
+
+    def legacy_train(self, documents: list[Document], result: CeresResult) -> CeresResult:
+        """:meth:`train` through the legacy row-by-row trainer (oracle).
+
+        Consumes the negative-sampling RNG identically, so models are
+        byte-identical to :meth:`train`'s.
+        """
+        per_cluster = self._build_cluster_examples(result)
+        for cluster, examples in per_cluster:
+            cluster.model = self.trainer.legacy_train(examples, documents)
+        return result
+
+    def _build_cluster_examples(self, result: CeresResult):
+        """Training examples per trainable cluster, built in one RNG pass."""
         rng = random.Random(self.config.random_seed)
+        per_cluster = []
         for cluster in result.cluster_results:
             if not cluster.annotated_pages:
                 continue
             examples = build_training_examples(
                 cluster.annotated_pages, self.config, rng
             )
-            if not examples:
-                continue
-            cluster.model = self.trainer.train(examples, documents)
-        return result
+            if examples:
+                per_cluster.append((cluster, examples))
+        return per_cluster
 
     # -- extraction ---------------------------------------------------------------
 

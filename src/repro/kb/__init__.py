@@ -9,6 +9,7 @@ from repro.kb.literals import (
 from repro.kb.matcher import PageMatch, PageMatcher
 from repro.kb.ontology import NAME_PREDICATE, OTHER_LABEL, Ontology, Predicate
 from repro.kb.store import KnowledgeBase
+from repro.kb.surfaces import SubjectObject, SurfaceIndex
 from repro.kb.triple import Entity, Triple, Value
 
 __all__ = [
@@ -18,6 +19,8 @@ __all__ = [
     "parse_date",
     "PageMatch",
     "PageMatcher",
+    "SubjectObject",
+    "SurfaceIndex",
     "NAME_PREDICATE",
     "OTHER_LABEL",
     "Ontology",

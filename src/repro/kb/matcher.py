@@ -75,14 +75,30 @@ class PageMatch:
     def mentions_of_surfaces(self, surfaces: list[str]) -> list[TextNode]:
         """Text nodes whose full text matches any of ``surfaces``.
 
-        Document order is preserved and duplicates removed (two surface
-        variants can normalize to the same field).
+        Duplicates are removed (two surface variants can normalize to the
+        same field) and the result is sorted by XPath, so it depends only
+        on the set of surfaces supplied.
+        """
+        variants: list[str] = []
+        for surface in surfaces:
+            variants.extend(surface_variants(surface))
+        return self.mentions_of_variants(variants)
+
+    def mentions_of_variants(self, variants) -> list[TextNode]:
+        """Text nodes matching any of the precomputed normalized ``variants``.
+
+        The fast path for callers that expand surface variants once (e.g.
+        :class:`repro.kb.surfaces.SurfaceIndex`) instead of per page.  The
+        result is sorted by XPath, so it depends only on the *set* of
+        variants supplied.
         """
         seen: set[int] = set()
         found: list[TextNode] = []
-        for surface in surfaces:
-            for variant in surface_variants(surface):
-                for node in self._fields_by_norm.get(variant, ()):
+        fields = self._fields_by_norm
+        for variant in variants:
+            nodes = fields.get(variant)
+            if nodes:
+                for node in nodes:
                     if id(node) not in seen:
                         seen.add(id(node))
                         found.append(node)

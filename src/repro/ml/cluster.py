@@ -9,8 +9,22 @@ between their corresponding XPaths."
 
 The implementation performs average-linkage agglomeration over a
 precomputed distance matrix via the Lance–Williams update, O(n^2 log n)
-overall — comfortably fast for the few hundred mention XPaths a predicate
-produces per site (callers cap the sample size).
+overall.  Heap entries are validated with *per-cluster version counters*
+(each merge bumps the surviving cluster's version; an entry is live only
+if both endpoint versions still match), so stale entries can never be
+confused with fresh ones — unlike the float-equality check this replaces,
+which compared a popped distance against the current matrix cell and
+could in principle mistake a stale entry for live after Lance–Williams
+averaging recreated an old value.  Row updates run vectorized over the
+whole distance matrix; the per-element arithmetic is the same IEEE
+multiply-add-divide the scalar loop performed, so merge distances are
+bit-identical to the legacy implementation's.
+
+The distance matrix itself comes from the interned-token batched
+Levenshtein engine (:func:`repro.text.distance.levenshtein_matrix`) —
+one numpy DP over all pairs instead of ``n^2/2`` Python calls;
+``engine="python"`` keeps the pure-Python pairwise path as the
+equivalence oracle.
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ from typing import TypeVar
 
 import numpy as np
 
-from repro.text.distance import levenshtein
+from repro.text.distance import levenshtein, levenshtein_matrix
 
 __all__ = ["agglomerative_cluster", "cluster_xpaths", "pairwise_distance_matrix"]
 
@@ -31,7 +45,7 @@ T = TypeVar("T")
 def pairwise_distance_matrix(
     items: Sequence[T], distance_fn: Callable[[T, T], float]
 ) -> np.ndarray:
-    """Symmetric distance matrix with a zero diagonal."""
+    """Symmetric distance matrix with a zero diagonal (pure-Python pairwise)."""
     n = len(items)
     matrix = np.zeros((n, n))
     for i in range(n):
@@ -63,20 +77,27 @@ def agglomerative_cluster(
         return []
 
     # active[i] is True while cluster i exists; sizes track member counts
-    # for the average-linkage (UPGMA) Lance-Williams update.
+    # for the average-linkage (UPGMA) Lance-Williams update.  version[i]
+    # stamps heap entries: any merge touching i invalidates entries that
+    # recorded an older stamp.
     current = distances.astype(float).copy()
-    active = [True] * n
-    sizes = [1] * n
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n)
+    version = [0] * n
     members: list[list[int]] = [[i] for i in range(n)]
-    heap: list[tuple[float, int, int]] = []
-    for i in range(n):
-        for j in range(i + 1, n):
-            heapq.heappush(heap, (current[i, j], i, j))
+    heap: list[tuple[float, int, int, int, int]] = [
+        (current[i, j], i, j, 0, 0) for i in range(n) for j in range(i + 1, n)
+    ]
+    heapq.heapify(heap)
 
     remaining = n
     while remaining > n_clusters and heap:
-        d, i, j = heapq.heappop(heap)
-        if not (active[i] and active[j]) or current[i, j] != d:
+        d, i, j, stamp_i, stamp_j = heapq.heappop(heap)
+        if (
+            not (active[i] and active[j])
+            or version[i] != stamp_i
+            or version[j] != stamp_j
+        ):
             continue  # stale entry
         # Merge j into i.
         active[j] = False
@@ -84,13 +105,22 @@ def agglomerative_cluster(
         members[j] = []
         si, sj = sizes[i], sizes[j]
         sizes[i] = si + sj
-        for k in range(n):
-            if k != i and active[k]:
-                merged = (si * current[i, k] + sj * current[j, k]) / (si + sj)
-                current[i, k] = merged
-                current[k, i] = merged
-                a, b = (i, k) if i < k else (k, i)
-                heapq.heappush(heap, (merged, a, b))
+        version[i] += 1
+        stamp_i = version[i]
+        # Vectorized Lance-Williams (UPGMA) row update: identical IEEE
+        # operations per element as the scalar loop it replaces.
+        merged = (si * current[i] + sj * current[j]) / (si + sj)
+        targets = active.copy()
+        targets[i] = False
+        current[i, targets] = merged[targets]
+        current[targets, i] = merged[targets]
+        push = heapq.heappush
+        for k in np.flatnonzero(targets):
+            k = int(k)
+            if i < k:
+                push(heap, (merged[k], i, k, stamp_i, version[k]))
+            else:
+                push(heap, (merged[k], k, i, version[k], stamp_i))
         remaining -= 1
 
     labels = [-1] * n
@@ -104,7 +134,11 @@ def agglomerative_cluster(
 
 
 def cluster_xpaths(
-    xpath_tokens: Sequence[tuple], n_clusters: int, max_items: int = 400
+    xpath_tokens: Sequence[tuple],
+    n_clusters: int,
+    max_items: int = 400,
+    *,
+    engine: str = "batched",
 ) -> list[int]:
     """Cluster XPath step tuples by Levenshtein distance.
 
@@ -112,6 +146,11 @@ def cluster_xpaths(
     When more than ``max_items`` paths are supplied, clustering runs on the
     distinct paths only (identical paths trivially co-cluster), keeping the
     distance matrix tractable.
+
+    ``engine`` selects the distance-matrix implementation: ``"batched"``
+    (default) interns the steps and runs the vectorized all-pairs DP,
+    ``"python"`` is the pure-Python pairwise oracle.  Both produce exact
+    integer distances, so labels are identical.
 
     Returns one label per input path.
     """
@@ -132,7 +171,12 @@ def cluster_xpaths(
     else:
         kept_paths = unique_paths
 
-    matrix = pairwise_distance_matrix(kept_paths, levenshtein)
+    if engine == "batched":
+        matrix = levenshtein_matrix(kept_paths)
+    elif engine == "python":
+        matrix = pairwise_distance_matrix(kept_paths, levenshtein)
+    else:
+        raise ValueError(f"unknown cluster_xpaths engine {engine!r}")
     kept_labels = agglomerative_cluster(matrix, n_clusters)
     label_of_kept = dict(zip(kept_paths, kept_labels))
 
@@ -140,11 +184,16 @@ def cluster_xpaths(
         found = label_of_kept.get(path)
         if found is not None:
             return found
+        # Nearest kept path, with the early-exit limit seeded by the best
+        # distance so far: a candidate whose true distance exceeds the
+        # limit returns *some* value above it, which loses the `<`
+        # comparison exactly as the true distance would — so the chosen
+        # label matches the unbounded scan's.
         best_label, best_distance = 0, None
-        for kept, lbl in label_of_kept.items():
-            d = levenshtein(path, kept)
+        for kept, label in label_of_kept.items():
+            d = levenshtein(path, kept, limit=best_distance)
             if best_distance is None or d < best_distance:
-                best_distance, best_label = d, lbl
+                best_distance, best_label = d, label
         return best_label
 
     return [label_for(path) for path in xpath_tokens]

@@ -76,6 +76,77 @@ class FeatureVectorizer:
     def fit_transform(self, samples: Sequence[Mapping[str, float]]) -> sp.csr_matrix:
         return self.fit(samples).transform(samples)
 
+    # -- batched name-row path (training hot path) -------------------------
+
+    def fit_names(self, rows: Sequence[Sequence[str]]) -> FeatureVectorizer:
+        """:meth:`fit` over feature-*name* rows instead of dicts.
+
+        Rows produced by :class:`repro.core.extraction.features.FeatureNameBatcher`
+        share identity for template-identical nodes, so the union skips
+        already-seen row objects.  The vocabulary is identical to fitting
+        the equivalent dicts: the same name set, sorted.
+        """
+        names: set[str] = set()
+        seen_rows: set[int] = set()
+        for row in rows:
+            key = id(row)
+            if key in seen_rows:
+                continue
+            seen_rows.add(key)
+            names.update(row)
+        self.vocabulary_ = {name: idx for idx, name in enumerate(sorted(names))}
+        self._fitted = True
+        return self
+
+    def transform_name_rows(self, rows: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        """:meth:`transform` over feature-name rows with all-ones values.
+
+        Produces exactly the matrix :meth:`transform` would for dicts
+        mapping those names to ``1.0``: per row, the sorted unique known
+        columns with unit values (duplicate names collapse just as
+        duplicate dict keys cannot exist).  Distinct row *objects* are
+        resolved against the vocabulary once and memoized by identity.
+        """
+        if not self._fitted:
+            raise RuntimeError("vectorizer is not fitted")
+        vocabulary = self.vocabulary_
+        n_samples = len(rows)
+        column_cache: dict[int, np.ndarray] = {}
+        row_columns: list[np.ndarray] = []
+        capacity = 0
+        for row in rows:
+            columns = column_cache.get(id(row))
+            if columns is None:
+                found = {
+                    column
+                    for name in row
+                    if (column := vocabulary.get(name)) is not None
+                }
+                columns = np.fromiter(
+                    sorted(found), dtype=np.int32, count=len(found)
+                )
+                column_cache[id(row)] = columns
+            row_columns.append(columns)
+            capacity += len(columns)
+        indices = np.empty(capacity, dtype=np.int32)
+        indptr = np.empty(n_samples + 1, dtype=np.int32)
+        indptr[0] = 0
+        cursor = 0
+        for index, columns in enumerate(row_columns):
+            width = len(columns)
+            indices[cursor : cursor + width] = columns
+            cursor += width
+            indptr[index + 1] = cursor
+        matrix = sp.csr_matrix(
+            (np.ones(capacity, dtype=np.float64), indices, indptr),
+            shape=(n_samples, len(vocabulary)),
+        )
+        matrix.has_sorted_indices = True
+        return matrix
+
+    def fit_transform_name_rows(self, rows: Sequence[Sequence[str]]) -> sp.csr_matrix:
+        return self.fit_names(rows).transform_name_rows(rows)
+
     def feature_names(self) -> list[str]:
         """Feature names in column order."""
         return sorted(self.vocabulary_, key=self.vocabulary_.__getitem__)

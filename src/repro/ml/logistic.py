@@ -11,6 +11,29 @@ objective exactly:
 term is multiplied by ``C``), optimized with ``scipy.optimize`` L-BFGS-B
 using analytic gradients.  Intercepts are unregularized, as in
 scikit-learn.
+
+Two solve paths produce **bit-identical coefficients**:
+
+* the *reference* path — the original textbook objective handed to
+  ``scipy.optimize.minimize`` — kept as the equivalence oracle;
+* the *fast* path (default), which removes interpreter and allocator
+  overhead without changing a single float operation:
+
+  - duplicate CSR rows (template sites repeat feature patterns on every
+    page) are collapsed for the forward matvec and the softmax chain —
+    each distinct row's logits and log-probabilities are computed by the
+    same op sequence and broadcast back by row gather, so every value is
+    the one the full-matrix pass would produce;
+  - ``csr_matvecs`` is invoked directly with preallocated buffers,
+    replicating ``scipy.sparse``'s ``_matmul_multivector`` exactly;
+  - the elementwise chain reuses ``out=`` buffers, keeping the identical
+    sequence of IEEE operations;
+  - the L-BFGS-B driver loop calls ``setulb`` directly, replicating
+    ``scipy.optimize._minimize_lbfgsb``'s call sequence (same ``factr``,
+    ``pgtol``, ``m``, ``maxls``, iteration/termination bookkeeping) while
+    skipping the per-evaluation ``ScalarFunction`` wrapper cost.  If the
+    private interface is unavailable or mismatched, the fast path falls
+    back to ``scipy.optimize.minimize`` transparently.
 """
 
 from __future__ import annotations
@@ -18,8 +41,30 @@ from __future__ import annotations
 import numpy as np
 import scipy.optimize
 import scipy.sparse as sp
+from scipy.sparse import _sparsetools
+
+try:  # pragma: no cover - exercised implicitly on import
+    from scipy.optimize import _lbfgsb as _lbfgsb_module
+
+    # The driver replicates the scipy >= 1.15 C-translated interface
+    # (int32 task codes, trailing ln_task).  Older interfaces fall back.
+    _HAVE_FAST_LBFGSB = "ln_task" in (getattr(_lbfgsb_module, "setulb", None).__doc__ or "")
+except Exception:  # pragma: no cover - depends on scipy build
+    _lbfgsb_module = None
+    _HAVE_FAST_LBFGSB = False
 
 __all__ = ["SoftmaxRegression"]
+
+#: scipy.optimize.minimize's L-BFGS-B defaults, replicated by the fast
+#: driver: options {maxiter, gtol} leave ftol/maxcor/maxls/maxfun at these.
+_LBFGSB_FTOL = 2.2204460492503131e-09
+_LBFGSB_MAXCOR = 10
+_LBFGSB_MAXLS = 20
+_LBFGSB_MAXFUN = 15000
+
+#: Collapse duplicate rows for the forward pass only when they actually
+#: repeat; below this ratio the gather costs more than it saves.
+_UNIQUE_ROW_RATIO = 0.8
 
 
 def _log_softmax(logits: np.ndarray) -> np.ndarray:
@@ -53,8 +98,16 @@ class SoftmaxRegression:
 
     # -- training ---------------------------------------------------------
 
-    def fit(self, X: sp.spmatrix, y) -> SoftmaxRegression:
-        """Fit on sparse features ``X`` and labels ``y`` (any hashables)."""
+    def fit(self, X: sp.spmatrix, y, engine: str = "fast") -> SoftmaxRegression:
+        """Fit on sparse features ``X`` and labels ``y`` (any hashables).
+
+        ``engine="fast"`` (default) runs the deduplicated, preallocated
+        objective through the direct ``setulb`` driver; ``"reference"``
+        runs the original objective through ``scipy.optimize.minimize``.
+        Both produce bit-identical coefficients (covered by tests).
+        """
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown fit engine {engine!r}")
         X = sp.csr_matrix(X)
         y = np.asarray(y)
         if X.shape[0] != y.shape[0]:
@@ -73,6 +126,32 @@ class SoftmaxRegression:
 
         Y = np.zeros((n_samples, n_classes))
         Y[np.arange(n_samples), y_idx] = 1.0
+
+        if engine == "fast":
+            objective = self._fast_objective(X, Y)
+            flat = _minimize_lbfgsb(
+                objective,
+                n_classes * n_features + n_classes,
+                maxiter=self.max_iter,
+                pgtol=self.tol,
+            )
+        else:
+            objective = self._reference_objective(X, Y)
+            flat = scipy.optimize.minimize(
+                objective,
+                np.zeros(n_classes * n_features + n_classes),
+                jac=True,
+                method="L-BFGS-B",
+                options={"maxiter": self.max_iter, "gtol": self.tol},
+            ).x
+        self.coef_ = flat[: n_classes * n_features].reshape(n_classes, n_features)
+        self.intercept_ = flat[n_classes * n_features :]
+        return self
+
+    def _reference_objective(self, X: sp.csr_matrix, Y: np.ndarray):
+        """The original textbook loss/gradient closure (equivalence oracle)."""
+        n_samples, n_features = X.shape
+        n_classes = Y.shape[1]
         Xt = X.T.tocsr()
 
         def objective(flat: np.ndarray):
@@ -90,18 +169,123 @@ class SoftmaxRegression:
             grad_b = G.sum(axis=0)
             return loss, np.concatenate([grad_W.ravel(), grad_b])
 
-        x0 = np.zeros(n_classes * n_features + n_classes)
-        result = scipy.optimize.minimize(
-            objective,
-            x0,
-            jac=True,
-            method="L-BFGS-B",
-            options={"maxiter": self.max_iter, "gtol": self.tol},
-        )
-        flat = result.x
-        self.coef_ = flat[: n_classes * n_features].reshape(n_classes, n_features)
-        self.intercept_ = flat[n_classes * n_features :]
-        return self
+        return objective
+
+    def _fast_objective(self, X: sp.csr_matrix, Y: np.ndarray):
+        """Preallocated, row-deduplicated closure.
+
+        Every float is produced by the same operation sequence as the
+        reference closure: the forward matvec replicates
+        ``_matmul_multivector`` (zeroed output + ``csr_matvecs`` on a
+        C-contiguous ``W.T``), row-level ops are computed once per
+        *distinct* row and gathered back (row-local math is identical),
+        and full-matrix reductions (``sum(Y * log_prob)``, ``G.sum(0)``,
+        ``Xt @ G``) still run over the expanded matrices in the original
+        order.
+        """
+        n_samples, n_features = X.shape
+        n_classes = Y.shape[1]
+        C = self.C
+        Xt = X.T.tocsr()
+        t_indptr, t_indices, t_data = Xt.indptr, Xt.indices, Xt.data
+
+        # -- duplicate-row collapse for the forward pass ------------------
+        indptr, indices, data = X.indptr, X.indices, X.data
+        row_group = np.empty(n_samples, dtype=np.intp)
+        group_of: dict[bytes, int] = {}
+        unique_rows: list[int] = []
+        for row in range(n_samples):
+            start, stop = indptr[row], indptr[row + 1]
+            key = indices[start:stop].tobytes() + data[start:stop].tobytes()
+            group = group_of.get(key)
+            if group is None:
+                group = len(group_of)
+                group_of[key] = group
+                unique_rows.append(row)
+            row_group[row] = group
+        n_unique = len(unique_rows)
+        if n_unique <= _UNIQUE_ROW_RATIO * n_samples:
+            forward = sp.csr_matrix(X[np.asarray(unique_rows)])
+            expand: np.ndarray | None = row_group
+        else:
+            forward = X
+            expand = None
+        f_rows = forward.shape[0]
+        f_indptr, f_indices, f_data = forward.indptr, forward.indices, forward.data
+
+        # -- preallocated buffers ----------------------------------------
+        logits = np.empty((f_rows, n_classes))
+        row_max = np.empty((f_rows, 1))
+        shifted = np.empty((f_rows, n_classes))
+        exp_buf = np.empty((f_rows, n_classes))
+        row_sum = np.empty((f_rows, 1))
+        log_prob_rows = np.empty((f_rows, n_classes))
+        prob_rows = np.empty((f_rows, n_classes))
+        if expand is None:
+            log_prob = log_prob_rows
+            P = prob_rows
+        else:
+            log_prob = np.empty((n_samples, n_classes))
+            P = np.empty((n_samples, n_classes))
+        loss_buf = np.empty((n_samples, n_classes))
+        G = np.empty((n_samples, n_classes))
+        XtG = np.empty((n_features, n_classes))
+        coef_size = n_classes * n_features
+        logits_flat = logits.ravel()
+        XtG_flat = XtG.ravel()
+        XtG_T = XtG.T
+
+        # Local bindings keep the per-evaluation interpreter overhead off
+        # the 200+ L-BFGS iterations.
+        matvecs = _sparsetools.csr_matvecs
+        ascontiguous = np.ascontiguousarray
+        add, subtract, multiply = np.add, np.subtract, np.multiply
+        nmax, nsum, nexp, nlog, ntake = np.max, np.sum, np.exp, np.log, np.take
+        empty = np.empty
+
+        def objective(flat: np.ndarray):
+            W = flat[:coef_size].reshape(n_classes, n_features)
+            b = flat[coef_size:]
+            # logits = X @ W.T + b, exactly as _matmul_multivector does it.
+            Wt = ascontiguous(W.T)
+            logits.fill(0.0)
+            matvecs(
+                f_rows, n_features, n_classes,
+                f_indptr, f_indices, f_data, Wt.ravel(), logits_flat,
+            )
+            add(logits, b, out=logits)
+            # log-softmax, one pass per distinct row.
+            nmax(logits, axis=1, keepdims=True, out=row_max)
+            subtract(logits, row_max, out=shifted)
+            nexp(shifted, out=exp_buf)
+            nsum(exp_buf, axis=1, keepdims=True, out=row_sum)
+            nlog(row_sum, out=row_sum)
+            subtract(shifted, row_sum, out=log_prob_rows)
+            nexp(log_prob_rows, out=prob_rows)
+            if expand is not None:
+                ntake(log_prob_rows, expand, axis=0, out=log_prob)
+                ntake(prob_rows, expand, axis=0, out=P)
+            # Loss: full-matrix reductions in the reference order.
+            multiply(Y, log_prob, out=loss_buf)
+            data_loss = -nsum(loss_buf)
+            reg_loss = 0.5 * nsum(W * W)
+            loss = reg_loss + (data_loss if C == 1.0 else C * data_loss)
+            # Gradient.  C == 1.0 multiplications are exact identities.
+            subtract(P, Y, out=G)
+            if C != 1.0:
+                multiply(C, G, out=G)
+            XtG.fill(0.0)
+            matvecs(
+                n_features, n_samples, n_classes,
+                t_indptr, t_indices, t_data, G.ravel(), XtG_flat,
+            )
+            grad = empty(coef_size + n_classes)
+            grad_W = grad[:coef_size].reshape(n_classes, n_features)
+            add(XtG_T, W, out=grad_W)
+            nsum(G, axis=0, out=grad[coef_size:])
+            return loss, grad
+
+        return objective
 
     # -- inference ----------------------------------------------------------
 
@@ -134,3 +318,74 @@ class SoftmaxRegression:
         cols = np.array([class_index[label] for label in y])
         picked = np.clip(probabilities[rows, cols], 1e-12, None)
         return float(-np.mean(np.log(picked)))
+
+
+def _minimize_lbfgsb(objective, n: int, maxiter: int, pgtol: float) -> np.ndarray:
+    """Unbounded L-BFGS-B from ``x0 = 0`` via direct ``setulb`` calls.
+
+    Replicates ``scipy.optimize._lbfgsb_py._minimize_lbfgsb`` for the
+    exact configuration this module uses (``jac=True``, no bounds, no
+    callback, options ``{maxiter, gtol}``): the same workspace layout,
+    ``factr``/``pgtol``, task-code handling, and iteration/``maxfun``
+    bookkeeping — so the evaluation sequence, and therefore the returned
+    ``x``, match ``scipy.optimize.minimize`` bit for bit.  Falls back to
+    ``scipy.optimize.minimize`` when the private interface is missing or
+    refuses the call.
+    """
+    if _HAVE_FAST_LBFGSB:
+        try:
+            return _setulb_loop(objective, n, maxiter, pgtol)
+        except TypeError:  # pragma: no cover - future setulb signature drift
+            pass
+    result = scipy.optimize.minimize(  # pragma: no cover - fallback path
+        objective,
+        np.zeros(n),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": maxiter, "gtol": pgtol},
+    )
+    return result.x
+
+
+def _setulb_loop(objective, n: int, maxiter: int, pgtol: float) -> np.ndarray:
+    m = _LBFGSB_MAXCOR
+    factr = _LBFGSB_FTOL / np.finfo(float).eps
+    x = np.zeros(n, dtype=np.float64)
+    low_bnd = np.zeros(n, dtype=np.float64)
+    upper_bnd = np.zeros(n, dtype=np.float64)
+    nbd = np.zeros(n, dtype=np.int32)
+    f = np.array(0.0, dtype=np.float64)
+    g = np.zeros(n, dtype=np.float64)
+    wa = np.zeros(2 * m * n + 5 * n + 11 * m * m + 8 * m, dtype=np.float64)
+    iwa = np.zeros(3 * n, dtype=np.int32)
+    task = np.zeros(2, dtype=np.int32)
+    ln_task = np.zeros(2, dtype=np.int32)
+    lsave = np.zeros(4, dtype=np.int32)
+    isave = np.zeros(44, dtype=np.int32)
+    dsave = np.zeros(29, dtype=np.float64)
+    setulb = _lbfgsb_module.setulb
+
+    n_iterations = 0
+    n_evaluations = 0
+    while True:
+        g = g.astype(np.float64)
+        setulb(
+            m, x, low_bnd, upper_bnd, nbd, f, g, factr, pgtol, wa, iwa,
+            task, lsave, isave, dsave, _LBFGSB_MAXLS, ln_task,
+        )
+        if task[0] == 3:
+            # The minimization routine wants f and g at the current x.
+            f, g = objective(x)
+            n_evaluations += 1
+        elif task[0] == 1:
+            # New iteration; replicate scipy's stop bookkeeping.
+            n_iterations += 1
+            if n_iterations >= maxiter:
+                task[0] = 5
+                task[1] = 504
+            elif n_evaluations > _LBFGSB_MAXFUN:
+                task[0] = 5
+                task[1] = 502
+        else:
+            break
+    return x

@@ -17,6 +17,7 @@ needs: annotation quality depends on not hallucinating matches.
 
 from __future__ import annotations
 
+import functools
 from collections import defaultdict
 from collections.abc import Hashable, Iterable
 from typing import TypeVar
@@ -28,12 +29,29 @@ __all__ = ["surface_variants", "StringIndex"]
 V = TypeVar("V", bound=Hashable)
 
 
-def surface_variants(text: str) -> set[str]:
+#: Surfaces longer than this bypass the variant memo (mirrors
+#: ``repro.text.normalize``'s cache guard): one-off long strings must not
+#: pin cache memory for the process lifetime.
+_VARIANT_CACHE_MAX_LEN = 256
+
+
+def surface_variants(text: str) -> frozenset[str]:
     """All normalized variants under which ``text`` should be indexed/looked up.
+
+    The result is a shared, memoized frozenset — variant generation is
+    pure and the same surfaces recur across every page of a site, so each
+    distinct string expands once per process, not once per lookup.  Treat
+    the returned set as immutable.
 
     >>> sorted(surface_variants("Lee, Spike"))
     ['lee spike', 'spike lee']
     """
+    if len(text) <= _VARIANT_CACHE_MAX_LEN:
+        return _variants_cached(text)
+    return _variants(text)
+
+
+def _variants(text: str) -> frozenset[str]:
     variants: set[str] = set()
     base = normalize_text(text)
     if base:
@@ -54,7 +72,10 @@ def surface_variants(text: str) -> set[str]:
             inverted = normalize_text(f"{first} {last}")
             if inverted:
                 variants.add(inverted)
-    return variants
+    return frozenset(variants)
+
+
+_variants_cached = functools.lru_cache(maxsize=1 << 16)(_variants)
 
 
 class StringIndex:

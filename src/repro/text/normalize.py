@@ -11,6 +11,7 @@ reordering variants are generated separately in :mod:`repro.text.fuzzy`).
 
 from __future__ import annotations
 
+import functools
 import re
 import unicodedata
 
@@ -50,6 +51,13 @@ COUNTRY_NAMES = frozenset(
 )
 
 
+#: Strings longer than this bypass the normalization memo: long prose
+#: fields rarely recur, and caching them would pin arbitrarily large
+#: (input, output) string pairs for the process lifetime.  Mention-sized
+#: strings (KB surfaces, labels, names) all sit far below it.
+_NORMALIZE_CACHE_MAX_LEN = 256
+
+
 def normalize_text(text: str) -> str:
     """Return the canonical matching form of ``text``.
 
@@ -57,14 +65,29 @@ def normalize_text(text: str) -> str:
     punctuation removal, and whitespace collapsing.  The result is stable
     under repeated application (idempotent), a property covered by tests.
 
+    Mention-sized inputs are memoized in a bounded LRU: normalization is
+    pure, strings are immutable, and the same field texts and KB surfaces
+    recur on every page of a template site, so the regex passes run once
+    per distinct string rather than once per occurrence.  Long prose
+    fields skip the cache so it never pins large one-off page strings.
+
     >>> normalize_text("  Do the Right  Thing! ")
     'do the right thing'
     """
+    if len(text) <= _NORMALIZE_CACHE_MAX_LEN:
+        return _normalize_cached(text)
+    return _normalize(text)
+
+
+def _normalize(text: str) -> str:
     text = unicodedata.normalize("NFKC", text)
     text = text.casefold()
     text = _PUNCT_RE.sub(" ", text)
     text = _WS_RE.sub(" ", text)
     return text.strip()
+
+
+_normalize_cached = functools.lru_cache(maxsize=1 << 16)(_normalize)
 
 
 def tokenize(text: str) -> list[str]:

@@ -369,6 +369,58 @@ class TestStatsCommand:
                   "--pages", str(pages_dir)])
 
 
+class TestMinPredicatePagesFlag:
+    def test_flag_threads_into_config(self, monkeypatch, site_on_disk, tmp_path):
+        """--min-predicate-pages reaches CeresConfig on every annotation
+        command (extract shown here; the parser wires the same option into
+        annotate/train/run-corpus)."""
+        _, kb_path, pages_dir = site_on_disk
+        captured = {}
+        from repro.core.pipeline import CeresPipeline
+
+        original = CeresPipeline.__init__
+
+        def spy(self, kb, config=None, annotator=None):
+            captured["config"] = config
+            original(self, kb, config, annotator)
+
+        monkeypatch.setattr(CeresPipeline, "__init__", spy)
+        code = main(
+            ["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+             "--min-predicate-pages", "7",
+             "--output", str(tmp_path / "out.jsonl")]
+        )
+        assert code == 0
+        assert captured["config"].min_predicate_pages == 7
+
+    def test_default_leaves_config_untouched(self, site_on_disk, capsys):
+        _, kb_path, pages_dir = site_on_disk
+        code = main(["annotate", "--kb", str(kb_path), "--pages", str(pages_dir)])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_rejects_non_positive(self, site_on_disk, tmp_path):
+        _, kb_path, pages_dir = site_on_disk
+        with pytest.raises(SystemExit):
+            main(["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+                  "--min-predicate-pages", "0",
+                  "--output", str(tmp_path / "out.jsonl")])
+
+    def test_accepted_by_all_annotation_commands(self):
+        from repro.__main__ import _build_parser
+
+        parser = _build_parser()
+        for argv in (
+            ["extract", "--kb", "k", "--pages", "p", "--min-predicate-pages", "2"],
+            ["annotate", "--kb", "k", "--pages", "p", "--min-predicate-pages", "2"],
+            ["train", "--kb", "k", "--pages", "p", "--registry", "r",
+             "--min-predicate-pages", "2"],
+            ["run-corpus", "--kb", "k", "--corpus", "c", "--registry", "r",
+             "--min-predicate-pages", "2"],
+        ):
+            assert parser.parse_args(argv).min_predicate_pages == 2
+
+
 class TestSkippedClusterReporting:
     def test_extract_reports_skipped_pages(self, site_on_disk, tmp_path, capsys):
         """Small-cluster pages must not vanish silently (they are dropped

@@ -1,11 +1,27 @@
-"""Tests for repro.text.distance (Levenshtein, Jaccard)."""
+"""Tests for repro.text.distance (Levenshtein, Jaccard, batched engine)."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.text.distance import jaccard, levenshtein, normalized_levenshtein
+from repro.text.distance import (
+    batched_levenshtein,
+    encode_token_sequences,
+    jaccard,
+    levenshtein,
+    levenshtein_matrix,
+    normalized_levenshtein,
+)
 
 short_text = st.text(alphabet="abcde", max_size=12)
+
+#: XPath-step-shaped tokens: (tag, index) with wildcardable indices.
+xpath_step = st.tuples(
+    st.sampled_from(["div", "span", "li", "ul", "p", "text()"]),
+    st.one_of(st.none(), st.integers(1, 9)),
+)
+xpath_tokens = st.lists(
+    st.lists(xpath_step, max_size=10).map(tuple), max_size=14
+)
 
 
 class TestLevenshtein:
@@ -66,6 +82,59 @@ class TestLevenshtein:
     @given(short_text, short_text)
     def test_zero_iff_equal(self, a, b):
         assert (levenshtein(a, b) == 0) == (a == b)
+
+
+class TestBatchedLevenshtein:
+    """The vectorized engine must agree exactly with the pure-Python DP."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(xpath_tokens)
+    def test_matrix_matches_pairwise_python(self, sequences):
+        matrix = levenshtein_matrix(sequences)
+        n = len(sequences)
+        assert matrix.shape == (n, n)
+        for i in range(n):
+            for j in range(n):
+                assert matrix[i, j] == levenshtein(sequences[i], sequences[j])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(short_text, max_size=10))
+    def test_matrix_matches_on_strings(self, sequences):
+        matrix = levenshtein_matrix(sequences)
+        for i in range(len(sequences)):
+            for j in range(len(sequences)):
+                assert matrix[i, j] == levenshtein(sequences[i], sequences[j])
+
+    def test_empty_and_single(self):
+        assert levenshtein_matrix([]).shape == (0, 0)
+        assert levenshtein_matrix([("div", 1)]).shape == (1, 1)
+
+    def test_empty_sequences_in_batch(self):
+        sequences = [(), ("a", "b"), (), ("a",)]
+        matrix = levenshtein_matrix(sequences)
+        assert matrix[0, 1] == 2
+        assert matrix[0, 2] == 0
+        assert matrix[1, 3] == 1
+
+    def test_encode_interns_by_equality(self):
+        codes, lengths = encode_token_sequences([("a", "b"), ("b", "a", "b")])
+        assert list(lengths) == [2, 3]
+        # 'a' and 'b' get one code each, reused across sequences.
+        assert codes[0, 0] == codes[1, 1]
+        assert codes[0, 1] == codes[1, 0] == codes[1, 2]
+        assert codes[0, 2] == -1  # padding
+
+    def test_batched_pairs_api(self):
+        codes, lengths = encode_token_sequences(["kitten", "sitting"])
+        distances = batched_levenshtein(
+            codes[:1], lengths[:1], codes[1:], lengths[1:]
+        )
+        assert list(distances) == [3]
+
+    def test_batched_empty_pair_list(self):
+        codes, lengths = encode_token_sequences([])
+        out = batched_levenshtein(codes, lengths, codes, lengths)
+        assert len(out) == 0
 
 
 class TestNormalizedLevenshtein:
