@@ -42,15 +42,15 @@ import argparse
 import json
 import random
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))  # for conftest.report
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from conftest import report  # noqa: E402
+from conftest import report, report_metrics  # noqa: E402
 
 from repro.core.annotation.relation import RelationAnnotator  # noqa: E402
+from repro.obs import MetricsRegistry, merge_snapshots  # noqa: E402
 from repro.core.annotation.topic import TopicIdentifier  # noqa: E402
 from repro.core.config import CeresConfig  # noqa: E402
 from repro.core.pipeline import CeresPipeline  # noqa: E402
@@ -198,6 +198,7 @@ def bench_cold_pipeline(n_pages: int, n_batches: int) -> dict:
     # The match cache must hold the cluster (PR 2's sizing rule); both
     # paths share the same config.
     config = CeresConfig(page_match_cache_size=max(1024, 2 * n_pages))
+    bench = MetricsRegistry()
 
     def cold(legacy: bool):
         pipeline = CeresPipeline(kb, config)
@@ -223,13 +224,13 @@ def bench_cold_pipeline(n_pages: int, n_batches: int) -> dict:
         raise AssertionError("vectorized extractions diverged from legacy")
 
     def measure(legacy: bool, batches: int) -> float:
+        name = "bench.cold_legacy_seconds" if legacy else "bench.cold_fast_seconds"
         best = float("inf")
         for _ in range(batches):
-            started = time.perf_counter()
-            cold(legacy)
-            seconds = time.perf_counter() - started
-            if seconds < best:
-                best = seconds
+            with bench.timer(name) as timing:
+                cold(legacy)
+            if timing.elapsed < best:
+                best = timing.elapsed
         return n_pages / best
 
     fast_pps = measure(False, n_batches)
@@ -241,6 +242,7 @@ def bench_cold_pipeline(n_pages: int, n_batches: int) -> dict:
         "speedup_vs_legacy": fast_pps / legacy_pps if legacy_pps else 0.0,
         "speedup_vs_pr4": fast_pps / PR4_BASELINE_PPS,
         "extractions": len(extraction_rows(fast_result)),
+        "obs_snapshot": bench.snapshot(),
     }
 
 
@@ -252,6 +254,7 @@ def bench_annotation_stage(n_pages: int, n_batches: int) -> dict:
     config = CeresConfig(page_match_cache_size=max(1024, 2 * n_pages))
     identifier = TopicIdentifier(kb, config)
     topics = identifier.identify(pages)
+    bench = MetricsRegistry()
     # Warm the shared match cache: the stage under test is annotation
     # logic (mention gathering, local evidence, clustering), not matching.
     for page in pages:
@@ -259,11 +262,16 @@ def bench_annotation_stage(n_pages: int, n_batches: int) -> dict:
 
     def run(legacy: bool):
         annotator = RelationAnnotator(kb, config, identifier.matcher)
-        started = time.perf_counter()
-        annotated = (annotator.legacy_annotate if legacy else annotator.annotate)(
-            pages, topics
+        name = (
+            "bench.annotate_legacy_seconds"
+            if legacy
+            else "bench.annotate_fast_seconds"
         )
-        return time.perf_counter() - started, annotated
+        with bench.timer(name) as timing:
+            annotated = (
+                annotator.legacy_annotate if legacy else annotator.annotate
+            )(pages, topics)
+        return timing.elapsed, annotated
 
     _, fast_pages = run(False)
     _, legacy_pages = run(True)
@@ -295,6 +303,7 @@ def bench_annotation_stage(n_pages: int, n_batches: int) -> dict:
         "fast_pps": fast_pps,
         "legacy_pps": legacy_pps,
         "speedup": fast_pps / legacy_pps if legacy_pps else 0.0,
+        "obs_snapshot": bench.snapshot(),
     }
 
 
@@ -337,6 +346,10 @@ def main() -> int:
     else:
         cold = bench_cold_pipeline(n_pages=600, n_batches=4)
         stage = bench_annotation_stage(n_pages=150, n_batches=4)
+    report_metrics(
+        "annotation_hotpath",
+        merge_snapshots([cold.pop("obs_snapshot"), stage.pop("obs_snapshot")]),
+    )
     report("annotation_hotpath", format_table(cold, stage))
     failed = False
     if not args.quick:

@@ -32,15 +32,15 @@ import argparse
 import gc
 import json
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))  # for conftest.report
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from conftest import report  # noqa: E402
+from conftest import report, report_metrics  # noqa: E402
 
 from repro.core.config import CeresConfig  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 from repro.core.pipeline import CeresPipeline  # noqa: E402
 from repro.datasets import generate_swde, seed_kb_for  # noqa: E402
 from repro.dom.parser import parse_html  # noqa: E402
@@ -91,14 +91,14 @@ def run_benchmark(
     registry = ModelRegistry(tmp_registry)
     registry.save(SiteModel.from_result(site.name, config, result))
     service = ExtractionService(registry)
+    bench = MetricsRegistry()
 
     def run_batch() -> tuple[int, float]:
         """One warm batch over freshly parsed documents (the pattern that
         used to leak a registry + match per page per batch)."""
         fresh = [parse_html(page.html, url=page.page_id) for page in site.pages]
-        started = time.perf_counter()
-        extractions = service.extract_pages(site.name, fresh)
-        seconds = time.perf_counter() - started
+        with bench.timer("bench.warm_batch_seconds") as timing:
+            extractions = service.extract_pages(site.name, fresh)
         rows = json.dumps(
             [
                 extraction_row(e, fresh[e.page_index].url, site.name)
@@ -108,7 +108,7 @@ def run_benchmark(
         )
         if rows != expected_rows:
             raise AssertionError("warm batch diverged from one-shot extract")
-        return len(fresh), seconds
+        return len(fresh), timing.elapsed
 
     # Drop the training-time documents before measuring: they are the
     # one-shot pipeline's working set, not the serving path's.
@@ -159,6 +159,7 @@ def run_benchmark(
         "registry_capacity": registry_stats.get("capacity"),
         "registry_evictions": registry_stats.get("evictions"),
         "output_stable": True,  # run_batch raises otherwise
+        "obs_snapshot": bench.snapshot(),
     }
 
 
@@ -202,6 +203,7 @@ def main() -> int:
         stats = run_benchmark(n_pages=40, n_batches=8)
     else:
         stats = run_benchmark(n_pages=200, n_batches=50)
+    report_metrics("cache_memory", stats.pop("obs_snapshot"))
     report("cache_memory", format_table(stats))
     if stats["drift"] is not None and abs(stats["drift"]) >= MAX_DRIFT:
         print("ERROR: resident memory grew across warm batches", file=sys.stderr)

@@ -29,15 +29,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))  # for conftest.report
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from conftest import report  # noqa: E402
+from conftest import report, report_metrics  # noqa: E402
 
 from repro.core.config import CeresConfig  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
 from repro.core.pipeline import CeresPipeline  # noqa: E402
 from repro.datasets import generate_swde, seed_kb_for  # noqa: E402
 from repro.dom.parser import parse_html  # noqa: E402
@@ -86,34 +86,35 @@ def run_benchmark(
     registry.save(SiteModel.from_result(site.name, config, result))
     service = ExtractionService(registry)
     pool = service.pool(site.name)
+    bench = MetricsRegistry()
 
     def fresh_documents():
         return [parse_html(page.html, url=page.page_id) for page in site.pages]
 
     def batched_batch() -> tuple[int, float]:
         fresh = fresh_documents()
-        started = time.perf_counter()
-        extractions = service.extract_pages(site.name, fresh)
-        seconds = time.perf_counter() - started
+        with bench.timer("bench.batched_batch_seconds") as timing:
+            extractions = service.extract_pages(site.name, fresh)
         if rows_for(extractions, fresh, site.name) != expected_rows:
             raise AssertionError("batched engine diverged from one-shot extract")
-        return len(fresh), seconds
+        return len(fresh), timing.elapsed
 
     def legacy_batch() -> tuple[int, float]:
         """The PR 2 warm path: per-page, per-node scoring via the oracle."""
         fresh = fresh_documents()
-        started = time.perf_counter()
-        extractions = []
-        for page_index, document in enumerate(fresh):
-            extractor = pool.extractor_for(document)
-            if extractor is None:
-                continue
-            candidates = extractor.legacy_candidates_for_page(document, page_index)
-            extractions.extend(candidates.extractions(threshold))
-        seconds = time.perf_counter() - started
+        with bench.timer("bench.legacy_batch_seconds") as timing:
+            extractions = []
+            for page_index, document in enumerate(fresh):
+                extractor = pool.extractor_for(document)
+                if extractor is None:
+                    continue
+                candidates = extractor.legacy_candidates_for_page(
+                    document, page_index
+                )
+                extractions.extend(candidates.extractions(threshold))
         if rows_for(extractions, fresh, site.name) != expected_rows:
             raise AssertionError("legacy path diverged from one-shot extract")
-        return len(fresh), seconds
+        return len(fresh), timing.elapsed
 
     def measure(batch, warmup: int = 2) -> float:
         """Best-of-N batch throughput (timeit-style: the minimum time is
@@ -140,6 +141,7 @@ def run_benchmark(
         "speedup_vs_legacy": batched_pps / legacy_pps if legacy_pps else 0.0,
         "speedup_vs_pr2": batched_pps / PR2_BASELINE_PPS,
         "equivalent": True,  # the batch closures raise otherwise
+        "obs_snapshot": bench.snapshot(),
     }
 
 
@@ -172,6 +174,7 @@ def main() -> int:
         stats = run_benchmark(n_pages=40, n_batches=5)
     else:
         stats = run_benchmark(n_pages=200, n_batches=20)
+    report_metrics("scoring_hotpath", stats.pop("obs_snapshot"))
     report("scoring_hotpath", format_table(stats))
     if not args.quick and stats["speedup_vs_pr2"] < REQUIRED_SPEEDUP:
         print(

@@ -5,10 +5,17 @@ DESIGN.md's per-experiment index).  The rendered table is printed to
 stdout *and* written to ``benchmarks/out/<name>.txt`` so that
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
 timing while the experiment tables land in versionable artifacts.
+
+Timing goes through :mod:`repro.obs` (``MetricsRegistry.timer``), never
+a bare perf-counter call — CI greps for violations — and every benchmark
+persists its registry snapshot via :func:`report_metrics`, so
+``out/<name>.metrics.json`` carries the raw duration histograms behind
+each rendered table.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -19,3 +26,11 @@ def report(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def report_metrics(name: str, snapshot: dict) -> None:
+    """Persist a benchmark's metrics snapshot next to its table."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.metrics.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )

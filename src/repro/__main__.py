@@ -33,6 +33,16 @@ on disk)::
 Cache observability (hit/miss/eviction counters of the serving LRUs)::
 
     python -m repro stats --registry ./models --pages ./site_html
+
+Tracing and metrics (``repro.obs``): every processing command accepts
+``--trace-output spans.jsonl`` (nested wall-clock spans, one JSON object
+per line) and ``--metrics-output metrics.json`` (a mergeable
+counter/histogram snapshot — for ``run-corpus`` it already includes
+every worker's telemetry, merged)::
+
+    python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
+        --registry ./models --output triples.jsonl --workers 4 \
+        --trace-output spans.jsonl --metrics-output metrics.json
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.config import CeresConfig
 from repro.core.pipeline import CeresPipeline
 from repro.kb.io import load_kb
@@ -56,6 +67,50 @@ def _add_min_predicate_pages(parser: argparse.ArgumentParser) -> None:
         help="judge object over-representation only for predicates seen on "
         "at least N pages (default: CeresConfig.min_predicate_pages)",
     )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Tracing/metrics outputs, shared by every processing command."""
+    parser.add_argument(
+        "--trace-output", default=None, metavar="PATH",
+        help="write nested wall-clock spans as JSONL here (enables tracing)",
+    )
+    parser.add_argument(
+        "--metrics-output", default=None, metavar="PATH",
+        help="write a counter/histogram snapshot as JSON here "
+        "(enables metrics)",
+    )
+
+
+def _setup_obs(args) -> None:
+    """Enable the requested observability modes before dispatch.
+
+    Must run before the command constructs any instrumented object that
+    captures its instruments at construction time (e.g.
+    :class:`~repro.fusion.store.FactStore`).
+    """
+    obs.enable(
+        tracing=getattr(args, "trace_output", None) is not None,
+        metrics=getattr(args, "metrics_output", None) is not None,
+    )
+
+
+def _write_obs(args) -> None:
+    """Write whatever the enabled instruments collected (even on a failed
+    run — partial telemetry is exactly what you want when diagnosing one)."""
+    trace_path = getattr(args, "trace_output", None)
+    if trace_path is not None:
+        from repro.obs.tracer import write_spans_jsonl
+
+        with open(trace_path, "w", encoding="utf-8") as sink:
+            n_spans = write_spans_jsonl(obs.tracer().export(), sink)
+        print(f"[repro] {n_spans} span(s) -> {trace_path}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics_output", None)
+    if metrics_path is not None:
+        with open(metrics_path, "w", encoding="utf-8") as sink:
+            json.dump(obs.metrics().snapshot(), sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"[repro] metrics snapshot -> {metrics_path}", file=sys.stderr)
 
 
 def _annotation_overrides(args) -> dict:
@@ -92,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat all pages as one template",
     )
     _add_min_predicate_pages(extract)
+    _add_obs_flags(extract)
 
     annotate = sub.add_parser(
         "annotate", help="run annotation only and print the labels"
@@ -123,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat all pages as one template",
     )
     _add_min_predicate_pages(train)
+    _add_obs_flags(train)
 
     serve = sub.add_parser(
         "serve",
@@ -143,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--output", default="-", help="output JSONL path (default: stdout)"
     )
+    _add_obs_flags(serve)
 
     corpus = sub.add_parser(
         "run-corpus",
@@ -188,6 +246,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-fuse-reliability", action="store_true",
         help="plain noisy-OR: skip seed-KB site-reliability weighting",
     )
+    _add_obs_flags(corpus)
 
     fuse = sub.add_parser(
         "fuse",
@@ -228,6 +287,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spill-dir", default=None,
         help="spill directory (default: a self-cleaning temp dir)",
     )
+    _add_obs_flags(fuse)
 
     stats = sub.add_parser(
         "stats",
@@ -309,6 +369,7 @@ def _cmd_extract(args) -> int:
     )
     pipeline = CeresPipeline(kb, config)
     result = pipeline.run(documents, documents)
+    obs.metrics().record_cache(pipeline.matcher.cache_stats())
     sink = _open_sink(args.output)
     try:
         _write_extractions(result.extractions, documents, sink)
@@ -348,6 +409,7 @@ def _cmd_train(args) -> int:
     pipeline = CeresPipeline(kb, config)
     result = pipeline.annotate(documents)
     pipeline.train(documents, result)
+    obs.metrics().record_cache(pipeline.matcher.cache_stats())
     site_model = SiteModel.from_result(site, config, result)
     path = ModelRegistry(args.registry).save(site_model)
     print(
@@ -375,6 +437,7 @@ def _cmd_serve(args) -> int:
         extractions = service.extract_pages(site, documents, args.threshold)
     except RegistryError as error:
         raise SystemExit(f"registry error: {error}")
+    service.publish_metrics()
     sink = _open_sink(args.output)
     try:
         _write_extractions(extractions, documents, sink)
@@ -487,24 +550,30 @@ def _cmd_stats(args) -> int:
     service = ExtractionService(
         args.registry, max_resident_sites=args.max_resident_sites
     )
-    served = None
-    if args.pages is not None:
-        documents = _load_documents(args.pages)
-        site = args.site or Path(args.pages).name
-        try:
-            extractions = service.extract_pages(site, documents)
-        except RegistryError as error:
-            raise SystemExit(f"registry error: {error}")
-        served = {
-            "site": site,
-            "pages": len(documents),
-            "extractions": len(extractions),
+    # Metrics are always on for stats — rendering a registry snapshot is
+    # the command's whole point.  scoped() keeps it local and restores
+    # whatever state the caller had.
+    with obs.scoped(tracing=False, metrics=True) as (_, registry):
+        served = None
+        if args.pages is not None:
+            documents = _load_documents(args.pages)
+            site = args.site or Path(args.pages).name
+            try:
+                extractions = service.extract_pages(site, documents)
+            except RegistryError as error:
+                raise SystemExit(f"registry error: {error}")
+            served = {
+                "site": site,
+                "pages": len(documents),
+                "extractions": len(extractions),
+            }
+        service.publish_metrics(registry)
+        payload = {
+            "available_sites": service.available_sites(),
+            "loaded_sites": service.loaded_sites(),
+            "cache_stats": service.cache_stats(),
+            "metrics": registry.snapshot(),
         }
-    payload = {
-        "available_sites": service.available_sites(),
-        "loaded_sites": service.loaded_sites(),
-        "cache_stats": service.cache_stats(),
-    }
     if served is not None:
         payload["served"] = served
     print(json.dumps(payload, indent=2, ensure_ascii=False))
@@ -587,7 +656,19 @@ def main(argv: list[str] | None = None) -> int:
         "fuse": _cmd_fuse,
         "stats": _cmd_stats,
     }
-    return handlers[args.command](args)
+    # Observability is enabled before dispatch (instrumented objects may
+    # capture their instruments at construction) and written out even when
+    # the command fails — partial telemetry is diagnostic gold.  disable()
+    # restores the null singletons so repeated main() calls (tests) never
+    # leak instruments into each other.
+    _setup_obs(args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        try:
+            _write_obs(args)
+        finally:
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.dom.node import ElementNode, TextNode
 from repro.dom.parser import Document
 
@@ -192,20 +193,28 @@ class BatchScorer:
         order; pages without text fields get an empty node list and a
         ``(0, n_classes)`` probability block.
         """
+        # The registry is resolved per call (not per construction) so a
+        # scorer built before obs.enable() still reports; when off, the
+        # disabled singleton makes every record below a no-op.
+        registry = obs.metrics()
         # C-backed growable buffers: row column indices and per-row
         # lengths; turned into the CSR arrays with zero-copy views.
         indices = array("i")
         lengths = array("i")
         page_nodes: list[list[TextNode]] = []
-        for document in documents:
-            # text_fields() already excludes whitespace-only nodes.
-            nodes = document.text_fields()
-            page_nodes.append(nodes)
-            if nodes:
-                self._page_rows(nodes, indices, lengths)
-        probabilities = self._classifier.predict_proba(
-            self._assemble(indices, lengths)
-        )
+        with registry.timer("scoring.csr_build_seconds"):
+            for document in documents:
+                # text_fields() already excludes whitespace-only nodes.
+                nodes = document.text_fields()
+                page_nodes.append(nodes)
+                if nodes:
+                    self._page_rows(nodes, indices, lengths)
+            matrix = self._assemble(indices, lengths)
+        with registry.timer("scoring.predict_seconds"):
+            probabilities = self._classifier.predict_proba(matrix)
+        registry.inc("scoring.batches")
+        registry.inc("scoring.pages", len(documents))
+        registry.inc("scoring.nodes", len(lengths))
         results: list[PageScores] = []
         offset = 0
         for nodes in page_nodes:

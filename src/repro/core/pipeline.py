@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.clustering.templates import cluster_pages, page_signature
 from repro.core.annotation.examples import build_training_examples
 from repro.core.annotation.relation import RelationAnnotator
@@ -118,12 +119,33 @@ class CeresPipeline:
         return self._annotate(documents, legacy=True)
 
     def _annotate(self, documents: list[Document], legacy: bool) -> CeresResult:
+        with obs.stage("stage.annotate", pages=len(documents)) as annotate_stage:
+            result = self._annotate_instrumented(documents, legacy)
+            annotate_stage.set(
+                annotated_pages=len(result.annotated_pages),
+                annotations=result.annotation_count,
+                skipped_clusters=result.skipped_clusters,
+            )
+        registry = obs.metrics()
+        registry.inc("pipeline.pages", len(documents))
+        registry.inc("pipeline.annotated_pages", len(result.annotated_pages))
+        registry.inc("pipeline.annotations", result.annotation_count)
+        registry.inc("pipeline.skipped_clusters", result.skipped_clusters)
+        registry.inc("pipeline.skipped_pages", result.skipped_pages)
+        return result
+
+    def _annotate_instrumented(
+        self, documents: list[Document], legacy: bool
+    ) -> CeresResult:
         config = self.config
         annotate_cluster = (
             self.annotator.legacy_annotate if legacy else self.annotator.annotate
         )
         if config.use_template_clustering:
-            clusters = cluster_pages(documents, config.template_similarity_threshold)
+            with obs.stage("stage.cluster", pages=len(documents)):
+                clusters = cluster_pages(
+                    documents, config.template_similarity_threshold
+                )
         else:
             clusters = None
 
@@ -182,9 +204,12 @@ class CeresPipeline:
         the stream the sequential loop consumed), then the models fit
         through the trainer's vectorized path.
         """
-        per_cluster = self._build_cluster_examples(result)
-        for cluster, examples in per_cluster:
-            cluster.model = self.trainer.train(examples, documents)
+        with obs.stage("stage.train") as train_stage:
+            per_cluster = self._build_cluster_examples(result)
+            for cluster, examples in per_cluster:
+                cluster.model = self.trainer.train(examples, documents)
+            train_stage.set(clusters_trained=len(per_cluster))
+        obs.metrics().inc("pipeline.clusters_trained", len(per_cluster))
         return result
 
     def legacy_train(self, documents: list[Document], result: CeresResult) -> CeresResult:
@@ -225,16 +250,18 @@ class CeresPipeline:
         whole document list in cluster-grouped batches (one CSR matrix and
         one matmul per cluster model, not one per page).
         """
-        pool = self.extractor_pool(result)
-        result.candidates = []
-        result.extractions = []
-        if not pool:
-            return result
-        result.candidates = pool.candidates(documents)
-        for candidates in result.candidates:
-            result.extractions.extend(
-                candidates.extractions(self.config.confidence_threshold)
-            )
+        with obs.stage("stage.extract", pages=len(documents)) as extract_stage:
+            pool = self.extractor_pool(result)
+            result.candidates = []
+            result.extractions = []
+            if pool:
+                result.candidates = pool.candidates(documents)
+                for candidates in result.candidates:
+                    result.extractions.extend(
+                        candidates.extractions(self.config.confidence_threshold)
+                    )
+            extract_stage.set(extractions=len(result.extractions))
+        obs.metrics().inc("pipeline.extractions", len(result.extractions))
         return result
 
     def extractor_pool(self, result: CeresResult) -> ClusterExtractorPool:

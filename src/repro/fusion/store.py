@@ -32,6 +32,7 @@ import zlib
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
+from repro import obs
 from repro.core.extraction.extractor import Extraction
 from repro.fusion.fuse import FactKey, FusedFact, fact_key
 from repro.fusion.reliability import estimate_reliability
@@ -125,6 +126,12 @@ class FactStore:
         self.n_rows = 0
         self.n_spills = 0
         self.n_spilled_facts = 0
+        # Instruments are captured once at construction: add() runs per
+        # extraction row, and a per-row global lookup would tax the
+        # ingest hot path.  Stores built while obs is disabled keep the
+        # free no-op instruments for their lifetime.
+        self._obs = obs.metrics()
+        self._obs_rows = self._obs.counter("fusion.rows")
 
     # -- ingestion ---------------------------------------------------------
 
@@ -154,6 +161,7 @@ class FactStore:
         else:
             _merge_partial(partial, [best, {site: confidence}])
         self.n_rows += 1
+        self._obs_rows.inc()
 
     def add_extractions(
         self, site: str, extractions: Iterable[Extraction]
@@ -184,8 +192,9 @@ class FactStore:
     def ingest_rows(
         self, rows: Iterable[dict], site: str | None = None
     ) -> None:
-        for row in rows:
-            self.add_row(row, site)
+        with self._obs.timer("fusion.ingest_seconds"):
+            for row in rows:
+                self.add_row(row, site)
 
     # -- reliability -------------------------------------------------------
 
@@ -226,14 +235,19 @@ class FactStore:
     @staticmethod
     def _write_run(
         path: Path, items: Iterable[tuple[FactKey, _Partial]]
-    ) -> None:
+    ) -> int:
+        """Write one sorted run file; returns the bytes written."""
+        written = 0
         with path.open("w", encoding="utf-8") as sink:
             for key, (best, support) in items:
-                sink.write(
+                line = (
                     json.dumps([list(key), list(best), support],
                                ensure_ascii=False)
                     + "\n"
                 )
+                sink.write(line)
+                written += len(line.encode("utf-8"))
+        return written
 
     def _spill_largest_shard(self) -> None:
         index = max(range(self.n_shards), key=lambda i: len(self._shards[i]))
@@ -241,12 +255,16 @@ class FactStore:
         if not shard:
             return
         run_path = self._next_run_path(index)
-        self._write_run(
-            run_path, ((key, shard[key]) for key in sorted(shard))
-        )
+        with self._obs.timer("fusion.spill_seconds"):
+            spilled_bytes = self._write_run(
+                run_path, ((key, shard[key]) for key in sorted(shard))
+            )
         self._runs[index].append(run_path)
         self.n_spills += 1
         self.n_spilled_facts += len(shard)
+        self._obs.inc("fusion.spills")
+        self._obs.inc("fusion.spilled_facts", len(shard))
+        self._obs.inc("fusion.spill_bytes", spilled_bytes)
         self._resident -= len(shard)
         shard.clear()
         if len(self._runs[index]) >= self.MAX_RUNS_PER_SHARD:
@@ -256,12 +274,15 @@ class FactStore:
         """Merge a shard's runs into one (streaming, fd-bounded)."""
         runs = self._runs[index]
         compacted = self._next_run_path(index)
-        self._write_run(
-            compacted, _merge_streams([self._read_run(p) for p in runs])
-        )
+        with self._obs.timer("fusion.compact_seconds"):
+            compacted_bytes = self._write_run(
+                compacted, _merge_streams([self._read_run(p) for p in runs])
+            )
         for path in runs:
             path.unlink()
         self._runs[index] = [compacted]
+        self._obs.inc("fusion.compactions")
+        self._obs.inc("fusion.compact_bytes", compacted_bytes)
 
     @staticmethod
     def _read_run(path: Path) -> Iterator[tuple[FactKey, _Partial]]:
@@ -286,20 +307,26 @@ class FactStore:
         #: (-score, key, fact) — score and canonical key computed exactly
         #: once per fact; the sort then compares plain tuples.
         fused: list[tuple[float, FactKey, FusedFact]] = []
-        try:
-            for index in range(self.n_shards):
-                shard = self._shards[index]
-                streams: list[Iterator[tuple[FactKey, _Partial]]] = [
-                    iter(sorted(shard.items()))
-                ]
-                streams.extend(self._read_run(p) for p in self._runs[index])
-                for key, partial in _merge_streams(streams):
-                    self._emit(key, partial, fused, min_score, min_sites)
-                shard.clear()
-        finally:
-            self._cleanup()
-        self._resident = 0
-        fused.sort(key=lambda entry: entry[:2])
+        # The fuse stage span goes to the *currently* active tracer (the
+        # parent process finalizes in run-corpus), not a captured one.
+        with obs.stage("stage.fuse", rows=self.n_rows) as fuse_stage, \
+                self._obs.timer("fusion.finalize_seconds"):
+            try:
+                for index in range(self.n_shards):
+                    shard = self._shards[index]
+                    streams: list[Iterator[tuple[FactKey, _Partial]]] = [
+                        iter(sorted(shard.items()))
+                    ]
+                    streams.extend(self._read_run(p) for p in self._runs[index])
+                    for key, partial in _merge_streams(streams):
+                        self._emit(key, partial, fused, min_score, min_sites)
+                    shard.clear()
+            finally:
+                self._cleanup()
+            self._resident = 0
+            fused.sort(key=lambda entry: entry[:2])
+            fuse_stage.set(facts=len(fused))
+        self._obs.inc("fusion.facts", len(fused))
         return [fact for _, _, fact in fused]
 
     def _emit(

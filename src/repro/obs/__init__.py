@@ -1,0 +1,181 @@
+"""``repro.obs`` — spans, mergeable metrics, and profiling hooks.
+
+The pipeline is instrumented against two process-wide instruments:
+
+* :func:`tracer` — a :class:`~repro.obs.tracer.Tracer` producing nested
+  wall-clock spans (thread- and process-aware, JSONL-serializable);
+* :func:`metrics` — a :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters and fixed-bucket histograms whose snapshots merge across
+  ``run_corpus`` pool workers.
+
+**Off by default, at zero cost.**  Both accessors start out returning
+module-level disabled singletons (:data:`~repro.obs.tracer.NULL_TRACER`,
+:data:`~repro.obs.metrics.NULL_REGISTRY`) whose every method is a
+constant-time no-op returning shared objects — instrumented hot paths
+allocate nothing and record nothing until :func:`enable` swaps live
+instruments in.  The CLI enables them from ``--trace-output`` /
+``--metrics-output``; tests and workers use :func:`scoped` to install
+fresh instruments and restore the previous state on exit.
+
+Canonical metric names are dotted ``layer.metric`` strings; the README's
+"Observability" section tables the names each layer emits.  Stage
+regions use :func:`stage`, which opens a span *and* times the same
+region into a ``<name>_seconds`` histogram, so a metrics-only run still
+sees per-stage durations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer, write_spans_jsonl
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "merge_snapshots",
+    "metrics",
+    "metrics_enabled",
+    "scoped",
+    "span",
+    "stage",
+    "timer",
+    "tracer",
+    "tracing_enabled",
+    "write_spans_jsonl",
+]
+
+_tracer: Tracer = NULL_TRACER
+_metrics: MetricsRegistry = NULL_REGISTRY
+
+
+def tracer() -> Tracer:
+    """The active tracer (the disabled singleton until :func:`enable`)."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The active registry (the disabled singleton until :func:`enable`)."""
+    return _metrics
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not NULL_TRACER
+
+
+def metrics_enabled() -> bool:
+    return _metrics is not NULL_REGISTRY
+
+
+def enabled() -> bool:
+    return tracing_enabled() or metrics_enabled()
+
+
+def enable(
+    *, tracing: bool = True, metrics: bool = True
+) -> tuple[Tracer, MetricsRegistry]:
+    """Install fresh live instruments for the requested modes.
+
+    Modes not requested are left exactly as they are (so
+    ``enable(tracing=False)`` never tears down an active tracer).
+    Returns the now-active ``(tracer, registry)`` pair.
+    """
+    global _tracer, _metrics
+    if tracing:
+        _tracer = Tracer()
+    if metrics:
+        _metrics = MetricsRegistry()
+    return _tracer, _metrics
+
+
+def disable() -> None:
+    """Restore the zero-overhead disabled singletons."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_REGISTRY
+
+
+@contextlib.contextmanager
+def scoped(
+    *, tracing: bool = False, metrics: bool = True
+) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Fresh instruments for one region; the prior state — enabled or
+    disabled — comes back on exit.
+
+    ``run_corpus`` workers run each site under ``scoped()`` so per-site
+    telemetry is isolated (and shippable in the ``SiteReport``) without
+    leaking into whatever the surrounding process had active.
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    if tracing:
+        _tracer = Tracer()
+    if metrics:
+        _metrics = MetricsRegistry()
+    try:
+        yield _tracer, _metrics
+    finally:
+        _tracer, _metrics = previous
+
+
+# -- instrumentation shorthands ---------------------------------------------
+
+
+def span(name: str, **attrs):
+    """``with obs.span("service.extract_pages", site=s): ...``"""
+    return _tracer.span(name, **attrs)
+
+
+def timer(name: str, buckets=DEFAULT_TIME_BUCKETS):
+    """``with obs.timer("scoring.predict_seconds"): ...``"""
+    return _metrics.timer(name, buckets)
+
+
+class _Stage:
+    """A span and a ``<name>_seconds`` histogram over the same region."""
+
+    __slots__ = ("_span", "_timing")
+
+    def __init__(self, span_context, timing) -> None:
+        self._span = span_context
+        self._timing = timing
+
+    def set(self, **attrs) -> None:
+        self._span.set(**attrs)
+
+    def __enter__(self) -> "_Stage":
+        self._span.__enter__()
+        self._timing.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timing.__exit__(*exc_info)
+        self._span.__exit__(*exc_info)
+
+
+#: Shared disabled stage context — :func:`stage` allocates nothing when
+#: both instruments are off.
+_NULL_STAGE = _Stage(NULL_TRACER.span(""), NULL_REGISTRY.timer(""))
+
+
+def stage(name: str, **attrs) -> _Stage:
+    """``with obs.stage("stage.train", site=s): ...`` — one region, both
+    instruments: a ``name`` span and a ``name_seconds`` histogram."""
+    if _tracer is NULL_TRACER and _metrics is NULL_REGISTRY:
+        return _NULL_STAGE
+    return _Stage(_tracer.span(name, **attrs), _metrics.timer(f"{name}_seconds"))

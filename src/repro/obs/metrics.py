@@ -1,0 +1,324 @@
+"""Mergeable metrics: counters and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Two properties drive the design:
+
+* **snapshots merge** — :meth:`MetricsRegistry.snapshot` returns plain
+  JSON data, and :func:`merge_snapshots` combines any number of them
+  associatively and commutatively (counters add; histograms add
+  bucket-wise and combine min/max).  ``run_corpus`` pool workers each
+  fill a private registry and ship the snapshot home in their
+  :class:`~repro.runtime.runner.SiteReport`; the parent folds every
+  worker's numbers into one registry without loss.
+* **the off switch costs nothing** — :data:`NULL_REGISTRY` hands out
+  one shared no-op counter, histogram, and timing context; hot paths
+  instrumented against it make constant-time method calls and allocate
+  nothing (see :mod:`repro.obs`).
+
+Histogram buckets are fixed at creation (upper bounds, seconds by
+default for timers) precisely so cross-process merging is exact: equal
+names must carry equal buckets, and a mismatch raises rather than
+silently skewing the merge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "merge_snapshots",
+]
+
+#: Default histogram buckets for timers (seconds): sub-millisecond
+#: serving requests through minute-scale cold training both resolve.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer-ish counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  ``counts[i]`` is the
+    number of observations ``<= buckets[i]`` and below no earlier bound
+    (i.e. non-cumulative), so merged histograms are exact sums.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be non-empty and sorted")
+        self.name = name
+        self.buckets: tuple[float, ...] = tuple(buckets)
+        self.counts: list[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)  # overflow bucket
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _Timing:
+    """Context manager timing one block into a histogram.
+
+    ``elapsed`` holds the measured seconds after exit, so callers (the
+    benchmarks' best-of-N loops) can read the sample they just took
+    without re-deriving it from the histogram.
+    """
+
+    __slots__ = ("_histogram", "_started", "elapsed")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timing":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        self._histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; names are flat dotted strings (``layer.metric``, see the
+    README's canonical-name table).  ``snapshot()`` is cheap and
+    non-destructive; ``merge_snapshot()`` folds another registry's
+    snapshot (e.g. from a pool worker) into this one.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, buckets)
+        elif found.buckets != tuple(buckets):
+            raise ValueError(
+                f"histogram {name!r} already exists with different buckets"
+            )
+        return found
+
+    # -- conveniences ------------------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    def timer(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> _Timing:
+        """``with registry.timer("stage.x_seconds") as t: ...`` — the
+        block's duration lands in the named histogram and ``t.elapsed``."""
+        return _Timing(self.histogram(name, buckets))
+
+    def record_cache(self, stats, prefix: str = "cache") -> None:
+        """Fold one :class:`~repro.runtime.cache.CacheStats` (or its
+        ``to_dict()`` form) into ``<prefix>.<name>.{hits,misses,evictions}``.
+
+        Cache counters are cumulative per cache instance — record each
+        instance once (at report time), not once per batch, or the fold
+        double-counts.
+        """
+        data = stats if isinstance(stats, Mapping) else stats.to_dict()
+        base = f"{prefix}.{data['name']}" if data.get("name") else prefix
+        for field in ("hits", "misses", "evictions"):
+            self.inc(f"{base}.{field}", data[field])
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data view: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.total,
+                    "count": histogram.count,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a snapshot (another registry's, possibly another
+        process's) into this registry's live instruments."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["buckets"])
+            if list(histogram.buckets) != list(data["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: bucket mismatch in merge"
+                )
+            for index, count in enumerate(data["counts"]):
+                histogram.counts[index] += count
+            histogram.total += data["sum"]
+            histogram.count += data["count"]
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = data[bound]
+                if incoming is not None:
+                    current = getattr(histogram, bound)
+                    setattr(
+                        histogram,
+                        bound,
+                        incoming if current is None else pick(current, incoming),
+                    )
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Merge snapshots into one (associative and commutative: counters
+    add, histogram buckets add element-wise, min/max combine)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()
+
+
+# -- disabled mode ----------------------------------------------------------
+
+
+class _NullCounter(Counter):
+    """Shared counter that ignores increments (disabled mode)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:  # noqa: ARG002
+        return
+
+
+class _NullHistogram(Histogram):
+    """Shared histogram that ignores observations (disabled mode)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        return
+
+
+class _NullTiming:
+    """Shared, stateless timing context (disabled mode): reentrant and
+    thread-safe because it records nothing."""
+
+    __slots__ = ()
+
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullTiming":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+_NULL_TIMING = _NullTiming()
+
+
+class _NullRegistry(MetricsRegistry):
+    """The disabled registry: every accessor returns a shared no-op
+    instrument, so instrumented hot paths allocate nothing when
+    observability is off."""
+
+    def counter(self, name: str) -> Counter:  # noqa: ARG002
+        return _NULL_COUNTER
+
+    def histogram(self, name, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002
+        return _NULL_HISTOGRAM
+
+    def inc(self, name, amount=1) -> None:  # noqa: ARG002
+        return
+
+    def observe(self, name, value, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002
+        return
+
+    def timer(self, name, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002
+        return _NULL_TIMING
+
+    def record_cache(self, stats, prefix="cache") -> None:  # noqa: ARG002
+        return
+
+    def merge_snapshot(self, snapshot) -> None:  # noqa: ARG002
+        return
+
+
+#: The process-wide disabled singleton handed out by :func:`repro.obs.metrics`
+#: until :func:`repro.obs.enable` swaps in a live registry.
+NULL_REGISTRY = _NullRegistry()

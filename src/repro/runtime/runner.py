@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import concurrent.futures
 import json
-import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, TextIO
 if TYPE_CHECKING:
     from repro.fusion.store import FactStore
 
+from repro import obs
 from repro.core.config import CeresConfig
 from repro.dom.parser import Document, parse_html
 from repro.runtime.registry import ModelRegistry
@@ -86,6 +86,14 @@ class SiteReport:
     kb_agreed: int = 0
     artifact_path: str | None = None
     seconds: float = 0.0
+    #: the worker's :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+    #: (stage timings, cache counters, scoring/fusion counters).  Always
+    #: present on reports produced by :func:`_run_site`; the parent
+    #: merges it so per-site telemetry no longer dies with the worker.
+    metrics: dict | None = None
+    #: the worker's finished spans (only when the parent had tracing
+    #: enabled — spans are bulkier than the metrics snapshot).
+    spans: list | None = None
 
     def summary(self) -> str:
         """One progress line for logs."""
@@ -103,8 +111,19 @@ class SiteReport:
         return (
             f"site={self.site} ok pages={self.n_pages} "
             f"clusters={self.n_clusters} extractions={self.n_extractions}"
-            f"{skipped}{kb_note} ({self.seconds:.1f}s)"
+            f"{skipped}{kb_note}{self._cache_note()} ({self.seconds:.1f}s)"
         )
+
+    def _cache_note(self) -> str:
+        """Feature-registry hit rate from the worker metrics snapshot —
+        the counter that used to be computed in the worker and thrown
+        away with the process."""
+        counters = (self.metrics or {}).get("counters", {})
+        hits = counters.get("cache.feature_registry.hits", 0)
+        misses = counters.get("cache.feature_registry.misses", 0)
+        if not hits and not misses:
+            return ""
+        return f" feat_cache={hits / (hits + misses):.0%}"
 
 
 #: Page file suffixes accepted by discovery and loading, matched
@@ -222,6 +241,7 @@ def _run_site(
     registry_root: str | None,
     config_data: dict,
     threshold: float | None,
+    trace: bool = False,
 ) -> dict:
     """Process one site end to end; never raises.
 
@@ -229,6 +249,11 @@ def _run_site(
     plain picklable data.  The KB is (re)loaded from disk per site — each
     worker process needs its own copy anyway, and sharing via pickle
     would ship the whole KB with every task.
+
+    Telemetry: the site runs under a scoped metrics registry (plus a
+    scoped tracer when ``trace`` is set), and the snapshot/spans ride
+    home inside the report — per-site cache counters and stage timings
+    used to die with the worker process.
     """
     # Imported here, not at module top: workers only pay for the pipeline
     # stack when they actually process a site, and the runner module stays
@@ -236,54 +261,74 @@ def _run_site(
     from repro.core.pipeline import CeresPipeline
     from repro.kb.io import load_kb
 
-    started = time.perf_counter()
     report = SiteReport(site=site, ok=False)
     rows: list[dict] = []
-    try:
-        config = config_from_dict(config_data)
-        kb = load_kb(kb_path)
-        documents = load_site_documents(pages_dir)
-        report.n_pages = len(documents)
+    with obs.scoped(tracing=trace, metrics=True) as (site_tracer, site_metrics):
+        timing = site_metrics.timer("runner.site_seconds")
+        with timing, obs.span("site.run", site=site):
+            try:
+                config = config_from_dict(config_data)
+                kb = load_kb(kb_path)
+                documents = load_site_documents(pages_dir)
+                report.n_pages = len(documents)
 
-        pipeline = CeresPipeline(kb, config)
-        result = pipeline.annotate(documents)
-        report.n_skipped_clusters = result.skipped_clusters
-        report.n_skipped_pages = result.skipped_pages
-        pipeline.train(documents, result)
-        site_model = SiteModel.from_result(site, config, result)
-        report.n_clusters = len(site_model.clusters)
+                pipeline = CeresPipeline(kb, config)
+                result = pipeline.annotate(documents)
+                report.n_skipped_clusters = result.skipped_clusters
+                report.n_skipped_pages = result.skipped_pages
+                pipeline.train(documents, result)
+                site_model = SiteModel.from_result(site, config, result)
+                report.n_clusters = len(site_model.clusters)
 
-        if registry_root is not None:
-            artifact = ModelRegistry(registry_root).save(site_model)
-            report.artifact_path = str(artifact)
+                if registry_root is not None:
+                    artifact = ModelRegistry(registry_root).save(site_model)
+                    report.artifact_path = str(artifact)
 
-        service = ExtractionService()
-        service.add_site_model(site_model)
-        # Batched serving path: one CSR matrix + matmul per cluster model
-        # over the whole site, same engine the long-lived service runs.
-        extractions = service.extract_pages(site, documents, threshold)
-        report.n_extractions = len(extractions)
+                service = ExtractionService()
+                service.add_site_model(site_model)
+                # Batched serving path: one CSR matrix + matmul per
+                # cluster model over the whole site, same engine the
+                # long-lived service runs.  Wrapped as the canonical
+                # extract stage — in corpus mode this call *is* the
+                # site's extraction stage (CeresPipeline.extract never
+                # runs here).
+                with obs.stage(
+                    "stage.extract", pages=len(documents)
+                ) as extract_stage:
+                    extractions = service.extract_pages(
+                        site, documents, threshold
+                    )
+                    extract_stage.set(extractions=len(extractions))
+                report.n_extractions = len(extractions)
 
-        # Seed-KB agreement for fusion's reliability weights — computed
-        # here, where the KB is already resident, so the coordinator
-        # never has to load it.
-        from repro.fusion.reliability import extraction_agreement
+                # Seed-KB agreement for fusion's reliability weights —
+                # computed here, where the KB is already resident, so the
+                # coordinator never has to load it.
+                from repro.fusion.reliability import extraction_agreement
 
-        report.kb_checked, report.kb_agreed = extraction_agreement(
-            kb, extractions
-        )
-        rows = [
-            extraction_row(
-                extraction, documents[extraction.page_index].url, site
-            )
-            for extraction in extractions
-        ]
-        report.ok = True
-    except Exception as exc:  # noqa: BLE001 — isolation is the contract
-        report.error = f"{type(exc).__name__}: {exc}"
-        report.traceback = traceback.format_exc()
-        rows = []
-    report.seconds = time.perf_counter() - started
+                report.kb_checked, report.kb_agreed = extraction_agreement(
+                    kb, extractions
+                )
+                rows = [
+                    extraction_row(
+                        extraction, documents[extraction.page_index].url, site
+                    )
+                    for extraction in extractions
+                ]
+                # Cache counters, published once at end of site (they
+                # are cumulative per instance).
+                service.publish_metrics(site_metrics)
+                site_metrics.record_cache(pipeline.matcher.cache_stats())
+                report.ok = True
+            except Exception as exc:  # noqa: BLE001 — isolation is the contract
+                report.error = f"{type(exc).__name__}: {exc}"
+                report.traceback = traceback.format_exc()
+                rows = []
+        report.seconds = timing.elapsed
+        site_metrics.inc("runner.sites_ok" if report.ok else "runner.sites_failed")
+        report.metrics = site_metrics.snapshot()
+        if trace:
+            report.spans = site_tracer.export()
     return {"report": report.__dict__, "rows": rows}
 
 
@@ -332,6 +377,10 @@ def run_corpus(
     config_data = config_to_dict(config or CeresConfig())
     registry = str(registry_root) if registry_root is not None else None
     emit = log or (lambda message: None)
+    # Workers always collect metrics (the snapshot is small and carries
+    # cache/skip telemetry into the summaries); spans only when the
+    # parent actually traces — they are bulkier to pickle.
+    trace = obs.tracing_enabled()
 
     store = None
     fused_sink: TextIO | None = None
@@ -346,6 +395,12 @@ def run_corpus(
 
     def handle(payload: dict) -> SiteReport:
         report = SiteReport(**payload["report"])
+        # Fold the worker's telemetry into the parent's instruments —
+        # both are no-ops when the parent runs with obs disabled.
+        if report.metrics:
+            obs.metrics().merge_snapshot(report.metrics)
+        if report.spans:
+            obs.tracer().absorb(report.spans)
         if output is not None:
             for row in payload["rows"]:
                 output.write(json.dumps(row, ensure_ascii=False) + "\n")
@@ -374,7 +429,7 @@ def run_corpus(
                     handle(
                         _run_site(
                             spec.site, spec.pages_dir, str(kb_path),
-                            registry, config_data, threshold,
+                            registry, config_data, threshold, trace,
                         )
                     )
                 )
@@ -391,7 +446,7 @@ def run_corpus(
                 pool.submit(
                     _run_site,
                     spec.site, spec.pages_dir, str(kb_path),
-                    registry, config_data, threshold,
+                    registry, config_data, threshold, trace,
                 ): spec
                 for spec in specs
             }

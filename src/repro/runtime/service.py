@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.core.config import CeresConfig
 from repro.core.extraction.extractor import (
     ClusterExtractorPool,
@@ -150,6 +151,23 @@ class ExtractionService:
             }
         return {"sites": self._sites.stats().to_dict(), "per_site": per_site}
 
+    def publish_metrics(self, registry=None) -> None:
+        """Fold :meth:`cache_stats` into a metrics registry (default: the
+        active :func:`repro.obs.metrics` one).
+
+        Per-site pool counters merge into one ``cache.<name>.*`` family
+        per cache kind, matching what pool workers report — so a parent
+        registry that merges many workers' snapshots and a single-process
+        run produce the same counter names.  Cache counters are
+        cumulative: publish once per service lifetime, at report time.
+        """
+        registry = obs.metrics() if registry is None else registry
+        stats = self.cache_stats()
+        registry.record_cache(stats["sites"])
+        for site_stats in stats["per_site"].values():
+            for data in site_stats.values():
+                registry.record_cache(data)
+
     # -- serving -----------------------------------------------------------
 
     def extract_pages(
@@ -166,7 +184,16 @@ class ExtractionService:
         annotation or training happens here, and no per-batch cleanup is
         needed: per-page state lives in bounded LRUs keyed by ``doc_id``.
         """
-        return self.pool(site).extract(documents, threshold)
+        with obs.span(
+            "service.extract_pages", site=site, pages=len(documents)
+        ) as request_span:
+            extractions = self.pool(site).extract(documents, threshold)
+            request_span.set(extractions=len(extractions))
+        registry = obs.metrics()
+        registry.inc("service.requests")
+        registry.inc("service.pages", len(documents))
+        registry.inc("service.extractions", len(extractions))
+        return extractions
 
     def candidates(
         self, site: str, documents: list[Document]

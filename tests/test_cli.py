@@ -437,3 +437,111 @@ class TestSkippedClusterReporting:
         err = capsys.readouterr().err
         assert "below min_cluster_size skipped" in err
         assert "3 page(s)" in err
+
+
+class TestObservabilityFlags:
+    def test_run_corpus_trace_and_metrics_outputs(self, corpus_on_disk, tmp_path):
+        from repro import obs
+
+        _, kb_path, corpus, site_names = corpus_on_disk
+        spans_path = tmp_path / "spans.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+             "--registry", str(tmp_path / "models"),
+             "--output", str(tmp_path / "rows.jsonl"),
+             "--fuse-output", str(tmp_path / "facts.jsonl"),
+             "--workers", "1",
+             "--trace-output", str(spans_path),
+             "--metrics-output", str(metrics_path)]
+        )
+        assert code == 0
+        # main() restored the disabled singletons.
+        assert not obs.enabled()
+
+        spans = [
+            json.loads(line)
+            for line in spans_path.read_text().splitlines()
+        ]
+        names = {span["name"] for span in spans}
+        # The acceptance bar: every pipeline stage appears in the trace.
+        assert {
+            "stage.cluster", "stage.annotate", "stage.train",
+            "stage.extract", "stage.fuse", "site.run",
+        } <= names
+        ids = [span["span_id"] for span in spans]
+        assert len(ids) == len(set(ids))
+
+        snapshot = json.loads(metrics_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["runner.sites_ok"] == len(site_names)
+        assert counters["fusion.facts"] > 0
+        assert "cache.page_match.hits" in counters
+        assert snapshot["histograms"]["runner.site_seconds"]["count"] == len(
+            site_names
+        )
+
+    def test_extract_metrics_output(self, site_on_disk, tmp_path):
+        _, kb_path, pages_dir = site_on_disk
+        metrics_path = tmp_path / "extract_metrics.json"
+        assert main(
+            ["extract", "--kb", str(kb_path), "--pages", str(pages_dir),
+             "--output", str(tmp_path / "t.jsonl"),
+             "--metrics-output", str(metrics_path)]
+        ) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["pipeline.pages"] == 16
+        assert counters["pipeline.extractions"] > 0
+        assert "cache.page_match.hits" in counters
+        for stage in ("cluster", "annotate", "train", "extract"):
+            assert f"stage.{stage}_seconds" in snapshot["histograms"]
+
+    def test_serve_trace_output(self, site_on_disk, tmp_path):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        assert main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--registry", str(registry)]) == 0
+        spans_path = tmp_path / "serve_spans.jsonl"
+        assert main(
+            ["serve", "--registry", str(registry), "--pages", str(pages_dir),
+             "--output", str(tmp_path / "s.jsonl"),
+             "--trace-output", str(spans_path)]
+        ) == 0
+        spans = [
+            json.loads(line)
+            for line in spans_path.read_text().splitlines()
+        ]
+        assert any(s["name"] == "service.extract_pages" for s in spans)
+
+    def test_fuse_metrics_output(self, corpus_on_disk, tmp_path):
+        _, kb_path, corpus, _ = corpus_on_disk
+        rows = tmp_path / "rows.jsonl"
+        assert main(
+            ["run-corpus", "--kb", str(kb_path), "--corpus", str(corpus),
+             "--registry", str(tmp_path / "m"), "--output", str(rows),
+             "--workers", "1"]
+        ) == 0
+        metrics_path = tmp_path / "fuse_metrics.json"
+        assert main(
+            ["fuse", "--input", str(rows),
+             "--output", str(tmp_path / "facts.jsonl"),
+             "--metrics-output", str(metrics_path)]
+        ) == 0
+        counters = json.loads(metrics_path.read_text())["counters"]
+        assert counters["fusion.rows"] > 0
+        assert counters["fusion.facts"] > 0
+
+    def test_stats_payload_includes_metrics(self, site_on_disk, tmp_path, capsys):
+        _, kb_path, pages_dir = site_on_disk
+        registry = tmp_path / "models"
+        assert main(["train", "--kb", str(kb_path), "--pages", str(pages_dir),
+                     "--registry", str(registry)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--registry", str(registry),
+                     "--pages", str(pages_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["metrics"]["counters"]
+        assert counters["service.requests"] == 1
+        assert counters["service.pages"] == 16
+        assert "cache.resident_sites.hits" in counters

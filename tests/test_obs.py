@@ -1,0 +1,238 @@
+"""repro.obs: spans, mergeable metrics, and the zero-overhead off mode."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer, merge_snapshots, write_spans_jsonl
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.tracer import NULL_TRACER
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+def test_span_nesting_parent_links_and_order():
+    tracer = Tracer()
+    with tracer.span("outer", site="s"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+        with tracer.span("sibling"):
+            pass
+    spans = tracer.export()
+    # Spans land at exit time: children strictly before their parents.
+    assert [s["name"] for s in spans] == ["inner", "middle", "sibling", "outer"]
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+    assert by_name["sibling"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["attrs"] == {"site": "s"}
+    for span in spans:
+        assert span["duration"] >= 0.0
+        assert span["start"] > 0.0
+
+
+def test_span_set_attaches_attrs():
+    tracer = Tracer()
+    with tracer.span("stage.extract", pages=3) as span:
+        span.set(extractions=7)
+    (record,) = tracer.export()
+    assert record["attrs"] == {"pages": 3, "extractions": 7}
+
+
+def test_span_jsonl_round_trip():
+    tracer = Tracer()
+    with tracer.span("a", note="né"):
+        with tracer.span("b"):
+            pass
+    sink = io.StringIO()
+    assert write_spans_jsonl(tracer.export(), sink) == 2
+    lines = sink.getvalue().splitlines()
+    assert len(lines) == 2
+    decoded = [json.loads(line) for line in lines]
+    assert decoded == tracer.export()
+
+
+def test_absorb_keeps_foreign_spans_and_links():
+    worker = Tracer()
+    with worker.span("site.run"):
+        with worker.span("stage.train"):
+            pass
+    parent = Tracer()
+    with parent.span("corpus"):
+        pass
+    parent.absorb(worker.export())
+    names = {s["name"] for s in parent.export()}
+    assert names == {"corpus", "site.run", "stage.train"}
+    span_ids = [s["span_id"] for s in parent.export()]
+    assert len(span_ids) == len(set(span_ids))
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def _registry_a() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("pipeline.pages", 10)
+    reg.inc("runner.sites_ok")
+    reg.observe("stage.train_seconds", 0.002)
+    reg.observe("stage.train_seconds", 4.0)
+    return reg
+
+
+def _registry_b() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("pipeline.pages", 5)
+    reg.inc("scoring.batches", 2)
+    reg.observe("stage.train_seconds", 0.3)
+    reg.observe("scoring.predict_seconds", 0.001)
+    return reg
+
+
+def test_merge_commutative_and_associative():
+    a, b = _registry_a().snapshot(), _registry_b().snapshot()
+    c = MetricsRegistry()
+    c.inc("pipeline.pages", 1)
+    c.observe("stage.train_seconds", 100.0)  # overflow bucket
+    c = c.snapshot()
+
+    ab = merge_snapshots([a, b])
+    ba = merge_snapshots([b, a])
+    assert ab == ba
+    assert merge_snapshots([ab, c]) == merge_snapshots([a, merge_snapshots([b, c])])
+
+    assert ab["counters"]["pipeline.pages"] == 15
+    hist = ab["histograms"]["stage.train_seconds"]
+    assert hist["count"] == 3
+    assert hist["min"] == 0.002
+    assert hist["max"] == 4.0
+    assert sum(hist["counts"]) == 3
+
+
+def test_merge_snapshot_is_json_round_trippable():
+    snapshot = _registry_a().snapshot()
+    revived = json.loads(json.dumps(snapshot))
+    merged = MetricsRegistry()
+    merged.merge_snapshot(revived)
+    assert merged.snapshot() == snapshot
+
+
+def test_histogram_bucket_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.histogram("x_seconds", (0.1, 1.0))
+    with pytest.raises(ValueError):
+        reg.histogram("x_seconds", (0.5, 5.0))
+    # Merging a snapshot whose buckets differ must fail too, not corrupt.
+    other = MetricsRegistry()
+    other.observe("x_seconds", 0.2, buckets=(0.5, 5.0))
+    with pytest.raises(ValueError):
+        reg.merge_snapshot(other.snapshot())
+
+
+def test_timer_observes_and_exposes_elapsed():
+    reg = MetricsRegistry()
+    with reg.timer("t_seconds") as timing:
+        pass
+    assert timing.elapsed >= 0.0
+    snap = reg.snapshot()
+    assert snap["histograms"]["t_seconds"]["count"] == 1
+
+
+def test_record_cache_folds_counters():
+    from repro.runtime.cache import LRUCache
+
+    cache: LRUCache[str, int] = LRUCache(2, name="feature_registry")
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("missing")
+    reg = MetricsRegistry()
+    reg.record_cache(cache.stats())
+    counters = reg.snapshot()["counters"]
+    assert counters["cache.feature_registry.hits"] == 1
+    assert counters["cache.feature_registry.misses"] == 1
+    assert counters["cache.feature_registry.evictions"] == 0
+
+
+# -- disabled mode ----------------------------------------------------------
+
+
+def test_disabled_mode_records_nothing_and_allocates_nothing():
+    assert not obs.enabled()
+    assert obs.tracer() is NULL_TRACER
+    assert obs.metrics() is NULL_REGISTRY
+
+    # Shared singletons: repeated hot-path calls return identical objects.
+    assert obs.span("a") is obs.span("b")
+    assert obs.timer("x") is obs.timer("y")
+    assert obs.stage("s") is obs.stage("t")
+    assert obs.metrics().counter("c1") is obs.metrics().counter("c2")
+
+    with obs.span("hot", k=1) as span:
+        span.set(more=2)
+    with obs.timer("hot_seconds"):
+        pass
+    with obs.stage("stage.hot", pages=9) as stage:
+        stage.set(extractions=1)
+    obs.metrics().inc("anything", 5)
+    obs.metrics().observe("h", 1.0)
+    obs.metrics().record_cache({"name": "x", "hits": 1, "misses": 2, "evictions": 0})
+    obs.tracer().absorb([{"name": "foreign"}])
+    obs.metrics().merge_snapshot(_registry_a().snapshot())
+
+    # Output is empty on both instruments.
+    assert obs.tracer().export() == []
+    assert obs.metrics().snapshot() == {"counters": {}, "histograms": {}}
+
+
+def test_enable_disable_round_trip():
+    tracer, registry = obs.enable()
+    try:
+        assert obs.tracing_enabled() and obs.metrics_enabled()
+        assert obs.tracer() is tracer
+        assert obs.metrics() is registry
+        with obs.stage("stage.x"):
+            pass
+        assert [s["name"] for s in tracer.export()] == ["stage.x"]
+        assert "stage.x_seconds" in registry.snapshot()["histograms"]
+    finally:
+        obs.disable()
+    assert obs.tracer() is NULL_TRACER
+    assert obs.metrics() is NULL_REGISTRY
+
+
+def test_scoped_installs_and_restores():
+    obs.enable(tracing=False, metrics=True)
+    try:
+        outer = obs.metrics()
+        outer.inc("outer.count")
+        with obs.scoped(tracing=True, metrics=True) as (tracer, registry):
+            assert obs.metrics() is registry
+            assert obs.tracer() is tracer
+            assert registry is not outer
+            obs.metrics().inc("inner.count")
+            with obs.span("inner.span"):
+                pass
+        # Prior state restored: the outer registry, the null tracer.
+        assert obs.metrics() is outer
+        assert obs.tracer() is NULL_TRACER
+        assert "inner.count" not in outer.snapshot()["counters"]
+        assert outer.snapshot()["counters"]["outer.count"] == 1
+    finally:
+        obs.disable()
+
+
+def test_stage_emits_span_and_histogram_with_same_region_name():
+    with obs.scoped(tracing=True, metrics=True) as (tracer, registry):
+        with obs.stage("stage.annotate", pages=4) as stage:
+            stage.set(annotations=2)
+    (span,) = tracer.export()
+    assert span["name"] == "stage.annotate"
+    assert span["attrs"] == {"pages": 4, "annotations": 2}
+    hist = registry.snapshot()["histograms"]["stage.annotate_seconds"]
+    assert hist["count"] == 1

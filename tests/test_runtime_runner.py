@@ -354,3 +354,121 @@ class TestSiteReportSkips:
         report = payload["report"]
         assert report["n_skipped_pages"] == 2
         assert report["n_skipped_clusters"] >= 1
+
+
+class TestRunnerObservability:
+    """Worker telemetry rides home in the report and merges in the parent."""
+
+    def test_report_always_carries_metrics_snapshot(
+        self, corpus_on_disk, tmp_path
+    ):
+        from repro.runtime.runner import _run_site
+        from repro.runtime.serialize import config_to_dict
+
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        payload = _run_site(
+            site_names[0], str(corpus_dir / site_names[0]), str(kb_path),
+            None, config_to_dict(CeresConfig()), None,
+        )
+        report = payload["report"]
+        counters = report["metrics"]["counters"]
+        assert counters["runner.sites_ok"] == 1
+        assert counters["pipeline.pages"] == report["n_pages"]
+        assert counters["service.extractions"] == report["n_extractions"]
+        # The satellite fix: per-site cache counters no longer die with
+        # the worker.
+        assert "cache.page_match.hits" in counters
+        assert "cache.feature_registry.misses" in counters
+        histograms = report["metrics"]["histograms"]
+        for name in (
+            "runner.site_seconds", "stage.annotate_seconds",
+            "stage.train_seconds", "stage.extract_seconds",
+        ):
+            assert histograms[name]["count"] >= 1, name
+        # No tracing requested: no spans shipped (they are bulky).
+        assert report["spans"] is None
+        assert report["seconds"] > 0
+
+    def test_failed_site_reports_metrics_too(self, corpus_on_disk, tmp_path):
+        from repro.runtime.runner import _run_site
+        from repro.runtime.serialize import config_to_dict
+
+        _, kb_path, _, _, _ = corpus_on_disk
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        payload = _run_site(
+            "empty", str(empty), str(kb_path), None,
+            config_to_dict(CeresConfig()), None,
+        )
+        report = payload["report"]
+        assert not report["ok"]
+        assert report["metrics"]["counters"]["runner.sites_failed"] == 1
+
+    def test_trace_flag_ships_spans(self, corpus_on_disk):
+        from repro.runtime.runner import _run_site
+        from repro.runtime.serialize import config_to_dict
+
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        payload = _run_site(
+            site_names[0], str(corpus_dir / site_names[0]), str(kb_path),
+            None, config_to_dict(CeresConfig()), None, trace=True,
+        )
+        spans = payload["report"]["spans"]
+        names = {span["name"] for span in spans}
+        assert {
+            "site.run", "stage.cluster", "stage.annotate",
+            "stage.train", "stage.extract",
+        } <= names
+        # site.run is the root of the worker's tree.
+        root = next(s for s in spans if s["name"] == "site.run")
+        assert root["parent_id"] is None
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_parent_merges_worker_telemetry(
+        self, corpus_on_disk, tmp_path, max_workers
+    ):
+        from repro import obs
+
+        _, kb_path, corpus_dir, _, site_names = corpus_on_disk
+        fused_out = io.StringIO()
+        with obs.scoped(tracing=True, metrics=True) as (tracer, registry):
+            reports = run_corpus(
+                corpus_dir, kb_path, None,
+                max_workers=max_workers, fuse=fused_out,
+            )
+            counters = registry.snapshot()["counters"]
+            histograms = registry.snapshot()["histograms"]
+            span_names = {span["name"] for span in tracer.export()}
+        assert all(report.ok for report in reports)
+        assert counters["runner.sites_ok"] == len(site_names)
+        assert counters["pipeline.pages"] == sum(r.n_pages for r in reports)
+        assert counters["fusion.rows"] == sum(
+            r.n_extractions for r in reports
+        )
+        assert "cache.feature_registry.misses" in counters
+        # One site.seconds sample per site, merged across workers.
+        assert histograms["runner.site_seconds"]["count"] == len(site_names)
+        # Worker spans absorbed, parent-side fuse stage traced.
+        assert {
+            "site.run", "stage.cluster", "stage.annotate", "stage.train",
+            "stage.extract", "stage.fuse",
+        } <= span_names
+
+    def test_summary_feat_cache_note(self):
+        from repro.runtime import SiteReport
+
+        report = SiteReport(
+            site="s", ok=True, n_pages=4,
+            metrics={
+                "counters": {
+                    "cache.feature_registry.hits": 3,
+                    "cache.feature_registry.misses": 1,
+                },
+                "histograms": {},
+            },
+        )
+        assert "feat_cache=75%" in report.summary()
+        bare = SiteReport(site="s", ok=True, n_pages=4)
+        assert "feat_cache" not in bare.summary()
