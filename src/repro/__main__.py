@@ -13,6 +13,14 @@ to a registry, serve extractions from the artifact without retraining)::
     python -m repro serve --registry ./models --pages ./site_html \
         --output triples.jsonl
 
+Cross-site transfer (train one site-agnostic global model over a corpus,
+then serve sites that have no per-site artifact zero-shot from it)::
+
+    python -m repro train-global --kb seed_kb.json --corpus ./sites \
+        --registry ./models
+    python -m repro serve --registry ./models --pages ./new_site_html \
+        --transfer-fallback --output triples.jsonl
+
 Corpus mode (many sites, a process pool, per-site failure isolation)::
 
     python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
@@ -200,7 +208,34 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--output", default="-", help="output JSONL path (default: stdout)"
     )
+    serve.add_argument(
+        "--transfer-fallback", action="store_true",
+        help="serve sites with no artifact zero-shot from the registry's "
+        "cross-site global model (see `train-global`)",
+    )
     _add_obs_flags(serve)
+
+    train_global = sub.add_parser(
+        "train-global",
+        help="train the cross-site global (transfer) model over a corpus "
+        "and persist it to the registry",
+    )
+    train_global.add_argument("--kb", required=True, help="seed KB JSON file")
+    train_global.add_argument(
+        "--corpus", required=True,
+        help="directory of per-site subdirectories, or a JSONL manifest",
+    )
+    train_global.add_argument(
+        "--registry", required=True,
+        help="model registry directory the global artifact is written to",
+    )
+    train_global.add_argument(
+        "--exclude", action="append", default=[], metavar="SITE",
+        help="leave this site out of training (repeatable; e.g. the site "
+        "you plan to evaluate zero-shot)",
+    )
+    _add_min_predicate_pages(train_global)
+    _add_obs_flags(train_global)
 
     corpus = sub.add_parser(
         "run-corpus",
@@ -230,6 +265,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat each site's pages as one template",
     )
     _add_min_predicate_pages(corpus)
+    corpus.add_argument(
+        "--train-global", action="store_true", dest="train_global",
+        help="after the corpus finishes, pool every site's training "
+        "examples into a cross-site global model (see `train-global`)",
+    )
     corpus.add_argument(
         "--fuse-output", default=None,
         help="also fuse all sites' extractions and write fused-fact JSONL here",
@@ -432,7 +472,9 @@ def _cmd_serve(args) -> int:
 
     documents = _load_documents(args.pages)
     site = args.site or Path(args.pages).name
-    service = ExtractionService(args.registry)
+    service = ExtractionService(
+        args.registry, transfer_fallback=args.transfer_fallback
+    )
     try:
         extractions = service.extract_pages(site, documents, args.threshold)
     except RegistryError as error:
@@ -444,9 +486,43 @@ def _cmd_serve(args) -> int:
     finally:
         if sink is not sys.stdout:
             sink.close()
+    zero_shot = any(
+        getattr(extraction, "model", "site") != "site"
+        for extraction in extractions
+    )
     print(
         f"[repro] site={site}: {len(documents)} pages served, "
-        f"{len(extractions)} triples extracted (no retraining)",
+        f"{len(extractions)} triples extracted "
+        + ("(zero-shot, global model)" if zero_shot else "(no retraining)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_train_global(args) -> int:
+    from repro.runtime import RegistryError, discover_corpus
+    from repro.transfer import train_global_from_corpus
+
+    try:
+        discover_corpus(args.corpus)
+    except (FileNotFoundError, ValueError) as error:
+        raise SystemExit(str(error))
+    config = CeresConfig(**_annotation_overrides(args))
+    try:
+        model, path = train_global_from_corpus(
+            args.corpus,
+            args.kb,
+            config=config,
+            registry_root=args.registry,
+            exclude=tuple(args.exclude),
+            log=lambda line: print(f"[repro] {line}", file=sys.stderr),
+        )
+    except (FileNotFoundError, RegistryError, ValueError) as error:
+        raise SystemExit(str(error))
+    print(
+        f"[repro] global model: {len(model.labels)} label(s), "
+        f"{model.vectorizer.n_features} transferable feature(s) "
+        f"→ {path}",
         file=sys.stderr,
     )
     return 0
@@ -611,6 +687,7 @@ def _cmd_run_corpus(args) -> int:
                 max_workers=args.workers,
                 output=sink,
                 fuse=store,
+                train_global=args.train_global,
                 log=lambda line: print(f"[repro] {line}", file=sys.stderr),
             )
         except (FileNotFoundError, ValueError) as error:
@@ -651,6 +728,7 @@ def main(argv: list[str] | None = None) -> int:
         "annotate": _cmd_annotate,
         "extract": _cmd_extract,
         "train": _cmd_train,
+        "train-global": _cmd_train_global,
         "serve": _cmd_serve,
         "run-corpus": _cmd_run_corpus,
         "fuse": _cmd_fuse,

@@ -43,6 +43,10 @@ class Extraction:
     confidence: float
     page_index: int
     node: TextNode
+    #: Which model family produced the triple: ``"site"`` for a per-site
+    #: template model, ``"transfer"`` for the cross-site global model
+    #: (zero-shot fallback serving, :mod:`repro.transfer`).
+    model: str = "site"
 
 
 @dataclass

@@ -13,6 +13,15 @@ Two feature families represent a text node:
   receives a feature for each frequent string found nearby, consisting of
   the string and the tree path from the node to the string's element.
 
+Every feature name carries an explicit namespace prefix (see
+:mod:`repro.ml.features`): tag-topology structural features are
+``xfer:`` (they transfer across sites of a vertical — the ZeroShotCeres
+observation), while attribute-value structural features and
+frequent-string text features are ``site:`` (CSS classes, microdata
+URLs, and the string lexicon are one site's private vocabulary).  The
+cross-site global model (:mod:`repro.transfer`) trains on the ``xfer:``
+namespace only; per-site models consume both.
+
 Feature extraction is the hot loop of both training and extraction, so the
 nearby-string search uses a per-page registry: each frequent-string node
 registers itself on its first ``text_feature_height`` ancestors with the
@@ -160,11 +169,13 @@ class NodeFeatureExtractor:
     def _attribute_features(
         self, element: ElementNode, level: int, sibling: int, result: FeatureDict
     ) -> None:
-        result[f"s|tag|{element.tag}|{level}|{sibling}"] = 1.0
+        # Tag topology transfers across sites; attribute values are one
+        # site's private vocabulary — hence the namespace split.
+        result[f"xfer:s|tag|{element.tag}|{level}|{sibling}"] = 1.0
         for attribute in self.config.struct_attributes:
             value = element.attrs.get(attribute)
             if value:
-                result[f"s|{attribute}|{value}|{level}|{sibling}"] = 1.0
+                result[f"site:s|{attribute}|{value}|{level}|{sibling}"] = 1.0
 
     def _text_features(
         self, node: TextNode, document: Document, result: FeatureDict
@@ -177,7 +188,7 @@ class NodeFeatureExtractor:
         ups = 0
         while element is not None and ups <= self.config.text_feature_height:
             for text, down_path in registry.get(id(element), ()):
-                result[f"t|{text}|u{ups}|{down_path}"] = 1.0
+                result[f"site:t|{text}|u{ups}|{down_path}"] = 1.0
             element = element.parent
             ups += 1
 
@@ -370,10 +381,10 @@ class FeatureNameBatcher:
         for index, fp in enumerate(key[1:]):
             offset = index - self_offset
             tag, *values = fingerprint_keys[fp]
-            names.append(f"s|tag|{tag}|{level}|{offset}")
+            names.append(f"xfer:s|tag|{tag}|{level}|{offset}")
             for attribute, value in zip(self._attributes, values):
                 if value:
-                    names.append(f"s|{attribute}|{value}|{level}|{offset}")
+                    names.append(f"site:s|{attribute}|{value}|{level}|{offset}")
         result = tuple(names)
         self._cache_guard()
         self._window_names[(sig, level)] = result
@@ -420,7 +431,7 @@ class FeatureNameBatcher:
         height = self._height
         while element is not None and ups <= height:
             for text, down_path in registry.get(id(element), ()):
-                names.append(f"t|{text}|u{ups}|{down_path}")
+                names.append(f"site:t|{text}|u{ups}|{down_path}")
             element = element.parent
             ups += 1
         if not names:

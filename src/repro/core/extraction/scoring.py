@@ -93,42 +93,55 @@ def compile_vocabulary(
 ) -> tuple[StructLookup, TextLookup]:
     """Invert the vectorizer's feature names into direct column lookups.
 
-    Feature names are ``s|{attr}|{value}|{level}|{sibling}`` and
-    ``t|{text}|u{ups}|{down_path}``.  Attribute names, levels, siblings,
-    ups tokens, and down paths (tag names joined by ``/``) never contain
-    ``|``, so splitting the fixed-position fields off the ends recovers
-    the original tuple exactly even when ``value``/``text`` themselves
-    contain pipes.  Names that don't parse — or whose level/sibling fall
-    outside the ``levels``/``width`` window the scorer probes — are
-    skipped: the hot loop could never generate them, exactly as the
-    legacy path could never generate their names.
+    Feature names are namespaced (see :mod:`repro.ml.features`):
+    ``xfer:s|tag|{tag}|{level}|{sibling}`` for tag topology,
+    ``site:s|{attr}|{value}|{level}|{sibling}`` for attribute values, and
+    ``site:t|{text}|u{ups}|{down_path}`` for nearby frequent strings.
+    Attribute names, levels, siblings, ups tokens, and down paths (tag
+    names joined by ``/``) never contain ``|``, so splitting the
+    fixed-position fields off the ends recovers the original tuple
+    exactly even when ``value``/``text`` themselves contain pipes.
+    Names that don't parse — wrong namespace for their family, or a
+    level/sibling outside the ``levels``/``width`` window the scorer
+    probes — are skipped: the hot loop could never generate them,
+    exactly as the legacy path could never generate their names.
     """
     span = 2 * width + 1
     struct: StructLookup = {}
     text: TextLookup = {}
     for name, column in vocabulary.items():
-        if name.startswith("s|"):
+        if name.startswith("xfer:s|tag|") or name.startswith("site:s|"):
+            body = name[11:] if name[0] == "x" else name[7:]
             try:
-                attribute, rest = name[2:].split("|", 1)
+                if name[0] == "x":
+                    attribute, rest = "tag", body
+                else:
+                    attribute, rest = body.split("|", 1)
                 value, level_text, sibling_text = rest.rsplit("|", 2)
                 level = int(level_text)
                 sibling = int(sibling_text)
             except ValueError:
                 continue
+            # The site: structural family never carries the tag attribute
+            # (tags live in xfer:); a hand-built name claiming otherwise
+            # could never be generated, so it is skipped like any other
+            # unparseable name.
+            if attribute == "tag" and name[0] != "x":
+                continue
             if not (0 <= level <= levels and -width <= sibling <= width):
                 continue
             packed = level * span + sibling + width
             struct.setdefault((attribute, value), {})[packed] = column
-        elif name.startswith("t|"):
+        elif name.startswith("site:t|"):
             head, _, down_path = name.rpartition("|")
             head, _, ups_token = head.rpartition("|")
-            if len(head) < 2 or not ups_token.startswith("u"):
+            if len(head) < 7 or not ups_token.startswith("u"):
                 continue
             try:
                 ups = int(ups_token[1:])
             except ValueError:
                 continue
-            text.setdefault((head[2:], down_path), {})[ups] = column
+            text.setdefault((head[7:], down_path), {})[ups] = column
     return struct, text
 
 

@@ -205,7 +205,7 @@ class CeresPipeline:
         through the trainer's vectorized path.
         """
         with obs.stage("stage.train") as train_stage:
-            per_cluster = self._build_cluster_examples(result)
+            per_cluster = self.cluster_examples(result)
             for cluster, examples in per_cluster:
                 cluster.model = self.trainer.train(examples, documents)
             train_stage.set(clusters_trained=len(per_cluster))
@@ -218,13 +218,18 @@ class CeresPipeline:
         Consumes the negative-sampling RNG identically, so models are
         byte-identical to :meth:`train`'s.
         """
-        per_cluster = self._build_cluster_examples(result)
+        per_cluster = self.cluster_examples(result)
         for cluster, examples in per_cluster:
             cluster.model = self.trainer.legacy_train(examples, documents)
         return result
 
-    def _build_cluster_examples(self, result: CeresResult):
-        """Training examples per trainable cluster, built in one RNG pass."""
+    def cluster_examples(self, result: CeresResult):
+        """Training examples per trainable cluster, built in one RNG pass.
+
+        Public because the cross-site global trainer
+        (:mod:`repro.transfer.trainer`) consumes the exact same example
+        stream — same negative sampling, same RNG discipline — that
+        per-site training does."""
         rng = random.Random(self.config.random_seed)
         per_cluster = []
         for cluster in result.cluster_results:

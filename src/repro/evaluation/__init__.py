@@ -15,8 +15,16 @@ from repro.evaluation.scoring import (
     page_hit_scores,
     topic_scores,
 )
+from repro.evaluation.transfer_eval import (
+    TransferFold,
+    format_loso_table,
+    loso_folds,
+)
 
 __all__ = [
+    "TransferFold",
+    "format_loso_table",
+    "loso_folds",
     "dataset_fact_keys",
     "fusion_gain",
     "kb_fact_keys",

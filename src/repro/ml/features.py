@@ -5,6 +5,30 @@ CERES represents each DOM node as a sparse bag of named features
 ``scipy.sparse`` CSR matrices; unseen features at transform time are
 silently dropped (the standard behaviour the paper's scikit-learn stack
 provides).
+
+Feature namespaces
+------------------
+
+Every feature the extraction stack produces carries an explicit
+namespace prefix separating *site-local* vocabulary from *transferable*
+structure (the split ZeroShotCeres showed matters for cross-site
+generalization):
+
+* ``site:`` — anything tied to one site's private vocabulary: HTML
+  attribute values (CSS class names, ids, microdata URLs), the site's
+  frequent-string lexicon, raw paths.  These features are meaningless on
+  any other site.
+* ``xfer:`` — topology-relative structure that transfers across sites
+  of a vertical: tag-name ancestry/sibling windows, depth and layout
+  buckets, token overlap with predicate names, node-text shape classes.
+
+Per-site models consume both namespaces; the cross-site global model
+(:mod:`repro.transfer`) is trained on ``xfer:`` features only.  The
+helpers here (:func:`split_namespace`, :data:`SITE_NAMESPACE`,
+:data:`TRANSFER_NAMESPACE`) are the single source of truth for the
+prefix scheme, and :class:`FeatureVectorizer` exposes the namespace
+structure of a fitted vocabulary (:meth:`FeatureVectorizer.namespace_counts`,
+:meth:`FeatureVectorizer.restrict`).
 """
 
 from __future__ import annotations
@@ -14,7 +38,38 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["FeatureVectorizer"]
+__all__ = [
+    "FeatureVectorizer",
+    "NAMESPACE_SEPARATOR",
+    "SITE_NAMESPACE",
+    "TRANSFER_NAMESPACE",
+    "namespace_of",
+    "split_namespace",
+]
+
+#: Separator between a feature's namespace prefix and its local name.
+NAMESPACE_SEPARATOR = ":"
+#: Namespace of site-local vocabulary (attr values, frequent strings).
+SITE_NAMESPACE = "site"
+#: Namespace of transferable, topology-relative structure.
+TRANSFER_NAMESPACE = "xfer"
+
+
+def split_namespace(name: str) -> tuple[str, str]:
+    """``(namespace, local name)`` of a feature name.
+
+    Names without a separator belong to the anonymous namespace ``""``
+    (hand-built test vocabularies; nothing the extraction stack emits).
+    """
+    namespace, separator, local = name.partition(NAMESPACE_SEPARATOR)
+    if not separator:
+        return "", name
+    return namespace, local
+
+
+def namespace_of(name: str) -> str:
+    """The namespace prefix of a feature name (``""`` when absent)."""
+    return split_namespace(name)[0]
 
 
 class FeatureVectorizer:
@@ -150,3 +205,44 @@ class FeatureVectorizer:
     def feature_names(self) -> list[str]:
         """Feature names in column order."""
         return sorted(self.vocabulary_, key=self.vocabulary_.__getitem__)
+
+    # -- namespace structure -----------------------------------------------
+
+    def namespace_counts(self) -> dict[str, int]:
+        """Feature count per namespace prefix of the fitted vocabulary."""
+        counts: dict[str, int] = {}
+        for name in self.vocabulary_:
+            namespace = namespace_of(name)
+            counts[namespace] = counts.get(namespace, 0) + 1
+        return counts
+
+    def columns_for_namespace(self, namespace: str) -> np.ndarray:
+        """Sorted column indices of the features in ``namespace``."""
+        prefix = namespace + NAMESPACE_SEPARATOR
+        return np.fromiter(
+            sorted(
+                column
+                for name, column in self.vocabulary_.items()
+                if name.startswith(prefix)
+            ),
+            dtype=np.int64,
+        )
+
+    def restrict(self, namespace: str) -> FeatureVectorizer:
+        """A new fitted vectorizer over one namespace of this vocabulary.
+
+        Columns are re-enumerated in sorted-name order (the canonical
+        layout :meth:`fit` would produce over the same names), so a
+        restricted vectorizer behaves exactly like one fitted on the
+        namespace's features alone.
+        """
+        prefix = namespace + NAMESPACE_SEPARATOR
+        restricted = FeatureVectorizer()
+        restricted.vocabulary_ = {
+            name: index
+            for index, name in enumerate(
+                sorted(n for n in self.vocabulary_ if n.startswith(prefix))
+            )
+        }
+        restricted._fitted = True
+        return restricted

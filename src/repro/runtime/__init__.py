@@ -46,10 +46,13 @@ _EXPORTS = {
     "run_corpus": "repro.runtime.runner",
     "ARTIFACT_KIND": "repro.runtime.serialize",
     "FORMAT_VERSION": "repro.runtime.serialize",
+    "GLOBAL_ARTIFACT_KIND": "repro.runtime.serialize",
     "ClusterModel": "repro.runtime.serialize",
     "SiteModel": "repro.runtime.serialize",
     "config_from_dict": "repro.runtime.serialize",
     "config_to_dict": "repro.runtime.serialize",
+    "global_model_from_dict": "repro.runtime.serialize",
+    "global_model_to_dict": "repro.runtime.serialize",
     "model_from_dict": "repro.runtime.serialize",
     "model_to_dict": "repro.runtime.serialize",
     "site_model_from_dict": "repro.runtime.serialize",

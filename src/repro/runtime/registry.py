@@ -1,14 +1,20 @@
 """The on-disk model registry.
 
-Layout — one versioned JSON artifact per site under a root directory::
+Layout — one versioned JSON artifact per site under a root directory,
+plus (optionally) one cross-site global model in a reserved
+subdirectory::
 
     <root>/
         <site-key>.json        # site_model_to_dict() payload
         <site-key>.json        # ... one per trained site
+        _global/
+            model.json         # global_model_to_dict() payload
 
 ``site-key`` is the site name percent-encoded (``urllib.parse.quote``
 with no safe characters), so arbitrary site names — hostnames, paths,
-unicode — map to flat, filesystem-safe, reversible file names.
+unicode — map to flat, filesystem-safe, reversible file names.  The
+global model lives in a subdirectory precisely so it can never collide
+with a percent-encoded site key and never shows up in :meth:`sites`.
 
 Artifacts are self-describing: they carry ``format_version`` (schema
 revision, checked on load) and ``kind`` (sanity tag).  Writes are atomic
@@ -30,7 +36,10 @@ from urllib.parse import quote, unquote
 from repro.runtime.serialize import (
     ARTIFACT_KIND,
     FORMAT_VERSION,
+    GLOBAL_ARTIFACT_KIND,
     SiteModel,
+    global_model_from_dict,
+    global_model_to_dict,
     site_model_from_dict,
     site_model_to_dict,
 )
@@ -38,6 +47,11 @@ from repro.runtime.serialize import (
 __all__ = ["RegistryError", "ModelRegistry"]
 
 _SUFFIX = ".json"
+#: Reserved subdirectory of the global-model artifact (site keys are
+#: percent-encoded flat file names, so no site can claim this path).
+_GLOBAL_DIR = "_global"
+#: How many known sites a missing-artifact error names before eliding.
+_ERROR_SITE_LIMIT = 10
 
 
 class RegistryError(Exception):
@@ -74,21 +88,18 @@ class ModelRegistry:
 
     # -- save / load -------------------------------------------------------
 
-    def save(self, site_model: SiteModel) -> Path:
-        """Atomically write ``site_model``'s artifact; returns its path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(site_model.site)
-        payload = json.dumps(
-            site_model_to_dict(site_model), ensure_ascii=False, sort_keys=True
-        )
+    def _write_atomic(self, path: Path, payload: dict) -> Path:
+        """Atomically write one artifact's JSON payload."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, ensure_ascii=False, sort_keys=True)
         # A unique temp file per call (not per PID): concurrent saves from
         # threads of one process must not interleave into a torn artifact.
         descriptor, temp = tempfile.mkstemp(
-            dir=self.root, prefix=path.name + ".tmp"
+            dir=path.parent, prefix=path.name + ".tmp"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(payload)
+                handle.write(text)
             os.replace(temp, path)
         except BaseException:
             with contextlib.suppress(OSError):
@@ -96,14 +107,8 @@ class ModelRegistry:
             raise
         return path
 
-    def load(self, site: str) -> SiteModel:
-        """Load ``site``'s artifact, validating version and structure."""
-        path = self.path_for(site)
-        if not path.is_file():
-            known = ", ".join(self.sites()) or "<registry empty>"
-            raise RegistryError(
-                f"no artifact for site {site!r} in {self.root} (have: {known})"
-            )
+    def _read_artifact(self, path: Path, kind: str) -> dict:
+        """Read one artifact, validating JSON shape, kind, and version."""
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -113,11 +118,14 @@ class ModelRegistry:
                 f"corrupt artifact {path}: expected a JSON object, "
                 f"got {type(data).__name__}"
             )
-        kind = data.get("kind")
-        if kind != ARTIFACT_KIND:
+        found = data.get("kind")
+        if found != kind:
+            article = (
+                "a site-model" if kind == ARTIFACT_KIND else "a global-model"
+            )
             raise RegistryError(
-                f"{path} is not a site-model artifact (kind={kind!r}, "
-                f"expected {ARTIFACT_KIND!r})"
+                f"{path} is not {article} artifact (kind={found!r}, "
+                f"expected {kind!r})"
             )
         version = data.get("format_version")
         if version != FORMAT_VERSION:
@@ -125,6 +133,27 @@ class ModelRegistry:
                 f"artifact {path} has format_version {version!r}; this build "
                 f"reads version {FORMAT_VERSION} — retrain or migrate it"
             )
+        return data
+
+    def save(self, site_model: SiteModel) -> Path:
+        """Atomically write ``site_model``'s artifact; returns its path."""
+        return self._write_atomic(
+            self.path_for(site_model.site), site_model_to_dict(site_model)
+        )
+
+    def load(self, site: str) -> SiteModel:
+        """Load ``site``'s artifact, validating version and structure."""
+        path = self.path_for(site)
+        if not path.is_file():
+            sites = self.sites()
+            shown = sites[:_ERROR_SITE_LIMIT]
+            known = ", ".join(shown) or "<registry empty>"
+            if len(sites) > len(shown):
+                known += f" (+{len(sites) - len(shown)} more)"
+            raise RegistryError(
+                f"no artifact for site {site!r} in {self.root} (have: {known})"
+            )
+        data = self._read_artifact(path, ARTIFACT_KIND)
         try:
             return site_model_from_dict(data)
         except (KeyError, TypeError, ValueError) as exc:
@@ -135,6 +164,47 @@ class ModelRegistry:
     def delete(self, site: str) -> bool:
         """Remove a site's artifact; returns whether one existed."""
         path = self.path_for(site)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    # -- the cross-site global model ---------------------------------------
+
+    @property
+    def global_path(self) -> Path:
+        """Where the global-model artifact lives (existing or not)."""
+        return self.root / _GLOBAL_DIR / ("model" + _SUFFIX)
+
+    def has_global(self) -> bool:
+        return self.global_path.is_file()
+
+    def save_global(self, model) -> Path:
+        """Atomically write the global model's artifact; returns its path."""
+        return self._write_atomic(self.global_path, global_model_to_dict(model))
+
+    def load_global(self):
+        """Load the global model, validating version and structure.
+
+        Returns a :class:`~repro.transfer.model.GlobalCeresModel`.
+        """
+        path = self.global_path
+        if not path.is_file():
+            raise RegistryError(
+                f"no global model in {self.root} — train one with "
+                f"`python -m repro train-global`"
+            )
+        data = self._read_artifact(path, GLOBAL_ARTIFACT_KIND)
+        try:
+            return global_model_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(
+                f"malformed artifact {path}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def delete_global(self) -> bool:
+        """Remove the global-model artifact; returns whether one existed."""
+        path = self.global_path
         if path.is_file():
             path.unlink()
             return True

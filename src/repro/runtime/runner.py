@@ -217,6 +217,10 @@ def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
     exactly, so fusing from rows on disk is bit-identical to fusing the
     in-memory extractions.  Rounding belongs in human-facing summaries
     only — a rounded row made the two paths diverge.
+
+    Rows carry a ``model`` key only for non-default provenance
+    (``"transfer"`` for zero-shot serving) — per-site rows stay
+    byte-identical to what they were before the tag existed.
     """
     row: dict = {"site": site} if site is not None else {}
     row.update(
@@ -228,6 +232,9 @@ def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
             "confidence": extraction.confidence,
         }
     )
+    model = getattr(extraction, "model", "site")
+    if model != "site":
+        row["model"] = model
     return row
 
 
@@ -345,6 +352,7 @@ def run_corpus(
     max_workers: int | None = None,
     output: TextIO | None = None,
     fuse: "FactStore | TextIO | None" = None,
+    train_global: bool = False,
     log: Callable[[str], None] | None = None,
 ) -> list[SiteReport]:
     """Train and extract every site of ``corpus``; returns per-site reports.
@@ -368,6 +376,11 @@ def run_corpus(
             ``--fuse-output`` default), finalized after the last site.
             The fused output is bit-identical regardless of worker
             completion order.
+        train_global: after every site completes, additionally train the
+            cross-site global model over the corpus and persist it as the
+            registry's global artifact (requires ``registry_root``) —
+            future unseen sites can then be served zero-shot via
+            ``serve --transfer-fallback``.
         log: per-site progress callback (e.g. ``print`` to stderr).
 
     Reports come back in completion order; failed sites carry their error
@@ -419,6 +432,24 @@ def run_corpus(
 
             write_fused_jsonl(store.finalize(), fused_sink)
             fused_sink.flush()
+        if train_global:
+            if registry is None:
+                raise ValueError(
+                    "train_global requires registry_root (the global "
+                    "artifact needs somewhere to live)"
+                )
+            # Re-annotates the corpus in this process: workers cannot ship
+            # their example streams home, and global training is a once-
+            # per-corpus cost, not a per-site one.
+            from repro.transfer.trainer import train_global_from_corpus
+
+            train_global_from_corpus(
+                corpus,
+                kb_path,
+                config=config_from_dict(config_data),
+                registry_root=registry,
+                log=log,
+            )
         return reports
 
     reports: list[SiteReport] = []

@@ -3,14 +3,32 @@
 Everything a trained site needs to extract again later — the
 :class:`~repro.core.config.CeresConfig`, per-cluster leader signatures,
 and each cluster's :class:`~repro.core.extraction.trainer.CeresModel`
-(frequent-string lexicon, feature vocabulary, classifier weights) — is
-captured by :class:`SiteModel` and round-trips through plain
-JSON-compatible dictionaries.
+(feature vocabulary, classifier weights) — is captured by
+:class:`SiteModel` and round-trips through plain JSON-compatible
+dictionaries.  The cross-site global model
+(:class:`~repro.transfer.model.GlobalCeresModel`) has its own artifact
+kind with the same discipline.
 
 Exactness: classifier weights are emitted with ``float.__repr__``
 (shortest round-trip) via ``ndarray.tolist()`` + ``json``, so a loaded
 model reproduces the in-memory model's extractions *byte for byte*; the
 registry tests assert this.
+
+Format version 2 (the namespaced-feature schema):
+
+* vocabularies are stored per namespace with the ``site:`` / ``xfer:``
+  prefixes stripped — ``{"site": [...], "xfer": [...]}`` — which both
+  shrinks the artifact and makes the namespace split auditable on disk.
+  Column order is recovered exactly because ``"site:" < "xfer:"``
+  lexicographically and prefix-stripping preserves each namespace's
+  internal sort, so *sorted full names = sorted site-locals ++ sorted
+  xfer-locals*;
+* the per-cluster ``frequent_strings`` list is gone: the lexicon is
+  reconstructed from the ``site:t|…`` vocabulary names.  Strings that
+  never produced a fitted feature are dropped by reconstruction, and
+  dropping them cannot change any score — their feature names were
+  unknown to the vectorizer and the compiled scorer alike, so they were
+  filtered at transform/compile time anyway.
 
 The codecs are deliberately dumb — no pickling, no code references —
 so artifacts are portable across processes, machines, and (with the
@@ -28,8 +46,15 @@ import numpy as np
 from repro.core.config import CeresConfig
 from repro.core.extraction.features import NodeFeatureExtractor
 from repro.core.extraction.trainer import CeresModel
-from repro.ml.features import FeatureVectorizer
+from repro.ml.features import (
+    NAMESPACE_SEPARATOR,
+    SITE_NAMESPACE,
+    TRANSFER_NAMESPACE,
+    FeatureVectorizer,
+)
 from repro.ml.logistic import SoftmaxRegression
+from repro.transfer.features import TransferFeatureExtractor
+from repro.transfer.model import GlobalCeresModel
 
 if TYPE_CHECKING:  # avoid importing the pipeline at runtime (heavy, unneeded)
     from repro.core.pipeline import CeresResult
@@ -37,6 +62,7 @@ if TYPE_CHECKING:  # avoid importing the pipeline at runtime (heavy, unneeded)
 __all__ = [
     "FORMAT_VERSION",
     "ARTIFACT_KIND",
+    "GLOBAL_ARTIFACT_KIND",
     "ClusterModel",
     "SiteModel",
     "config_to_dict",
@@ -45,12 +71,21 @@ __all__ = [
     "model_from_dict",
     "site_model_to_dict",
     "site_model_from_dict",
+    "global_model_to_dict",
+    "global_model_from_dict",
 ]
 
-#: Bump on any incompatible change to the artifact schema.
-FORMAT_VERSION = 1
+#: Bump on any incompatible change to the artifact schema.  Version 2:
+#: namespaced per-namespace vocabularies, no stored frequent-string
+#: lexicon, and the global-model artifact kind.
+FORMAT_VERSION = 2
 #: Sanity tag distinguishing site-model artifacts from other JSON files.
 ARTIFACT_KIND = "ceres-site-model"
+#: Sanity tag of the cross-site global-model artifact.
+GLOBAL_ARTIFACT_KIND = "ceres-global-model"
+
+_SITE_PREFIX = SITE_NAMESPACE + NAMESPACE_SEPARATOR
+_XFER_PREFIX = TRANSFER_NAMESPACE + NAMESPACE_SEPARATOR
 
 
 @dataclass
@@ -137,24 +172,86 @@ def _classifier_from_dict(data: dict) -> SoftmaxRegression:
     return classifier
 
 
+def _vocabulary_to_jsonable(vectorizer: FeatureVectorizer) -> dict | list:
+    """Per-namespace, prefix-stripped vocabulary in column order.
+
+    Falls back to the flat name list when any name lies outside the two
+    namespaces (hand-built vocabularies); the extraction stack itself
+    always produces fully namespaced names.
+    """
+    names = vectorizer.feature_names()
+    site_names: list[str] = []
+    xfer_names: list[str] = []
+    for name in names:
+        if name.startswith(_SITE_PREFIX):
+            site_names.append(name[len(_SITE_PREFIX):])
+        elif name.startswith(_XFER_PREFIX):
+            xfer_names.append(name[len(_XFER_PREFIX):])
+        else:
+            return names
+    return {"site": site_names, "xfer": xfer_names}
+
+
+def _vocabulary_from_jsonable(data: dict | list) -> FeatureVectorizer:
+    """Rebuild a fitted vectorizer from either vocabulary encoding.
+
+    Concatenating re-prefixed site names before xfer names reproduces the
+    original column order exactly: ``"site:" < "xfer:"`` and the shared
+    prefix preserves each namespace's internal sort.
+    """
+    if isinstance(data, dict):
+        names = [_SITE_PREFIX + local for local in data.get("site", [])]
+        names += [_XFER_PREFIX + local for local in data.get("xfer", [])]
+    else:
+        names = list(data)
+    vectorizer = FeatureVectorizer()
+    vectorizer.vocabulary_ = {name: index for index, name in enumerate(names)}
+    vectorizer._fitted = True
+    return vectorizer
+
+
+def _frequent_strings_from_vocabulary(names) -> set[str]:
+    """Reconstruct the frequent-string lexicon from ``site:t|…`` names.
+
+    Inverse of the text-feature name format (same parse the compiled
+    scorer uses).  Only strings that produced at least one fitted feature
+    come back — a safe narrowing, because features of absent strings
+    would be dropped at transform/compile time regardless.
+    """
+    text_prefix = _SITE_PREFIX + "t|"
+    strings: set[str] = set()
+    for name in names:
+        if not name.startswith(text_prefix):
+            continue
+        head, _, _down_path = name.rpartition("|")
+        head, separator, ups_token = head.rpartition("|")
+        if not separator or len(head) < len(text_prefix):
+            continue
+        if not ups_token.startswith("u") or not ups_token[1:].isdigit():
+            continue
+        strings.add(head[len(text_prefix):])
+    return strings
+
+
 def model_to_dict(model: CeresModel) -> dict:
-    """Serialize one cluster's trained model (config stored separately)."""
+    """Serialize one cluster's trained model (config stored separately).
+
+    The frequent-string lexicon is not stored: it is implied by the
+    ``site:t|…`` vocabulary names and reconstructed on load.
+    """
     return {
-        "frequent_strings": sorted(model.feature_extractor.frequent_strings),
-        "vocabulary": model.vectorizer.feature_names(),
+        "vocabulary": _vocabulary_to_jsonable(model.vectorizer),
         "classifier": _classifier_to_dict(model.classifier),
     }
 
 
 def model_from_dict(data: dict, config: CeresConfig) -> CeresModel:
     """Rebuild a :class:`CeresModel` written by :func:`model_to_dict`."""
+    vectorizer = _vocabulary_from_jsonable(data["vocabulary"])
     feature_extractor = NodeFeatureExtractor(config)
-    feature_extractor.frequent_strings = set(data["frequent_strings"])
-    vectorizer = FeatureVectorizer()
-    vectorizer.vocabulary_ = {
-        name: index for index, name in enumerate(data["vocabulary"])
-    }
-    vectorizer._fitted = True
+    feature_extractor.frequent_strings = _frequent_strings_from_vocabulary(
+        vectorizer.vocabulary_
+    )
     model = CeresModel(
         feature_extractor, vectorizer, _classifier_from_dict(data["classifier"])
     )
@@ -194,3 +291,35 @@ def site_model_from_dict(data: dict) -> SiteModel:
         for entry in data["clusters"]
     ]
     return SiteModel(data["site"], config, clusters)
+
+
+# -- global (cross-site) artifacts -----------------------------------------
+
+
+def global_model_to_dict(model: GlobalCeresModel) -> dict:
+    """The versioned artifact of the cross-site global model.
+
+    Beyond the usual vocabulary/classifier pair, it carries the ontology
+    predicate names — they parameterize the predicate-overlap features
+    and belong to the model, not to any site.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": GLOBAL_ARTIFACT_KIND,
+        "predicates": list(model.feature_extractor.predicates),
+        "config": config_to_dict(model.config),
+        "vocabulary": _vocabulary_to_jsonable(model.vectorizer),
+        "classifier": _classifier_to_dict(model.classifier),
+    }
+
+
+def global_model_from_dict(data: dict) -> GlobalCeresModel:
+    """Rebuild a :class:`GlobalCeresModel`; raises ``KeyError``/
+    ``TypeError`` on malformed input (wrapped by the registry)."""
+    config = config_from_dict(data["config"])
+    return GlobalCeresModel(
+        TransferFeatureExtractor(data["predicates"], config),
+        _vocabulary_from_jsonable(data["vocabulary"]),
+        _classifier_from_dict(data["classifier"]),
+        config,
+    )

@@ -22,6 +22,15 @@ Memory is bounded on both axes of a long-lived server:
   extractor pools) stay loaded; the least recently *served* site is
   evicted and transparently reloaded from the registry on next use.
 
+Zero-shot fallback (``transfer_fallback=True``): a request for a site
+with no registry artifact is served immediately from the cross-site
+global model (:mod:`repro.transfer`) at reduced precision — extractions
+come back tagged ``model="transfer"`` — and, when an ``upgrade_hook``
+is installed (usually a
+:class:`~repro.transfer.upgrade.BackgroundUpgrader`), the per-site
+model is trained off-thread and atomically swapped in.  Site residency
+is guarded by a lock so that swap is safe against concurrent serving.
+
 :meth:`ExtractionService.cache_stats` exposes every counter; the CLI
 (``python -m repro stats``) and the memory benchmark
 (``benchmarks/bench_cache_memory.py``) read it.
@@ -29,8 +38,10 @@ Memory is bounded on both axes of a long-lived server:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 from repro import obs
 from repro.core.config import CeresConfig
@@ -43,6 +54,9 @@ from repro.dom.parser import Document
 from repro.runtime.cache import LRUCache
 from repro.runtime.registry import ModelRegistry, RegistryError
 from repro.runtime.serialize import SiteModel
+
+if TYPE_CHECKING:
+    from repro.transfer.model import GlobalCeresModel
 
 __all__ = ["ExtractionService"]
 
@@ -63,6 +77,7 @@ class ExtractionService:
         registry: ModelRegistry | str | Path | None = None,
         *,
         max_resident_sites: int | None = None,
+        transfer_fallback: bool = False,
     ) -> None:
         """``registry`` may be a :class:`ModelRegistry`, a root path, or
         None for a purely in-memory service fed via :meth:`add_site_model`.
@@ -71,6 +86,12 @@ class ExtractionService:
         once (default: :attr:`CeresConfig.max_resident_sites`); the least
         recently served site is evicted, to be reloaded from the registry
         if asked for again.
+
+        ``transfer_fallback`` serves sites *without* an artifact from the
+        registry's global model (or one installed via
+        :meth:`set_global_model`) instead of raising — zero-shot, tagged
+        ``model="transfer"``.  Corrupt or version-incompatible artifacts
+        still raise: the fallback covers absence, never masks damage.
         """
         if registry is None or isinstance(registry, ModelRegistry):
             self.registry = registry
@@ -81,23 +102,61 @@ class ExtractionService:
         self._sites: LRUCache[str, _ResidentSite] = LRUCache(
             max_resident_sites, name="resident_sites"
         )
+        #: Guards the residency LRU and the served-site history — the
+        #: background upgrader swaps trained models in from its worker
+        #: thread, and LRU mutation is not atomic.
+        self._residency_lock = threading.RLock()
+        #: Sites this process has ever had resident — lets a reload-after-
+        #: eviction failure distinguish "deleted mid-run" from "never
+        #: existed" and say so.
+        self._ever_resident: set[str] = set()
+        self._transfer_fallback = transfer_fallback
+        self._global: GlobalCeresModel | None = None
+        #: Optional ``hook(site, documents)`` invoked after every
+        #: transfer-served request — typically
+        #: :class:`~repro.transfer.upgrade.BackgroundUpgrader`, which
+        #: trains the per-site model off-thread and swaps it in.  Must
+        #: not block: it runs on the serving thread.
+        self.upgrade_hook: Callable[[str, list[Document]], None] | None = None
 
     # -- loading -----------------------------------------------------------
 
     def add_site_model(self, site_model: SiteModel) -> None:
-        """Register an in-memory model (e.g. fresh from training)."""
-        self._sites.put(site_model.site, _ResidentSite(site_model))
+        """Register an in-memory model (e.g. fresh from training).
+
+        Thread-safe: this is also the background upgrader's atomic swap —
+        the next request for the site scores through the new model.
+        """
+        with self._residency_lock:
+            self._sites.put(site_model.site, _ResidentSite(site_model))
+            self._ever_resident.add(site_model.site)
 
     def _resident(self, site: str) -> _ResidentSite:
-        cached = self._sites.get(site)
+        with self._residency_lock:
+            cached = self._sites.get(site)
         if cached is not None:
             return cached
         if self.registry is None:
             raise RegistryError(
                 f"site {site!r} is not loaded and the service has no registry"
             )
-        resident = _ResidentSite(self.registry.load(site))
-        self._sites.put(site, resident)
+        try:
+            model = self.registry.load(site)
+        except RegistryError as exc:
+            if site in self._ever_resident and not self.registry.has(site):
+                raise RegistryError(
+                    f"site {site!r} was served by this process but its "
+                    f"artifact has since been deleted from "
+                    f"{self.registry.root}; retrain the site "
+                    f"(`python -m repro train` / `run-corpus`) or serve it "
+                    f"zero-shot via the transfer fallback "
+                    f"(`serve --transfer-fallback`)"
+                ) from exc
+            raise
+        resident = _ResidentSite(model)
+        with self._residency_lock:
+            self._sites.put(site, resident)
+            self._ever_resident.add(site)
         return resident
 
     def site_model(self, site: str) -> SiteModel:
@@ -117,18 +176,42 @@ class ExtractionService:
 
     def loaded_sites(self) -> list[str]:
         """Sites currently resident in memory."""
-        return sorted(self._sites.keys())
+        with self._residency_lock:
+            return sorted(self._sites.keys())
 
     def available_sites(self) -> list[str]:
         """Sites loadable right now: resident ∪ registry artifacts."""
-        names = set(self._sites.keys())
+        with self._residency_lock:
+            names = set(self._sites.keys())
         if self.registry is not None:
             names.update(self.registry.sites())
         return sorted(names)
 
     def evict(self, site: str) -> None:
         """Drop a site's cached model and extractors (e.g. after retrain)."""
-        self._sites.pop(site)
+        with self._residency_lock:
+            self._sites.pop(site)
+
+    # -- the cross-site global model ---------------------------------------
+
+    def set_global_model(self, model: GlobalCeresModel) -> None:
+        """Install an in-memory global model (e.g. fresh from
+        :func:`repro.transfer.trainer.train_global`)."""
+        self._global = model
+
+    def global_model(self) -> GlobalCeresModel | None:
+        """The global model, loading the registry artifact on first use.
+
+        Re-probes the registry while unset, so a ``train-global`` run
+        that lands mid-serve is picked up without restarting.
+        """
+        if (
+            self._global is None
+            and self.registry is not None
+            and self.registry.has_global()
+        ):
+            self._global = self.registry.load_global()
+        return self._global
 
     # -- observability -----------------------------------------------------
 
@@ -141,8 +224,11 @@ class ExtractionService:
         stats does not touch recency.
         """
         per_site: dict[str, dict] = {}
-        for site in self._sites.keys():
-            resident = self._sites.peek(site)
+        with self._residency_lock:
+            residents = {
+                site: self._sites.peek(site) for site in self._sites.keys()
+            }
+        for site, resident in residents.items():
             if resident is None or resident.pool is None:
                 continue
             per_site[site] = {
@@ -183,16 +269,58 @@ class ExtractionService:
         defaults to the trained config's ``confidence_threshold``.  No
         annotation or training happens here, and no per-batch cleanup is
         needed: per-page state lives in bounded LRUs keyed by ``doc_id``.
+
+        With ``transfer_fallback`` on, a site with no artifact is served
+        zero-shot from the global model instead (tagged
+        ``model="transfer"``), and the ``upgrade_hook`` — if any — is
+        invited to train the real model in the background.
         """
+        try:
+            pool = self.pool(site)
+        except RegistryError:
+            if not self._transfer_fallback or (
+                self.registry is not None and self.registry.has(site)
+            ):
+                # Fallback disabled, or the artifact exists but failed to
+                # load (corrupt / wrong version) — absence is servable,
+                # damage is not.
+                raise
+            global_model = self.global_model()
+            if global_model is None:
+                raise
+            return self._extract_transfer(site, documents, threshold, global_model)
         with obs.span(
             "service.extract_pages", site=site, pages=len(documents)
         ) as request_span:
-            extractions = self.pool(site).extract(documents, threshold)
+            extractions = pool.extract(documents, threshold)
             request_span.set(extractions=len(extractions))
         registry = obs.metrics()
         registry.inc("service.requests")
         registry.inc("service.pages", len(documents))
         registry.inc("service.extractions", len(extractions))
+        return extractions
+
+    def _extract_transfer(
+        self,
+        site: str,
+        documents: list[Document],
+        threshold: float | None,
+        global_model: GlobalCeresModel,
+    ) -> list[Extraction]:
+        """Zero-shot serving of one request through the global model."""
+        with obs.span(
+            "service.transfer_extract", site=site, pages=len(documents)
+        ) as request_span:
+            extractions = global_model.extract(documents, threshold)
+            request_span.set(extractions=len(extractions))
+        registry = obs.metrics()
+        registry.inc("service.requests")
+        registry.inc("transfer.requests")
+        registry.inc("transfer.pages", len(documents))
+        registry.inc("transfer.extractions", len(extractions))
+        hook = self.upgrade_hook
+        if hook is not None:
+            hook(site, documents)
         return extractions
 
     def candidates(

@@ -1,0 +1,214 @@
+"""Transferable (``xfer:``) node features for the cross-site global model.
+
+ZeroShotCeres (Lockard et al., 2020; PAPERS.md) observes that a node
+classifier built *only* from topology-relative signals — DOM context,
+relative layout, text similarity to predicate names — generalizes to
+unseen sites of a vertical, while CERES's site-specific vocabulary
+(CSS classes, frequent-string lexicons) does not.  This module produces
+exactly that restricted representation:
+
+* **tag topology** — the per-site extractor's structural ancestor/
+  sibling-window features, filtered to the ``xfer:`` namespace (tag
+  names only; attribute values stay behind in ``site:``);
+* **depth buckets** — capped absolute DOM depth of the text node;
+* **relative layout** — the node's decile position among the page's
+  text fields, plus first/last markers;
+* **predicate-name overlap** — token overlap between each ontology
+  predicate's name and the node's own text or the immediately preceding
+  text field (the field that usually holds the human-readable label);
+* **text shape classes** — coarse surface shapes of the node text
+  (numeric, year, title case, trailing colon, token/length buckets).
+
+Every feature name this module emits is in the ``xfer:`` namespace, and
+none embeds markup values: no attribute values, no XPaths, no site
+strings.  CI greps this file to keep it that way.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.core.config import CeresConfig
+from repro.core.extraction.features import FeatureDict, NodeFeatureExtractor
+from repro.dom.node import TextNode
+from repro.dom.parser import Document
+from repro.ml.features import NAMESPACE_SEPARATOR, TRANSFER_NAMESPACE
+from repro.runtime.cache import CacheStats, LRUCache
+
+__all__ = ["TransferFeatureExtractor", "predicate_tokens", "shape_classes"]
+
+_XFER_PREFIX = TRANSFER_NAMESPACE + NAMESPACE_SEPARATOR
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+_YEAR_PATTERN = re.compile(r"(?:18|19|20)\d\d")
+_ISO_DATE_PATTERN = re.compile(r"\d{4}-\d{2}-\d{2}")
+
+#: Absolute DOM depths at or beyond this collapse into one bucket.
+_DEPTH_CAP = 15
+#: Relative-layout resolution: position among the page's text fields.
+_LAYOUT_BUCKETS = 10
+#: Token counts at or beyond this collapse into one bucket.
+_TOKEN_COUNT_CAP = 4
+#: Upper bounds of the text-length buckets (longer → ``len|long``).
+_LENGTH_BOUNDS = (4, 8, 16, 32, 64)
+
+
+def predicate_tokens(name: str) -> frozenset[str]:
+    """Lower-cased alphanumeric tokens of a predicate name or node text
+    (``"directed_by"`` and ``"Directed by:"`` both → ``{directed, by}``)."""
+    return frozenset(_TOKEN_PATTERN.findall(name.lower()))
+
+
+def shape_classes(text: str) -> list[str]:
+    """Coarse, site-agnostic surface shapes of one text field."""
+    stripped = text.strip()
+    shapes = [f"tokens|{min(len(stripped.split()), _TOKEN_COUNT_CAP)}"]
+    length = len(stripped)
+    for bound in _LENGTH_BOUNDS:
+        if length <= bound:
+            shapes.append(f"len|{bound}")
+            break
+    else:
+        shapes.append("len|long")
+    if stripped.isdigit():
+        shapes.append("numeric")
+    if _YEAR_PATTERN.fullmatch(stripped):
+        shapes.append("year")
+    if _ISO_DATE_PATTERN.fullmatch(stripped):
+        shapes.append("iso-date")
+    if any(ch.isdigit() for ch in stripped):
+        shapes.append("has-digit")
+    if stripped.isupper():
+        shapes.append("upper")
+    elif stripped.istitle():
+        shapes.append("titlecase")
+    elif stripped[:1].isupper():
+        shapes.append("capitalized")
+    if stripped.endswith(":"):
+        shapes.append("label-colon")
+    if "," in stripped:
+        shapes.append("comma")
+    return shapes
+
+
+class TransferFeatureExtractor:
+    """Produces the ``xfer:``-only feature dictionary for a text node.
+
+    Needs no fitting: unlike :class:`NodeFeatureExtractor` there is no
+    site lexicon to compile — the whole point is that every signal here
+    is meaningful on a site the model has never seen.  ``predicates``
+    (the vertical's ontology predicate names) parameterize the
+    overlap features and are part of the model, not of any site.
+    """
+
+    def __init__(
+        self, predicates: Iterable[str], config: CeresConfig | None = None
+    ) -> None:
+        self.config = config or CeresConfig()
+        self.predicates = tuple(sorted(set(predicates)))
+        self._predicate_tokens = {
+            name: tokens
+            for name in self.predicates
+            if (tokens := predicate_tokens(name))
+        }
+        # The per-site extractor, unfitted: with an empty frequent-string
+        # lexicon it emits structural features only, of which we keep the
+        # xfer: namespace (tag topology) and drop site: (attr values).
+        self._structural = NodeFeatureExtractor(self.config)
+        # page rows are deterministic per document; bounded LRU keyed by
+        # doc_id, same discipline as the per-site feature registries.
+        self._page_cache: LRUCache[int, tuple[list[TextNode], list[FeatureDict]]] = (
+            LRUCache(
+                self.config.feature_registry_cache_size, name="transfer_features"
+            )
+        )
+
+    # -- page-level extraction ---------------------------------------------
+
+    def page_features(
+        self, document: Document
+    ) -> tuple[list[TextNode], list[FeatureDict]]:
+        """``(nodes, feature dicts)`` for every non-empty text field.
+
+        Layout features are relative positions within this list, so rows
+        are built page-at-a-time (and cached per ``doc_id``); single-node
+        access goes through :meth:`features`.
+        """
+        cached = self._page_cache.get(document.doc_id)
+        if cached is not None:
+            return cached
+        nodes = [node for node in document.text_fields() if node.text.strip()]
+        rows = [
+            self._node_features(node, document, position, nodes)
+            for position, node in enumerate(nodes)
+        ]
+        result = (nodes, rows)
+        self._page_cache.put(document.doc_id, result)
+        return result
+
+    def features(self, node: TextNode, document: Document) -> FeatureDict:
+        """The feature dictionary of one node (via the page rows)."""
+        nodes, rows = self.page_features(document)
+        for position, candidate in enumerate(nodes):
+            if candidate is node:
+                return rows[position]
+        # Node not among the page's non-empty text fields (blank text):
+        # no layout position exists; emit the position-free families.
+        return self._node_features(node, document, None, nodes)
+
+    def _node_features(
+        self,
+        node: TextNode,
+        document: Document,
+        position: int | None,
+        page_nodes: list[TextNode],
+    ) -> FeatureDict:
+        result: FeatureDict = {}
+        for name, value in self._structural.features(node, document).items():
+            if name.startswith(_XFER_PREFIX):
+                result[name] = value
+        result[f"xfer:depth|{min(node.depth, _DEPTH_CAP)}"] = 1.0
+        text = node.text
+        previous_text = ""
+        if position is not None and page_nodes:
+            n_fields = len(page_nodes)
+            bucket = (_LAYOUT_BUCKETS * position) // n_fields
+            result[f"xfer:layout|pos|{bucket}"] = 1.0
+            if position == 0:
+                result["xfer:layout|first"] = 1.0
+            if position == n_fields - 1:
+                result["xfer:layout|last"] = 1.0
+            if position > 0:
+                previous_text = page_nodes[position - 1].text
+        for shape in shape_classes(text):
+            result[f"xfer:shape|{shape}"] = 1.0
+        self._overlap_features(text, "self", result)
+        if previous_text:
+            self._overlap_features(previous_text, "prev", result)
+        return result
+
+    def _overlap_features(
+        self, text: str, context: str, result: FeatureDict
+    ) -> None:
+        """Token overlap between ``text`` and each predicate's name.
+
+        ``full`` means every token of the predicate name occurs in the
+        text ("Directed by" vs ``directed_by``); ``part`` means at least
+        one does.  ``context`` distinguishes the node's own text from the
+        preceding field's (where label strings usually live).
+        """
+        tokens = predicate_tokens(text)
+        if not tokens:
+            return
+        for predicate, wanted in self._predicate_tokens.items():
+            if wanted <= tokens:
+                result[f"xfer:pred|{predicate}|{context}|full"] = 1.0
+            elif wanted & tokens:
+                result[f"xfer:pred|{predicate}|{context}|part"] = 1.0
+
+    # -- observability -----------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the per-page row cache."""
+        return self._page_cache.stats()

@@ -1,0 +1,131 @@
+"""Background per-site upgrade while transfer-serving.
+
+A site first served zero-shot from the global model does not have to
+stay at reduced precision: :class:`BackgroundUpgrader` runs the full
+per-site annotate+train path on a worker thread, persists the artifact,
+and atomically swaps the trained model into the live
+:class:`~repro.runtime.service.ExtractionService` — subsequent requests
+for the site score through the per-site model with no downtime and no
+serving-thread stalls.
+
+The service wires an upgrader in via ``upgrade_hook``
+(:meth:`ExtractionService.extract_pages` calls the hook after every
+transfer-served request); each site is trained at most once per
+upgrader unless training fails, in which case the next request may
+resubmit it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro import obs
+from repro.dom.parser import Document
+
+if TYPE_CHECKING:
+    from repro.runtime.serialize import SiteModel
+    from repro.runtime.service import ExtractionService
+
+__all__ = ["BackgroundUpgrader", "UpgradeReport"]
+
+
+@dataclass
+class UpgradeReport:
+    """Outcome of one background upgrade attempt."""
+
+    site: str
+    ok: bool
+    error: str | None = None
+
+
+class BackgroundUpgrader:
+    """Trains per-site models off the serving thread and swaps them in."""
+
+    def __init__(
+        self,
+        service: ExtractionService,
+        train_site: Callable[[str, list[Document]], "SiteModel"],
+        *,
+        max_pending: int = 8,
+    ) -> None:
+        """``train_site(site, documents)`` runs the per-site training path
+        and returns the :class:`SiteModel` to install; ``max_pending``
+        bounds the queue so a flood of unseen sites degrades to "stay on
+        transfer serving" instead of buffering every site's documents.
+        """
+        self.service = service
+        self.train_site = train_site
+        self.reports: list[UpgradeReport] = []
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._submitted: set[str] = set()
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name="transfer-upgrader", daemon=True
+        )
+        self._worker.start()
+
+    # -- producer side (serving thread) ------------------------------------
+
+    def submit(self, site: str, documents: list[Document]) -> bool:
+        """Enqueue a site for upgrade; False if already submitted or the
+        queue is full.  Never blocks the serving thread."""
+        with self._lock:
+            if site in self._submitted:
+                return False
+            self._submitted.add(site)
+        try:
+            self._queue.put_nowait((site, documents))
+        except queue.Full:
+            with self._lock:
+                self._submitted.discard(site)
+            obs.metrics().inc("transfer.upgrade.rejected")
+            return False
+        obs.metrics().inc("transfer.upgrade.queued")
+        return True
+
+    def __call__(self, site: str, documents: list[Document]) -> None:
+        """The :attr:`ExtractionService.upgrade_hook` signature."""
+        self.submit(site, documents)
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            site, documents = item
+            report = UpgradeReport(site, ok=False)
+            try:
+                with obs.span(
+                    "transfer.upgrade", site=site, pages=len(documents)
+                ):
+                    site_model = self.train_site(site, documents)
+                    if self.service.registry is not None:
+                        self.service.registry.save(site_model)
+                    self.service.add_site_model(site_model)
+                report.ok = True
+                obs.metrics().inc("transfer.upgrade.trained")
+            except Exception as exc:  # noqa: BLE001 — worker must survive
+                report.error = f"{type(exc).__name__}: {exc}"
+                obs.metrics().inc("transfer.upgrade.failed")
+                with self._lock:
+                    # Allow a later request to retry the site.
+                    self._submitted.discard(site)
+            self.reports.append(report)
+            self._queue.task_done()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def join(self) -> None:
+        """Block until every queued upgrade has been processed."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain the queue and stop the worker thread."""
+        self._queue.put(None)
+        self._worker.join()

@@ -22,24 +22,24 @@ class TestStructuralFeatures:
         extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
         node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
         features = extractor.features(node, doc)
-        assert "s|tag|span|0|0" in features
+        assert "xfer:s|tag|span|0|0" in features
 
     def test_attribute_features(self):
         doc = parse_html(label_page())
         extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
         node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
         features = extractor.features(node, doc)
-        assert "s|class|value|0|0" in features
-        assert "s|itemprop|director|0|0" in features
+        assert "site:s|class|value|0|0" in features
+        assert "site:s|itemprop|director|0|0" in features
 
     def test_ancestor_features(self):
         doc = parse_html(label_page())
         extractor = NodeFeatureExtractor(CeresConfig()).fit([doc])
         node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
         features = extractor.features(node, doc)
-        assert "s|class|row|1|0" in features
-        assert "s|class|info|2|0" in features
-        assert "s|id|main|2|0" in features
+        assert "site:s|class|row|1|0" in features
+        assert "site:s|class|info|2|0" in features
+        assert "site:s|id|main|2|0" in features
 
     def test_sibling_features(self):
         doc = parse_html(label_page())
@@ -47,7 +47,7 @@ class TestStructuralFeatures:
         node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
         features = extractor.features(node, doc)
         # The label span is the -1 sibling of the value span.
-        assert "s|class|label|0|-1" in features
+        assert "site:s|class|label|0|-1" in features
 
     def test_ancestor_level_limit(self):
         doc = parse_html(label_page())
@@ -55,8 +55,8 @@ class TestStructuralFeatures:
         extractor = NodeFeatureExtractor(config).fit([doc])
         node = next(f for f in doc.text_fields() if f.text == "Spike Lee")
         features = extractor.features(node, doc)
-        assert "s|class|row|1|0" not in features
-        assert "s|tag|span|0|0" in features
+        assert "site:s|class|row|1|0" not in features
+        assert "xfer:s|tag|span|0|0" in features
 
     def test_sibling_width_limit(self):
         doc = parse_html(
@@ -68,9 +68,9 @@ class TestStructuralFeatures:
         extractor = NodeFeatureExtractor(config).fit([doc])
         node = next(f for f in doc.text_fields() if f.text == "t6")
         features = extractor.features(node, doc)
-        assert "s|class|p5|0|-1" in features
-        assert "s|class|p4|0|-2" in features
-        assert "s|class|p3|0|-3" not in features
+        assert "site:s|class|p5|0|-1" in features
+        assert "site:s|class|p4|0|-2" in features
+        assert "site:s|class|p3|0|-3" not in features
 
 
 class TestTextFeatures:
@@ -90,7 +90,7 @@ class TestTextFeatures:
         extractor = NodeFeatureExtractor(CeresConfig()).fit(docs)
         node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
         features = extractor.features(node, docs[0])
-        assert any(name.startswith("t|Director:") for name in features)
+        assert any(name.startswith("site:t|Director:") for name in features)
 
     def test_far_string_no_feature(self):
         config = CeresConfig(text_feature_height=0)
@@ -99,7 +99,7 @@ class TestTextFeatures:
         node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
         features = extractor.features(node, docs[0])
         # Height 0 means only strings inside the same element qualify.
-        assert not any(name.startswith("t|Director:") for name in features)
+        assert not any(name.startswith("site:t|Director:") for name in features)
 
     def test_max_frequent_strings_zero_disables(self):
         config = CeresConfig(max_frequent_strings=0)
@@ -108,7 +108,7 @@ class TestTextFeatures:
         assert extractor.frequent_strings == set()
         node = next(f for f in docs[0].text_fields() if f.text == "Person 0")
         features = extractor.features(node, docs[0])
-        assert not any(name.startswith("t|") for name in features)
+        assert not any(name.startswith("site:t|") for name in features)
 
     def test_long_strings_not_frequent(self):
         long_text = "x" * 100
@@ -161,7 +161,7 @@ class TestRegistryCacheSafety:
         node_b = next(f for f in doc_b.text_fields() if f.text == "Spike Lee")
         truth = {
             name for name in truth_extractor.features(node_b, doc_b)
-            if name.startswith("t|")
+            if name.startswith("site:t|")
         }
         assert any("Writer:" in name for name in truth)
         del doc_b, node_b
@@ -177,7 +177,7 @@ class TestRegistryCacheSafety:
                 f for f in doc_a.text_fields() if f.text == "Spike Lee"
             )
             features_a = extractor.features(node_a, doc_a)
-            assert any(name.startswith("t|Director:") for name in features_a)
+            assert any(name.startswith("site:t|Director:") for name in features_a)
             seen_object_ids.add(id(doc_a))
             del doc_a, node_a
             # Parent/child pointers form reference cycles, so dead
@@ -196,7 +196,7 @@ class TestRegistryCacheSafety:
             )
             features_b = {
                 name for name in extractor.features(node_b, doc_b)
-                if name.startswith("t|")
+                if name.startswith("site:t|")
             }
             assert features_b == truth
             del doc_b, node_b

@@ -78,9 +78,13 @@ class TestRoundTrip:
         assert len(loaded.clusters) == len(site_model.clusters)
         for original, restored in zip(site_model.clusters, loaded.clusters):
             assert restored.signature == original.signature
+            # v2 artifacts don't store the lexicon; it is reconstructed
+            # from the site:t| vocabulary names — a subset of the trained
+            # lexicon (strings without fitted features drop out, which
+            # cannot change scores: their names were unknown anyway).
             assert (
                 restored.model.feature_extractor.frequent_strings
-                == original.model.feature_extractor.frequent_strings
+                <= original.model.feature_extractor.frequent_strings
             )
             assert (
                 restored.model.vectorizer.vocabulary_
@@ -123,10 +127,147 @@ class TestRoundTrip:
         assert registry.load(weird).site == weird
 
 
+class TestFormatV2:
+    def test_vocabulary_stored_per_namespace(self, trained_site):
+        """v2 artifacts split the vocabulary by namespace with prefixes
+        stripped, and no longer store the frequent-string lexicon."""
+        site, config, _, result = trained_site
+        data = site_model_to_dict(SiteModel.from_result(site, config, result))
+        assert data["format_version"] == FORMAT_VERSION
+        for entry in data["clusters"]:
+            model = entry["model"]
+            assert "frequent_strings" not in model
+            vocabulary = model["vocabulary"]
+            assert set(vocabulary) == {"site", "xfer"}
+            joined = [f"site:{n}" for n in vocabulary["site"]] + [
+                f"xfer:{n}" for n in vocabulary["xfer"]
+            ]
+            assert joined == sorted(joined)  # column order reproduced
+            for local in vocabulary["site"] + vocabulary["xfer"]:
+                assert not local.startswith(("site:", "xfer:"))
+
+    def test_v2_artifact_smaller_than_v1_encoding(self, trained_site):
+        """Prefix stripping + lexicon removal shrink the payload vs the
+        v1-style encoding of the same model."""
+        site, config, _, result = trained_site
+        site_model = SiteModel.from_result(site, config, result)
+        data = site_model_to_dict(site_model)
+        v1_style = json.loads(json.dumps(data))
+        for entry, cluster in zip(v1_style["clusters"], site_model.clusters):
+            model = entry["model"]
+            vocabulary = model["vocabulary"]
+            model["vocabulary"] = [f"site:{n}" for n in vocabulary["site"]] + [
+                f"xfer:{n}" for n in vocabulary["xfer"]
+            ]
+            model["frequent_strings"] = sorted(
+                cluster.model.feature_extractor.frequent_strings
+            )
+        v2_size = len(json.dumps(data, sort_keys=True))
+        v1_size = len(json.dumps(v1_style, sort_keys=True))
+        assert v2_size < v1_size
+
+    def test_flat_vocabulary_fallback(self):
+        """Hand-built, un-namespaced vocabularies round-trip as flat lists."""
+        from repro.runtime.serialize import (
+            _vocabulary_from_jsonable,
+            _vocabulary_to_jsonable,
+        )
+        from repro.ml.features import FeatureVectorizer
+
+        vectorizer = FeatureVectorizer().fit([{"b": 1.0, "a": 1.0}])
+        encoded = _vocabulary_to_jsonable(vectorizer)
+        assert encoded == ["a", "b"]
+        restored = _vocabulary_from_jsonable(encoded)
+        assert restored.vocabulary_ == vectorizer.vocabulary_
+
+
+class TestGlobalArtifact:
+    @pytest.fixture(scope="class")
+    def global_model(self):
+        from repro.core.config import CeresConfig
+        from repro.transfer.trainer import collect_site_examples, train_global
+
+        dataset = generate_swde("movie", n_sites=4, pages_per_site=12, seed=7)
+        kb = seed_kb_for(dataset, 7)
+        config = CeresConfig()
+        pools = []
+        for site in dataset.sites[:3]:
+            documents = [page.document for page in site.pages]
+            pools.append(
+                collect_site_examples(site.name, kb, documents, config)
+            )
+        model = train_global(pools, kb.ontology.names(), config)
+        held_out = [page.document for page in dataset.sites[3].pages]
+        return model, held_out
+
+    def test_round_trip_scores_identical(self, global_model, registry, tmp_path):
+        model, held_out = global_model
+        path = registry.save_global(model)
+        assert path == registry.global_path
+        assert registry.has_global()
+        assert registry.sites() == []  # the global artifact is not a site
+        loaded = registry.load_global()
+        original_rows = _extraction_rows(model.extract(held_out))
+        loaded_rows = _extraction_rows(loaded.extract(held_out))
+        assert json.dumps(original_rows) == json.dumps(loaded_rows)
+        assert original_rows  # non-degenerate
+
+    def test_xfer_only_vocabulary(self, global_model, registry):
+        model, _ = global_model
+        registry.save_global(model)
+        data = json.loads(registry.global_path.read_text())
+        assert data["kind"] == "ceres-global-model"
+        assert data["vocabulary"]["site"] == []
+        assert data["vocabulary"]["xfer"]
+
+    def test_missing_global(self, registry):
+        with pytest.raises(RegistryError, match="train-global"):
+            registry.load_global()
+
+    def test_global_version_gate(self, global_model, registry):
+        model, _ = global_model
+        path = registry.save_global(model)
+        data = json.loads(path.read_text())
+        data["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(RegistryError, match="format_version"):
+            registry.load_global()
+        assert registry.delete_global()
+        assert not registry.has_global()
+
+    def test_site_loader_rejects_global_artifact(self, global_model, registry):
+        """Feeding the global payload through the site loader fails the
+        kind check instead of half-parsing."""
+        model, _ = global_model
+        registry.save_global(model)
+        payload = registry.global_path.read_text()
+        site_path = registry.path_for("imposter")
+        site_path.parent.mkdir(parents=True, exist_ok=True)
+        site_path.write_text(payload)
+        with pytest.raises(RegistryError, match="not a site-model"):
+            registry.load("imposter")
+
+
 class TestRegistryErrors:
     def test_missing_site(self, registry):
         with pytest.raises(RegistryError, match="no artifact"):
             registry.load("never-trained")
+
+    def test_missing_site_error_truncates_site_list(
+        self, trained_site, registry
+    ):
+        """A large registry names only the first 10 sites (+N more)."""
+        site, config, _, result = trained_site
+        for index in range(14):
+            registry.save(
+                SiteModel.from_result(f"site-{index:02d}", config, result)
+            )
+        with pytest.raises(RegistryError) as excinfo:
+            registry.load("never-trained")
+        message = str(excinfo.value)
+        assert "(+4 more)" in message
+        assert "site-09" in message
+        assert "site-10" not in message
 
     def test_corrupted_artifact(self, trained_site, registry):
         site, config, _, result = trained_site

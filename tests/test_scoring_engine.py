@@ -204,10 +204,10 @@ class TestCompileVocabulary:
 
     def test_structural_names_invert_exactly(self):
         vocabulary = {
-            "s|tag|div|0|0": 0,
-            "s|class|hero|2|-3": 1,
-            "s|class|a|b|1|4": 2,  # value contains the separator
-            "s|id|x|0|0": 3,
+            "xfer:s|tag|div|0|0": 0,
+            "site:s|class|hero|2|-3": 1,
+            "site:s|class|a|b|1|4": 2,  # value contains the separator
+            "site:s|id|x|0|0": 3,
         }
         struct, text = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
         assert struct[("tag", "div")] == {self.packed(0, 0): 0}
@@ -220,18 +220,18 @@ class TestCompileVocabulary:
         """Positions the scorer can never probe don't enter the lookup
         (and can't alias another window slot via packing)."""
         vocabulary = {
-            "s|tag|div|9|0": 0,  # level beyond the ancestor window
-            "s|tag|div|0|7": 1,  # sibling beyond the width
-            "s|tag|div|1|-2": 2,
+            "xfer:s|tag|div|9|0": 0,  # level beyond the ancestor window
+            "xfer:s|tag|div|0|7": 1,  # sibling beyond the width
+            "xfer:s|tag|div|1|-2": 2,
         }
         struct, _ = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
         assert struct[("tag", "div")] == {self.packed(1, -2): 2}
 
     def test_text_names_invert_exactly(self):
         vocabulary = {
-            "t|Director:|u0|": 0,
-            "t|Director:|u2|div/span": 1,
-            "t|Genre | mix|u1|td": 2,  # text contains the separator
+            "site:t|Director:|u0|": 0,
+            "site:t|Director:|u2|div/span": 1,
+            "site:t|Genre | mix|u1|td": 2,  # text contains the separator
         }
         struct, text = compile_vocabulary(vocabulary, self.LEVELS, self.WIDTH)
         assert struct == {}
@@ -241,7 +241,23 @@ class TestCompileVocabulary:
 
     def test_foreign_names_skipped(self):
         struct, text = compile_vocabulary(
-            {"bias": 0, "s|broken": 1, "t|x": 2, "s|tag|div|a|b": 3},
+            {"bias": 0, "site:s|broken": 1, "site:t|x": 2, "xfer:s|tag|div|a|b": 3},
+            self.LEVELS,
+            self.WIDTH,
+        )
+        assert struct == {}
+        assert text == {}
+
+    def test_wrong_namespace_skipped(self):
+        """Names the extractors could never emit — un-namespaced, or a
+        family under the other namespace — don't enter the lookups."""
+        struct, text = compile_vocabulary(
+            {
+                "s|tag|div|0|0": 0,       # pre-namespace legacy name
+                "t|Director:|u0|": 1,     # pre-namespace legacy name
+                "site:s|tag|div|0|0": 2,  # tags live in xfer:, not site:
+                "xfer:t|Director:|u0|": 3,  # text features live in site:
+            },
             self.LEVELS,
             self.WIDTH,
         )
