@@ -26,6 +26,20 @@ Corpus mode (many sites, a process pool, per-site failure isolation)::
     python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
         --registry ./models --output triples.jsonl --workers 4
 
+Fault-tolerant corpus mode (crash-safe journal in ``--run-dir``; a
+killed run resumed with ``--resume`` skips unchanged completed sites and
+reproduces byte-identical output; ``--site-timeout``/``--max-attempts``
+bound hung and flaky sites, and a failing site is retried once in
+degraded page-isolation mode that quarantines poison pages)::
+
+    python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
+        --registry ./models --output triples.jsonl --workers 4 \
+        --run-dir ./run1 --site-timeout 300 --max-attempts 3
+    # ... SIGKILL mid-run, then:
+    python -m repro run-corpus --kb seed_kb.json --corpus ./sites \
+        --registry ./models --output triples.jsonl --workers 4 \
+        --run-dir ./run1 --resume
+
 ``--corpus`` accepts a directory of per-site subdirectories or a JSONL
 manifest of ``{"site": ..., "pages": ...}`` lines; see
 :mod:`repro.runtime.runner`.  Adding ``--fuse-output facts.jsonl``
@@ -285,6 +299,29 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--no-fuse-reliability", action="store_true",
         help="plain noisy-OR: skip seed-KB site-reliability weighting",
+    )
+    corpus.add_argument(
+        "--run-dir", default=None,
+        help="per-run directory for the crash-safe journal and per-site "
+        "rows; a killed run restarted with --resume skips unchanged "
+        "completed sites and reproduces byte-identical output",
+    )
+    corpus.add_argument(
+        "--resume", action="store_true",
+        help="continue the journaled run in --run-dir (requires --run-dir)",
+    )
+    corpus.add_argument(
+        "--site-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-site wall-clock budget per attempt (default: none)",
+    )
+    corpus.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="full-batch attempts per site; transient failures retry "
+        "with exponential backoff (default 3)",
+    )
+    corpus.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry-backoff window (default 0.5)",
     )
     _add_obs_flags(corpus)
 
@@ -664,6 +701,12 @@ def _cmd_run_corpus(args) -> int:
         use_template_clustering=not args.no_template_clustering,
         **_annotation_overrides(args),
     )
+    if args.resume and args.run_dir is None:
+        raise SystemExit("--resume requires --run-dir")
+    if args.max_attempts < 1:
+        raise SystemExit("--max-attempts must be >= 1")
+    if args.site_timeout is not None and args.site_timeout <= 0:
+        raise SystemExit("--site-timeout must be > 0 seconds")
     # Validate the corpus before _open_sink truncates a prior output file.
     try:
         discover_corpus(args.corpus)
@@ -689,6 +732,11 @@ def _cmd_run_corpus(args) -> int:
                 fuse=store,
                 train_global=args.train_global,
                 log=lambda line: print(f"[repro] {line}", file=sys.stderr),
+                run_dir=args.run_dir,
+                resume=args.resume,
+                site_timeout=args.site_timeout,
+                max_attempts=args.max_attempts,
+                retry_backoff=args.retry_backoff,
             )
         except (FileNotFoundError, ValueError) as error:
             raise SystemExit(str(error))
@@ -713,8 +761,16 @@ def _cmd_run_corpus(args) -> int:
             store.close()  # no-op after finalize; reclaims spills on abort
     succeeded = sum(1 for report in reports if report.ok)
     failed = len(reports) - succeeded
+    resumed = sum(1 for report in reports if report.resumed)
+    quarantined = sum(report.n_quarantined_pages for report in reports)
+    resilience_note = ""
+    if resumed:
+        resilience_note += f", {resumed} resumed unchanged"
+    if quarantined:
+        resilience_note += f", {quarantined} page(s) quarantined"
     print(
-        f"[repro] corpus done: {succeeded} site(s) ok, {failed} failed, "
+        f"[repro] corpus done: {succeeded} site(s) ok, {failed} failed"
+        f"{resilience_note}, "
         f"{sum(r.n_extractions for r in reports)} triples extracted"
         f"{fused_note}",
         file=sys.stderr,

@@ -14,7 +14,10 @@ and reusable:
   path: load once, cache one extractor per cluster, batch-extract with
   no annotation or training, bounded site residency;
 * :mod:`repro.runtime.runner` — :func:`run_corpus`, sharding a
-  multi-site corpus over a process pool with per-site failure isolation.
+  multi-site corpus over a process pool with per-site failure isolation;
+* :mod:`repro.runtime.resilience` — the fault-tolerance layer under the
+  runner: :class:`RunJournal` (write-ahead checkpoint/resume journal),
+  error classification, deterministic backoff, and per-site deadlines.
 
 Exports resolve lazily (PEP 562): the low layers (``repro.kb.matcher``,
 ``repro.core.extraction.features``) import :mod:`repro.runtime.cache`
@@ -38,6 +41,12 @@ _EXPORTS = {
     "LRUCache": "repro.runtime.cache",
     "ModelRegistry": "repro.runtime.registry",
     "RegistryError": "repro.runtime.registry",
+    "JournalError": "repro.runtime.resilience",
+    "RunJournal": "repro.runtime.resilience",
+    "SiteTimeoutError": "repro.runtime.resilience",
+    "backoff_delay": "repro.runtime.resilience",
+    "classify_error": "repro.runtime.resilience",
+    "deadline": "repro.runtime.resilience",
     "SiteReport": "repro.runtime.runner",
     "SiteSpec": "repro.runtime.runner",
     "discover_corpus": "repro.runtime.runner",

@@ -21,7 +21,10 @@ revision, checked on load) and ``kind`` (sanity tag).  Writes are atomic
 (temp file + ``os.replace``) so a crashed or concurrent writer never
 leaves a torn artifact behind.  Any failure to decode, validate, or
 rebuild an artifact surfaces as :class:`RegistryError` with the path and
-reason — never a raw ``KeyError`` five frames deep.
+reason — never a raw ``KeyError`` five frames deep.  Writes are durable
+as well as atomic: the temp file is fsynced before ``os.replace`` and
+the directory entry after, so a crash at any instant leaves either the
+old artifact or the complete new one — never an empty or torn file.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import tempfile
 from pathlib import Path
 from urllib.parse import quote, unquote
 
+from repro.runtime.resilience import fsync_directory
 from repro.runtime.serialize import (
     ARTIFACT_KIND,
     FORMAT_VERSION,
@@ -43,6 +47,7 @@ from repro.runtime.serialize import (
     site_model_from_dict,
     site_model_to_dict,
 )
+from repro.testing.faults import fault_point
 
 __all__ = ["RegistryError", "ModelRegistry"]
 
@@ -100,7 +105,16 @@ class ModelRegistry:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(text)
+                # Flush user-space and kernel buffers before the rename:
+                # os.replace is only atomic about *names* — without the
+                # fsync a crash after the rename could still surface an
+                # empty or torn artifact under the final path.
+                handle.flush()
+                os.fsync(handle.fileno())
+            fault_point("registry.write_temp", path=temp)
             os.replace(temp, path)
+            # And persist the rename itself (the directory entry).
+            fsync_directory(path.parent)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(temp)

@@ -1,0 +1,415 @@
+"""Fault-tolerant corpus runs: the crash-safe run journal and the
+hardened-worker primitives (:mod:`repro.runtime.runner` wires them in).
+
+CERES ran over 439K CommonCrawl sites; at that scale worker crashes,
+hung pages, torn writes, and interrupted runs are the norm, not the
+exception.  This module gives ``run_corpus`` the machinery to survive
+them:
+
+* :class:`RunJournal` — a write-ahead JSONL journal under a per-run
+  directory.  Appends are single-``write`` + ``fsync`` (so a SIGKILL
+  never interleaves two records), replay tolerates exactly one torn
+  trailing line (the record being appended when the process died), and
+  per-site extraction rows land in ``rows/<site>.jsonl`` via temp file +
+  ``fsync`` + atomic rename.  Sites are keyed by a content fingerprint
+  of their pages plus a config fingerprint, so ``--resume`` re-runs a
+  site iff its inputs (or the config) changed.
+* :func:`backoff_delay` / :func:`sleep_backoff` — bounded exponential
+  backoff with *deterministic* jitter (seeded by the retry key, so chaos
+  tests replay exactly).  ``sleep_backoff`` is the **only** sanctioned
+  retry sleep in the codebase; CI greps for bare ``time.sleep`` retry
+  loops elsewhere.
+* :func:`deadline` — a per-site wall-clock timeout (SIGALRM-based; pool
+  workers and inline runs both execute site work on their process's main
+  thread, where the alarm is deliverable).
+* :func:`classify_error` — transient (worth retrying: timeouts,
+  connection resets, EAGAIN/ENOSPC-style OS hiccups, injected transient
+  faults) vs permanent (retrying cannot help: missing files, value
+  errors, injected permanent faults).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import hashlib
+import json
+import os
+import random
+import signal
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+from urllib.parse import quote
+
+from repro.testing.faults import FaultError, TransientFaultError, fault_point
+
+__all__ = [
+    "JournalError",
+    "RunJournal",
+    "SiteTimeoutError",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUARANTINED",
+    "STATE_RUNNING",
+    "backoff_delay",
+    "classify_error",
+    "config_fingerprint",
+    "deadline",
+    "fsync_directory",
+    "site_fingerprint",
+    "sleep_backoff",
+]
+
+
+class SiteTimeoutError(TimeoutError):
+    """A site exceeded its wall-clock budget (see :func:`deadline`)."""
+
+
+class JournalError(ValueError):
+    """The run journal is unusable: corrupt, config-mismatched, or a
+    fresh run was pointed at an existing journal without ``resume``."""
+
+
+# -- error classification ----------------------------------------------------
+
+#: OS-level errnos worth retrying: contended/flaky resources that can
+#: clear on their own.  Missing files (ENOENT & friends) are *not* here —
+#: retrying a nonexistent pages directory cannot help.
+_TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EAGAIN,
+        errno.EBUSY,
+        errno.EINTR,
+        errno.EIO,
+        errno.ENOSPC,
+        errno.ESTALE,
+        errno.ETIMEDOUT,
+    }
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` (retry with backoff) or ``"permanent"`` (don't).
+
+    Injected faults carry their own classification
+    (:class:`TransientFaultError` vs :class:`FaultError`); timeouts and
+    connection failures are transient; OS errors are transient only for
+    contended-resource errnos; everything else — logic errors, missing
+    inputs, malformed data — is permanent.
+    """
+    if isinstance(exc, TransientFaultError):
+        return "transient"
+    if isinstance(exc, FaultError):
+        return "permanent"
+    if isinstance(exc, (FileNotFoundError, NotADirectoryError,
+                        IsADirectoryError, PermissionError)):
+        return "permanent"
+    if isinstance(exc, (TimeoutError, ConnectionError, InterruptedError)):
+        return "transient"
+    if isinstance(exc, OSError):
+        return "transient" if exc.errno in _TRANSIENT_ERRNOS else "permanent"
+    return "permanent"
+
+
+# -- retry backoff -----------------------------------------------------------
+
+
+def backoff_delay(
+    attempt: int, *, base: float = 0.5, cap: float = 30.0, key: str = ""
+) -> float:
+    """Delay before retry ``attempt + 1`` (``attempt`` counts from 1).
+
+    Exponential window ``base * 2**(attempt-1)`` capped at ``cap``, with
+    jitter drawn uniformly from the window's upper half.  The jitter is
+    *deterministic* — seeded by ``(key, attempt)`` — so a replayed chaos
+    run sleeps exactly as long as the original, while distinct sites
+    still decorrelate (each site passes its own key).
+    """
+    if attempt < 1:
+        raise ValueError("attempt counts from 1")
+    window = min(cap, base * (2.0 ** (attempt - 1)))
+    rng = random.Random(f"{key}\x00{attempt}")
+    return window * (0.5 + 0.5 * rng.random())
+
+
+def sleep_backoff(
+    attempt: int, *, base: float = 0.5, cap: float = 30.0, key: str = ""
+) -> float:
+    """Sleep :func:`backoff_delay` and return the delay slept.
+
+    The only sanctioned retry sleep in the codebase — CI greps for bare
+    ``time.sleep`` retry loops outside this helper.
+    """
+    delay = backoff_delay(attempt, base=base, cap=cap, key=key)
+    time.sleep(delay)
+    return delay
+
+
+# -- wall-clock deadline -----------------------------------------------------
+
+
+@contextlib.contextmanager
+def deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`SiteTimeoutError` if the block outlives ``seconds``.
+
+    SIGALRM-based, so it interrupts blocking waits (a hung page read, an
+    injected ``hang`` fault sleeping in C ``sleep``).  A no-op when
+    ``seconds`` is None/<= 0, when the platform has no SIGALRM, or when
+    called off the main thread (signals are only deliverable to the main
+    thread) — both ``run_corpus`` inline mode and pool workers run site
+    work on their process's main thread, so the guard matters only for
+    exotic embeddings, which degrade to "no timeout" rather than crash.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expire(signum, frame):  # noqa: ARG001 — signal handler signature
+        raise SiteTimeoutError(
+            f"wall-clock budget of {seconds}s exceeded"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def config_fingerprint(config_data: dict, threshold: float | None = None) -> str:
+    """Hash of everything that shapes a site's output besides its pages."""
+    payload = json.dumps(
+        {"config": config_data, "threshold": threshold},
+        sort_keys=True, ensure_ascii=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def site_fingerprint(page_paths: Iterable[Path]) -> str:
+    """Content hash of a site's page files (names + bytes, in order).
+
+    Any edit, addition, removal, or rename of a page changes the
+    fingerprint, so ``--resume`` re-runs exactly the sites whose inputs
+    changed.
+    """
+    digest = hashlib.sha256()
+    for path in page_paths:
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+# -- durable-write helpers ---------------------------------------------------
+
+
+def fsync_directory(path: Path | str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some filesystems refuse directory fsync; the rename
+    itself is still atomic there.
+    """
+    with contextlib.suppress(OSError):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+# -- the run journal ---------------------------------------------------------
+
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_QUARANTINED = "quarantined"
+
+#: Journal schema revision (bumped on incompatible record changes).
+JOURNAL_VERSION = 1
+
+
+def _site_key(site: str) -> str:
+    """Filesystem-safe, reversible key (same scheme as the registry)."""
+    return quote(site, safe="")
+
+
+class RunJournal:
+    """Write-ahead journal for one corpus run directory.
+
+    Layout::
+
+        <run_dir>/
+            journal.jsonl          # append-only state records
+            rows/<site>.jsonl      # per-site extraction rows (atomic)
+
+    Record shapes (one JSON object per line)::
+
+        {"event": "run", "journal_version": 1, "config_hash": ..., "resume": ...}
+        {"event": "site", "site": S, "state": "running", "fingerprint": F}
+        {"event": "site", "site": S, "state": "done"|"failed"|"quarantined",
+         "fingerprint": F, "report": {...trimmed SiteReport...}}
+
+    Every append is a single ``write`` + flush + ``fsync``, so a record
+    is either fully on disk or (for the one being written at the moment
+    of death) a torn trailing line that :meth:`replay` discards.  A torn
+    line anywhere *else* means real corruption and raises
+    :class:`JournalError`.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+    ROWS_DIR = "rows"
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / self.JOURNAL_NAME
+        self.rows_dir = self.run_dir / self.ROWS_DIR
+        self._handle: TextIO | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, *, config_hash: str, resume: bool = False) -> dict[str, dict]:
+        """Create/replay the journal; returns each site's last record.
+
+        A fresh run refuses an existing journal (pass ``resume=True`` to
+        continue one); a resumed run refuses a journal written under a
+        different config hash — silently mixing configs would make the
+        "resumed ≡ uninterrupted" guarantee a lie.
+        """
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.rows_dir.mkdir(exist_ok=True)
+        states: dict[str, dict] = {}
+        if self.path.exists():
+            if not resume:
+                raise JournalError(
+                    f"{self.path} already exists — resume the run "
+                    f"(--resume) or point --run-dir at a fresh directory"
+                )
+            for record in self.replay():
+                if record.get("event") == "run":
+                    found = record.get("config_hash")
+                    if found != config_hash:
+                        raise JournalError(
+                            f"{self.path} was written under a different "
+                            f"config (hash {found!r}, current "
+                            f"{config_hash!r}) — a resumed run must use "
+                            f"the original config, or start a fresh run-dir"
+                        )
+                elif record.get("event") == "site":
+                    states[record["site"]] = record
+        self._handle = open(self.path, "a", encoding="utf-8")
+        fsync_directory(self.run_dir)
+        self._append(
+            {
+                "event": "run",
+                "journal_version": JOURNAL_VERSION,
+                "config_hash": config_hash,
+                "resume": resume,
+            }
+        )
+        return states
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise JournalError("journal is not open (call open() first)")
+        fault_point("journal.append", site=record.get("site"))
+        # One write + fsync per record: the line is fully durable before
+        # the caller proceeds, and a crash tears at most the final line.
+        self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_site(self, site: str, state: str, **fields) -> None:
+        """Append one site-state record (write-ahead: callers record
+        ``running`` *before* dispatching work)."""
+        self._append({"event": "site", "site": site, "state": state, **fields})
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> list[dict]:
+        """All durable records, oldest first; a torn final line (the
+        append in flight when the process died) is discarded."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        lines = text.splitlines()
+        records: list[dict] = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail — the crash-interrupted append
+                raise JournalError(
+                    f"{self.path}:{index + 1}: corrupt journal record: {exc}"
+                ) from exc
+        return records
+
+    # -- per-site rows -----------------------------------------------------
+
+    def rows_path(self, site: str) -> Path:
+        return self.rows_dir / (_site_key(site) + ".jsonl")
+
+    def write_rows(self, site: str, rows: Iterable[dict]) -> Path:
+        """Atomically persist a site's extraction rows (temp + fsync +
+        rename): readers see the old rows or all the new ones, never a
+        torn file."""
+        path = self.rows_path(site)
+        descriptor, temp = tempfile.mkstemp(
+            dir=self.rows_dir, prefix=path.name + ".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                for row in rows:
+                    handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            fault_point("rows.write", site=site, path=temp)
+            os.replace(temp, path)
+            fsync_directory(self.rows_dir)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp)
+            raise
+        return path
+
+    def read_rows_text(self, site: str) -> str:
+        """A site's persisted rows, verbatim (JSONL text)."""
+        return self.rows_path(site).read_text(encoding="utf-8")
+
+    def read_rows(self, site: str) -> list[dict]:
+        return [
+            json.loads(line)
+            for line in self.read_rows_text(site).splitlines()
+            if line.strip()
+        ]

@@ -14,12 +14,33 @@ Corpus formats (:func:`discover_corpus`):
   (named after the subdirectory);
 * **JSONL manifest** — one object per line:
   ``{"site": "name", "pages": "path/to/html/dir"}``, relative paths
-  resolved against the manifest's directory.
+  resolved against the manifest's directory (the pages directory must
+  exist — a missing one is a manifest error at discovery time, not a
+  worker-side surprise).
 
-Failure isolation: each site runs inside its own try/except (in its own
-worker process under ``max_workers > 1``); a site that raises produces a
-failed :class:`SiteReport` carrying the error and traceback while every
-other site proceeds.  One bad site never kills the run.
+Failure isolation and resilience (:mod:`repro.runtime.resilience`):
+
+* each site runs inside its own try/except (in its own worker process
+  under ``max_workers > 1``); a site that raises produces a failed
+  :class:`SiteReport` carrying the error and traceback while every other
+  site proceeds — one bad site never kills the run;
+* site work honors a wall-clock ``site_timeout`` and transient failures
+  are retried up to ``max_attempts`` times with exponential backoff and
+  deterministic jitter (``runner.retries`` counts them, each attempt is
+  a ``site.attempt`` span);
+* a site whose full-batch run fails is retried once in **degraded
+  page-isolation mode**: pages are loaded one at a time, poison pages
+  are quarantined (``SiteReport.n_quarantined_pages``,
+  ``runner.quarantined``) and the site completes on the survivors
+  instead of being lost;
+* with ``run_dir`` set, a write-ahead :class:`~repro.runtime.resilience.
+  RunJournal` records per-site state (running/done/failed/quarantined,
+  keyed by a content fingerprint of the site's pages plus the config
+  hash), per-site rows land in ``run_dir/rows/`` via atomic rename, and
+  the final output JSONL is assembled in sorted-site order — so a run
+  killed at any point and restarted with ``resume=True`` skips
+  hash-unchanged completed sites and produces byte-identical final
+  extraction and fused output.
 """
 
 from __future__ import annotations
@@ -37,6 +58,7 @@ if TYPE_CHECKING:
 from repro import obs
 from repro.core.config import CeresConfig
 from repro.dom.parser import Document, parse_html
+from repro.runtime import resilience
 from repro.runtime.registry import ModelRegistry
 from repro.runtime.serialize import (
     SiteModel,
@@ -44,6 +66,7 @@ from repro.runtime.serialize import (
     config_to_dict,
 )
 from repro.runtime.service import ExtractionService
+from repro.testing.faults import fault_point
 
 __all__ = [
     "SiteSpec",
@@ -86,6 +109,17 @@ class SiteReport:
     kb_agreed: int = 0
     artifact_path: str | None = None
     seconds: float = 0.0
+    #: full-batch attempts made (1 = first try succeeded); the degraded
+    #: page-isolation pass, when taken, is on top of these.
+    attempts: int = 1
+    #: the site completed in degraded page-isolation mode.
+    degraded: bool = False
+    #: poison pages quarantined by the degraded pass (file names).
+    n_quarantined_pages: int = 0
+    quarantined_pages: list = field(default_factory=list)
+    #: a resumed run skipped this site (journal said done, fingerprint
+    #: unchanged) and replayed its persisted rows instead of re-running.
+    resumed: bool = False
     #: the worker's :class:`~repro.obs.metrics.MetricsRegistry` snapshot
     #: (stage timings, cache counters, scoring/fusion counters).  Always
     #: present on reports produced by :func:`_run_site`; the parent
@@ -97,8 +131,19 @@ class SiteReport:
 
     def summary(self) -> str:
         """One progress line for logs."""
+        if self.resumed:
+            return (
+                f"site={self.site} resumed (unchanged: "
+                f"pages={self.n_pages} extractions={self.n_extractions})"
+            )
         if not self.ok:
-            return f"site={self.site} FAILED ({self.seconds:.1f}s): {self.error}"
+            attempts = (
+                f", {self.attempts} attempts" if self.attempts > 1 else ""
+            )
+            return (
+                f"site={self.site} FAILED "
+                f"({self.seconds:.1f}s{attempts}): {self.error}"
+            )
         skipped = ""
         if self.n_skipped_pages:
             skipped = (
@@ -108,10 +153,18 @@ class SiteReport:
         kb_note = ""
         if self.kb_checked:
             kb_note = f" kb={self.kb_agreed}/{self.kb_checked}"
+        resilience_note = ""
+        if self.attempts > 1:
+            resilience_note += f" attempts={self.attempts}"
+        if self.degraded:
+            resilience_note += " degraded"
+        if self.n_quarantined_pages:
+            resilience_note += f" quarantined={self.n_quarantined_pages}p"
         return (
             f"site={self.site} ok pages={self.n_pages} "
             f"clusters={self.n_clusters} extractions={self.n_extractions}"
-            f"{skipped}{kb_note}{self._cache_note()} ({self.seconds:.1f}s)"
+            f"{skipped}{kb_note}{resilience_note}{self._cache_note()} "
+            f"({self.seconds:.1f}s)"
         )
 
     def _cache_note(self) -> str:
@@ -124,6 +177,15 @@ class SiteReport:
         if not hits and not misses:
             return ""
         return f" feat_cache={hits / (hits + misses):.0%}"
+
+
+def _journal_view(report: SiteReport) -> dict:
+    """The report fields worth persisting in the journal: everything
+    except the bulky telemetry payloads and the resume marker."""
+    data = dict(report.__dict__)
+    for transient in ("metrics", "spans", "resumed"):
+        data.pop(transient, None)
+    return data
 
 
 #: Page file suffixes accepted by discovery and loading, matched
@@ -188,9 +250,21 @@ def discover_corpus(corpus: str | Path) -> list[SiteSpec]:
             pages_path = Path(pages)
             if not pages_path.is_absolute():
                 pages_path = base / pages_path
-            specs.append(SiteSpec(str(site), str(pages_path)))
+            specs.append((line_no, SiteSpec(str(site), str(pages_path))))
         if not specs:
             raise ValueError(f"manifest {path} lists no sites")
+        # Second pass, so structural manifest errors (bad JSON, duplicate
+        # sites) surface before filesystem ones.  Validating existence at
+        # discovery time — with the manifest line in hand — beats the
+        # confusing FileNotFoundError it used to become deep inside a
+        # pool worker.
+        for line_no, spec in specs:
+            if not Path(spec.pages_dir).is_dir():
+                raise ValueError(
+                    f"{path}:{line_no}: pages directory does not exist "
+                    f"for site {spec.site!r}: {spec.pages_dir}"
+                )
+        specs = [spec for _, spec in specs]
         return sorted(specs, key=lambda spec: spec.site)
     raise FileNotFoundError(f"corpus path does not exist: {path}")
 
@@ -207,6 +281,44 @@ def load_site_documents(pages_dir: str | Path) -> list[Document]:
         )
         for page in paths
     ]
+
+
+def _load_documents(
+    pages_dir: str,
+    site: str,
+    *,
+    isolate: bool = False,
+    page_timeout: float | None = None,
+) -> tuple[list[Document], list[str]]:
+    """The runner's page loader: like :func:`load_site_documents` but
+    with per-page fault injection points and an optional **isolation
+    mode** for the degraded retry — each page loads inside its own
+    try/except (and its own wall-clock budget), and a page that raises
+    is quarantined by name instead of sinking the whole site."""
+    paths = _page_files(Path(pages_dir))
+    if not paths:
+        raise FileNotFoundError(f"no .html/.htm files found in {pages_dir!r}")
+    documents: list[Document] = []
+    quarantined: list[str] = []
+    for path in paths:
+        try:
+            with resilience.deadline(page_timeout if isolate else None):
+                fault_point("page.parse", site=site, page=path.name)
+                documents.append(
+                    parse_html(
+                        path.read_text(encoding="utf-8", errors="replace"),
+                        url=path.name,
+                    )
+                )
+        except Exception:  # noqa: BLE001 — quarantine is the contract
+            if not isolate:
+                raise
+            quarantined.append(path.name)
+    if isolate and not documents:
+        raise RuntimeError(
+            f"all {len(paths)} page(s) of {pages_dir!r} were quarantined"
+        )
+    return documents, quarantined
 
 
 def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
@@ -241,6 +353,91 @@ def extraction_row(extraction, page_url: str, site: str | None = None) -> dict:
 # -- worker ----------------------------------------------------------------
 
 
+def _attempt_site(
+    report: SiteReport,
+    site: str,
+    pages_dir: str,
+    kb_path: str,
+    registry_root: str | None,
+    config_data: dict,
+    threshold: float | None,
+    site_metrics,
+    *,
+    isolate_pages: bool = False,
+    site_timeout: float | None = None,
+) -> list[dict]:
+    """One attempt at a site, end to end; raises on failure.
+
+    In the normal (full-batch) mode the caller wraps the whole call in a
+    single :func:`~repro.runtime.resilience.deadline`.  In degraded
+    ``isolate_pages`` mode this function budgets itself instead: each
+    page load gets the site budget (so one hung page is quarantined, not
+    fatal), and the pipeline over the surviving pages gets it again.
+    """
+    from repro.core.pipeline import CeresPipeline
+    from repro.kb.io import load_kb
+
+    fault_point("site.run", site=site)
+    config = config_from_dict(config_data)
+    kb = load_kb(kb_path)
+    report.n_quarantined_pages = 0
+    report.quarantined_pages = []
+    documents, quarantined = _load_documents(
+        pages_dir, site, isolate=isolate_pages, page_timeout=site_timeout
+    )
+    report.quarantined_pages = quarantined
+    report.n_quarantined_pages = len(quarantined)
+    report.n_pages = len(documents)
+
+    with resilience.deadline(site_timeout if isolate_pages else None):
+        pipeline = CeresPipeline(kb, config)
+        result = pipeline.annotate(documents)
+        report.n_skipped_clusters = result.skipped_clusters
+        report.n_skipped_pages = result.skipped_pages
+        pipeline.train(documents, result)
+        site_model = SiteModel.from_result(site, config, result)
+        report.n_clusters = len(site_model.clusters)
+
+        if registry_root is not None:
+            artifact = ModelRegistry(registry_root).save(site_model)
+            report.artifact_path = str(artifact)
+
+        service = ExtractionService()
+        service.add_site_model(site_model)
+        # Batched serving path: one CSR matrix + matmul per cluster model
+        # over the whole site, same engine the long-lived service runs.
+        # Wrapped as the canonical extract stage — in corpus mode this
+        # call *is* the site's extraction stage (CeresPipeline.extract
+        # never runs here).
+        fault_point("site.extract", site=site)
+        with obs.stage(
+            "stage.extract", pages=len(documents)
+        ) as extract_stage:
+            extractions = service.extract_pages(site, documents, threshold)
+            extract_stage.set(extractions=len(extractions))
+        report.n_extractions = len(extractions)
+
+        # Seed-KB agreement for fusion's reliability weights — computed
+        # here, where the KB is already resident, so the coordinator
+        # never has to load it.
+        from repro.fusion.reliability import extraction_agreement
+
+        report.kb_checked, report.kb_agreed = extraction_agreement(
+            kb, extractions
+        )
+        rows = [
+            extraction_row(
+                extraction, documents[extraction.page_index].url, site
+            )
+            for extraction in extractions
+        ]
+        # Cache counters, published once at end of site (they are
+        # cumulative per instance).
+        service.publish_metrics(site_metrics)
+        site_metrics.record_cache(pipeline.matcher.cache_stats())
+    return rows
+
+
 def _run_site(
     site: str,
     pages_dir: str,
@@ -249,88 +446,88 @@ def _run_site(
     config_data: dict,
     threshold: float | None,
     trace: bool = False,
+    site_timeout: float | None = None,
+    max_attempts: int = 1,
+    retry_backoff: float = 0.5,
 ) -> dict:
-    """Process one site end to end; never raises.
+    """Process one site with retries and quarantine; never raises.
 
     Runs in a pool worker, so every argument and the return value are
     plain picklable data.  The KB is (re)loaded from disk per site — each
     worker process needs its own copy anyway, and sharing via pickle
     would ship the whole KB with every task.
 
+    Attempt schedule: up to ``max_attempts`` full-batch attempts, each
+    under ``site_timeout`` wall-clock, retrying **transient** failures
+    (``classify_error``) after a deterministic-jitter exponential
+    backoff.  If the full batch never succeeds (permanent error, or
+    retries exhausted), one final **degraded** attempt isolates pages:
+    poison pages are quarantined by name and the site completes on the
+    survivors — a bad page costs a page, not a site.
+
     Telemetry: the site runs under a scoped metrics registry (plus a
     scoped tracer when ``trace`` is set), and the snapshot/spans ride
-    home inside the report — per-site cache counters and stage timings
-    used to die with the worker process.
+    home inside the report — each attempt is a ``site.attempt`` span,
+    retries count into ``runner.retries`` and quarantined pages into
+    ``runner.quarantined``.
     """
-    # Imported here, not at module top: workers only pay for the pipeline
-    # stack when they actually process a site, and the runner module stays
-    # importable in minimal serving deployments.
-    from repro.core.pipeline import CeresPipeline
-    from repro.kb.io import load_kb
-
     report = SiteReport(site=site, ok=False)
     rows: list[dict] = []
+    max_attempts = max(1, max_attempts)
     with obs.scoped(tracing=trace, metrics=True) as (site_tracer, site_metrics):
         timing = site_metrics.timer("runner.site_seconds")
         with timing, obs.span("site.run", site=site):
-            try:
-                config = config_from_dict(config_data)
-                kb = load_kb(kb_path)
-                documents = load_site_documents(pages_dir)
-                report.n_pages = len(documents)
-
-                pipeline = CeresPipeline(kb, config)
-                result = pipeline.annotate(documents)
-                report.n_skipped_clusters = result.skipped_clusters
-                report.n_skipped_pages = result.skipped_pages
-                pipeline.train(documents, result)
-                site_model = SiteModel.from_result(site, config, result)
-                report.n_clusters = len(site_model.clusters)
-
-                if registry_root is not None:
-                    artifact = ModelRegistry(registry_root).save(site_model)
-                    report.artifact_path = str(artifact)
-
-                service = ExtractionService()
-                service.add_site_model(site_model)
-                # Batched serving path: one CSR matrix + matmul per
-                # cluster model over the whole site, same engine the
-                # long-lived service runs.  Wrapped as the canonical
-                # extract stage — in corpus mode this call *is* the
-                # site's extraction stage (CeresPipeline.extract never
-                # runs here).
-                with obs.stage(
-                    "stage.extract", pages=len(documents)
-                ) as extract_stage:
-                    extractions = service.extract_pages(
-                        site, documents, threshold
-                    )
-                    extract_stage.set(extractions=len(extractions))
-                report.n_extractions = len(extractions)
-
-                # Seed-KB agreement for fusion's reliability weights —
-                # computed here, where the KB is already resident, so the
-                # coordinator never has to load it.
-                from repro.fusion.reliability import extraction_agreement
-
-                report.kb_checked, report.kb_agreed = extraction_agreement(
-                    kb, extractions
+            for attempt in range(1, max_attempts + 1):
+                report.attempts = attempt
+                try:
+                    with obs.span("site.attempt", site=site, attempt=attempt):
+                        with resilience.deadline(site_timeout):
+                            rows = _attempt_site(
+                                report, site, pages_dir, kb_path,
+                                registry_root, config_data, threshold,
+                                site_metrics,
+                            )
+                    report.ok = True
+                    report.error = None
+                    report.traceback = None
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolation is the contract
+                    report.error = f"{type(exc).__name__}: {exc}"
+                    report.traceback = traceback.format_exc()
+                    rows = []
+                    if resilience.classify_error(exc) == "permanent":
+                        break
+                    if attempt < max_attempts:
+                        site_metrics.inc("runner.retries")
+                        resilience.sleep_backoff(
+                            attempt, base=retry_backoff, key=site
+                        )
+            if not report.ok:
+                # Degraded page-isolation pass: the last line of defense
+                # between a poison page and a lost site.
+                try:
+                    with obs.span(
+                        "site.attempt", site=site,
+                        attempt=report.attempts + 1, degraded=True,
+                    ):
+                        rows = _attempt_site(
+                            report, site, pages_dir, kb_path,
+                            registry_root, config_data, threshold,
+                            site_metrics,
+                            isolate_pages=True, site_timeout=site_timeout,
+                        )
+                    report.ok = True
+                    report.degraded = True
+                    report.error = None
+                    report.traceback = None
+                except Exception as exc:  # noqa: BLE001
+                    report.error = f"{type(exc).__name__}: {exc}"
+                    report.traceback = traceback.format_exc()
+                    rows = []
+            if report.ok and report.n_quarantined_pages:
+                site_metrics.inc(
+                    "runner.quarantined", report.n_quarantined_pages
                 )
-                rows = [
-                    extraction_row(
-                        extraction, documents[extraction.page_index].url, site
-                    )
-                    for extraction in extractions
-                ]
-                # Cache counters, published once at end of site (they
-                # are cumulative per instance).
-                service.publish_metrics(site_metrics)
-                site_metrics.record_cache(pipeline.matcher.cache_stats())
-                report.ok = True
-            except Exception as exc:  # noqa: BLE001 — isolation is the contract
-                report.error = f"{type(exc).__name__}: {exc}"
-                report.traceback = traceback.format_exc()
-                rows = []
         report.seconds = timing.elapsed
         site_metrics.inc("runner.sites_ok" if report.ok else "runner.sites_failed")
         report.metrics = site_metrics.snapshot()
@@ -354,6 +551,11 @@ def run_corpus(
     fuse: "FactStore | TextIO | None" = None,
     train_global: bool = False,
     log: Callable[[str], None] | None = None,
+    run_dir: str | Path | None = None,
+    resume: bool = False,
+    site_timeout: float | None = None,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.5,
 ) -> list[SiteReport]:
     """Train and extract every site of ``corpus``; returns per-site reports.
 
@@ -366,8 +568,11 @@ def run_corpus(
         threshold: extraction confidence override (default: config's).
         max_workers: process count; ``None`` lets the executor pick,
             ``<= 1`` runs inline (no subprocesses — simplest to debug).
-        output: writable text stream receiving extraction JSONL rows,
-            streamed per site as each finishes.
+        output: writable text stream receiving extraction JSONL rows.
+            Without ``run_dir`` they stream per site in completion order;
+            with ``run_dir`` they are assembled at the end in sorted-site
+            order from the journal's rows files, so the bytes are
+            deterministic and resume-invariant.
         fuse: a :class:`~repro.fusion.store.FactStore` ingests each
             site's rows (and seed-KB agreement counts) as the site
             completes — the caller finalizes it; a plain text stream
@@ -382,14 +587,33 @@ def run_corpus(
             future unseen sites can then be served zero-shot via
             ``serve --transfer-fallback``.
         log: per-site progress callback (e.g. ``print`` to stderr).
+        run_dir: per-run directory for the crash-safe journal and
+            per-site rows (see :class:`~repro.runtime.resilience.
+            RunJournal`).  Required for ``resume``.
+        resume: continue a journaled run: sites whose journal state is
+            done/quarantined *and* whose page-content fingerprint is
+            unchanged are skipped (their persisted rows are replayed into
+            ``output``/``fuse``); everything else re-runs.  The final
+            extraction and fused JSONL are byte-identical to an
+            uninterrupted run.
+        site_timeout: per-site wall-clock budget in seconds (None = no
+            limit); enforced per attempt.
+        max_attempts: full-batch attempts per site (transient failures
+            retry with backoff; permanent ones don't).
+        retry_backoff: base of the exponential backoff window, seconds.
 
-    Reports come back in completion order; failed sites carry their error
+    Reports come back with resumed sites first (sorted by name), then
+    executed sites in completion order; failed sites carry their error
     and traceback instead of aborting the run.
     """
     specs = discover_corpus(corpus)
     config_data = config_to_dict(config or CeresConfig())
     registry = str(registry_root) if registry_root is not None else None
     emit = log or (lambda message: None)
+    if resume and run_dir is None:
+        raise ValueError("resume=True requires run_dir")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
     # Workers always collect metrics (the snapshot is small and carries
     # cache/skip telemetry into the summaries); spans only when the
     # parent actually traces — they are bulkier to pickle.
@@ -406,6 +630,57 @@ def run_corpus(
             store = FactStore(use_reliability=True)
             fused_sink = fuse
 
+    journal: resilience.RunJournal | None = None
+    fingerprints: dict[str, str] = {}
+    skipped: list[SiteReport] = []
+    to_run = specs
+    if run_dir is not None:
+        journal = resilience.RunJournal(run_dir)
+        states = journal.open(
+            config_hash=resilience.config_fingerprint(config_data, threshold),
+            resume=resume,
+        )
+        for spec in specs:
+            fingerprints[spec.site] = resilience.site_fingerprint(
+                _page_files(Path(spec.pages_dir))
+            )
+        to_run = []
+        for spec in specs:
+            record = states.get(spec.site)
+            if (
+                resume
+                and record is not None
+                and record.get("state")
+                in (resilience.STATE_DONE, resilience.STATE_QUARANTINED)
+                and record.get("fingerprint") == fingerprints[spec.site]
+                and journal.rows_path(spec.site).is_file()
+            ):
+                report = SiteReport(**(record.get("report") or {}))
+                report.resumed = True
+                skipped.append(report)
+            else:
+                to_run.append(spec)
+        # Replay skipped sites into the fusion store up front — the
+        # FactStore's fused output is ingestion-order-invariant, so
+        # "replayed rows + fresh rows" fuses byte-identically to an
+        # uninterrupted run.
+        for report in skipped:
+            if store is not None and report.ok:
+                store.ingest_rows(journal.read_rows(report.site))
+                store.observe_agreement(
+                    report.site, report.kb_checked, report.kb_agreed
+                )
+            emit(report.summary())
+
+    def mark_running(spec: SiteSpec) -> None:
+        """Write-ahead: the journal learns about a site before any work
+        happens, so a crash mid-site re-runs it on resume."""
+        if journal is not None:
+            journal.record_site(
+                spec.site, resilience.STATE_RUNNING,
+                fingerprint=fingerprints[spec.site],
+            )
+
     def handle(payload: dict) -> SiteReport:
         report = SiteReport(**payload["report"])
         # Fold the worker's telemetry into the parent's instruments —
@@ -414,19 +689,46 @@ def run_corpus(
             obs.metrics().merge_snapshot(report.metrics)
         if report.spans:
             obs.tracer().absorb(report.spans)
-        if output is not None:
-            for row in payload["rows"]:
-                output.write(json.dumps(row, ensure_ascii=False) + "\n")
-            output.flush()
+        if journal is None:
+            if output is not None:
+                for row in payload["rows"]:
+                    output.write(json.dumps(row, ensure_ascii=False) + "\n")
+                output.flush()
+        else:
+            if report.ok:
+                journal.write_rows(report.site, payload["rows"])
+            if not report.ok:
+                state = resilience.STATE_FAILED
+            elif report.n_quarantined_pages:
+                state = resilience.STATE_QUARANTINED
+            else:
+                state = resilience.STATE_DONE
+            journal.record_site(
+                report.site, state,
+                fingerprint=fingerprints[report.site],
+                report=_journal_view(report),
+            )
         if store is not None and report.ok:
             store.ingest_rows(payload["rows"])
             store.observe_agreement(
                 report.site, report.kb_checked, report.kb_agreed
             )
         emit(report.summary())
+        # Chaos hook for resume tests: "crash" the coordinator right
+        # after this site is fully committed.
+        fault_point("runner.site_committed", site=report.site)
         return report
 
     def finish(reports: list[SiteReport]) -> list[SiteReport]:
+        if journal is not None and output is not None:
+            # Deterministic assembly: every ok site's persisted rows, in
+            # sorted-site order — identical bytes whether the run was
+            # uninterrupted, killed-and-resumed, or differently sharded.
+            for report in sorted(
+                (r for r in reports if r.ok), key=lambda r: r.site
+            ):
+                output.write(journal.read_rows_text(report.site))
+            output.flush()
         if fused_sink is not None:
             from repro.fusion.store import write_fused_jsonl
 
@@ -452,15 +754,22 @@ def run_corpus(
             )
         return reports
 
-    reports: list[SiteReport] = []
+    worker_args = dict(
+        site_timeout=site_timeout,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+    )
+    reports: list[SiteReport] = list(skipped)
     try:
         if max_workers is not None and max_workers <= 1:
-            for spec in specs:
+            for spec in to_run:
+                mark_running(spec)
                 reports.append(
                     handle(
                         _run_site(
                             spec.site, spec.pages_dir, str(kb_path),
                             registry, config_data, threshold, trace,
+                            **worker_args,
                         )
                     )
                 )
@@ -473,14 +782,17 @@ def run_corpus(
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
         ) as pool:
-            futures = {
-                pool.submit(
-                    _run_site,
-                    spec.site, spec.pages_dir, str(kb_path),
-                    registry, config_data, threshold, trace,
-                ): spec
-                for spec in specs
-            }
+            futures = {}
+            for spec in to_run:
+                mark_running(spec)
+                futures[
+                    pool.submit(
+                        _run_site,
+                        spec.site, spec.pages_dir, str(kb_path),
+                        registry, config_data, threshold, trace,
+                        **worker_args,
+                    )
+                ] = spec
             for future in concurrent.futures.as_completed(futures):
                 spec = futures[future]
                 try:
@@ -490,13 +802,29 @@ def run_corpus(
                         "report": SiteReport(
                             site=spec.site,
                             ok=False,
-                            error=f"worker crashed: {type(exc).__name__}: {exc}",
+                            error=(
+                                f"worker crashed: "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
+                            # The parent-side traceback is all that's
+                            # left of a dead worker — record it rather
+                            # than nothing.
+                            traceback="".join(traceback.format_exception(exc)),
+                            # A metrics snapshot a crashed worker never
+                            # got to produce: the failure still counts in
+                            # the parent's merged registry.
+                            metrics={
+                                "counters": {"runner.sites_failed": 1},
+                                "histograms": {},
+                            },
                         ).__dict__,
                         "rows": [],
                     }
                 reports.append(handle(payload))
         return finish(reports)
     finally:
+        if journal is not None:
+            journal.close()
         if fused_sink is not None:
             # We own this store; close() is a no-op after a clean
             # finish() but reclaims spill files if the run aborted.

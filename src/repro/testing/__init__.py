@@ -1,0 +1,34 @@
+"""Test-support subsystems shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness: production code calls :func:`~repro.testing.faults.fault_point`
+at named injection points (a no-op unless a :class:`FaultPlan` is
+active), and chaos tests/benchmarks activate plans — in-process via
+:func:`~repro.testing.faults.active`, or across ``run_corpus`` worker
+processes via the ``REPRO_FAULT_PLAN`` environment variable the plan
+serializes itself into.
+"""
+
+from repro.testing.faults import (
+    ENV_VAR,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    TransientFaultError,
+    active,
+    fault_point,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFaultError",
+    "active",
+    "fault_point",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,252 @@
+"""Deterministic fault injection for chaos tests and resilience benchmarks.
+
+Production code marks **injection points** — named places where the real
+world goes wrong (a page fails to parse, a disk fills mid-write, a site
+hangs) — by calling :func:`fault_point`::
+
+    fault_point("page.parse", site=site, page=path.name)
+
+With no plan active this is two attribute loads and a comparison; the
+hot path pays nothing.  A chaos test activates a :class:`FaultPlan`::
+
+    plan = FaultPlan([
+        FaultSpec("site.extract", action="raise-transient",
+                  site="imdb", times=1),          # fail once, then heal
+        FaultSpec("page.parse", action="raise", page="page007.html"),
+    ])
+    with active(plan):
+        run_corpus(...)
+
+and matching trips fire their action.  Everything is deterministic: a
+spec matches by point name (plus optional ``site``/``page`` context),
+``skip`` lets the first N matching trips pass, ``times`` bounds how many
+fire, and hang delays are fixed constants — no randomness, so a failing
+chaos run replays exactly.
+
+**Worker propagation.**  :func:`active`/:func:`install` also serialize
+the plan into the ``REPRO_FAULT_PLAN`` environment variable, which
+``run_corpus`` pool workers inherit at process creation; each worker
+parses it lazily on its first :func:`fault_point` call.  Trip counters
+are per-process, which is exactly right for retry scenarios: a site's
+retries all happen inside one worker, so ``times=1`` means "the first
+attempt in that worker fails, the retry succeeds".
+
+Actions:
+
+``raise``
+    raise :class:`FaultError` — classified *permanent* by
+    :func:`repro.runtime.resilience.classify_error` (no retry).
+``raise-transient``
+    raise :class:`TransientFaultError` — classified *transient*
+    (retried with backoff).
+``hang``
+    sleep ``delay`` seconds (default far beyond any site timeout), the
+    stand-in for a wedged page/site; a surrounding
+    :func:`~repro.runtime.resilience.deadline` interrupts it.
+``disk-full``
+    raise ``OSError(ENOSPC)``.
+``corrupt-write``
+    scribble garbage over the ``path`` passed in context (when any),
+    then raise :class:`FaultError` — simulates a torn write caught
+    mid-flight.
+``exit``
+    ``os._exit(17)`` — a worker process dying without a Python
+    traceback (OOM killer, segfault).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import errno
+import json
+import os
+import time
+from typing import Iterator, Sequence
+
+__all__ = [
+    "ENV_VAR",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "TransientFaultError",
+    "active",
+    "fault_point",
+    "install",
+    "uninstall",
+]
+
+#: Environment variable a plan serializes into so pool workers inherit it.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+_ACTIONS = frozenset(
+    {"raise", "raise-transient", "hang", "disk-full", "corrupt-write", "exit"}
+)
+
+
+class FaultError(RuntimeError):
+    """An injected fault (permanent flavor — retrying cannot help)."""
+
+
+class TransientFaultError(FaultError):
+    """An injected fault that heals on retry (network blip, busy lock)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it trips, what it does, and how often."""
+
+    #: injection-point name (``fault_point``'s first argument).
+    point: str
+    action: str = "raise"
+    #: only trip when the point's ``site=`` context matches (None = any).
+    site: str | None = None
+    #: only trip when the point's ``page=`` context matches (None = any).
+    page: str | None = None
+    #: fire for at most this many matching trips (None = every one).
+    times: int | None = None
+    #: let this many matching trips pass before the first firing.
+    skip: int = 0
+    #: hang duration in seconds (``action="hang"`` only).
+    delay: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} "
+                f"(choose from {sorted(_ACTIONS)})"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        if self.skip < 0:
+            raise ValueError("skip must be >= 0")
+
+    def matches(self, point: str, context: dict) -> bool:
+        if self.point != point:
+            return False
+        if self.site is not None and context.get("site") != self.site:
+            return False
+        if self.page is not None and context.get("page") != self.page:
+            return False
+        return True
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` — the whole chaos scenario."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs = tuple(specs)
+
+    # -- serialization (for the env var) -----------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [dataclasses.asdict(spec) for spec in self.specs],
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls([FaultSpec(**entry) for entry in json.loads(text)])
+
+
+# -- process-local plan state -----------------------------------------------
+
+#: Sentinel meaning "not resolved yet — consult the environment".
+_UNSET = object()
+_plan: object = _UNSET
+#: spec index -> matching trips seen so far (per process).
+_counts: dict[int, int] = {}
+
+
+def _active_plan() -> FaultPlan | None:
+    global _plan
+    if _plan is _UNSET:
+        raw = os.environ.get(ENV_VAR)
+        _plan = FaultPlan.from_json(raw) if raw else None
+    return _plan  # type: ignore[return-value]
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` in this process *and* in future child processes
+    (via :data:`ENV_VAR`).  Resets trip counters."""
+    global _plan
+    os.environ[ENV_VAR] = plan.to_json()
+    _plan = plan
+    _counts.clear()
+
+
+def uninstall() -> None:
+    """Deactivate any plan and clear the env var and counters."""
+    global _plan
+    os.environ.pop(ENV_VAR, None)
+    _plan = None
+    _counts.clear()
+
+
+@contextlib.contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with active(plan): ...`` — install for the block, restore after."""
+    previous_env = os.environ.get(ENV_VAR)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+        if previous_env is not None:
+            os.environ[ENV_VAR] = previous_env
+            global _plan
+            _plan = _UNSET
+
+
+# -- the injection point ----------------------------------------------------
+
+
+def fault_point(point: str, **context) -> None:
+    """Trip any active fault matching ``point``/``context``; else no-op.
+
+    Called from production code at named injection points.  Context keys
+    the matcher understands: ``site`` and ``page``; anything else (e.g.
+    ``path``) is available to the fired action.
+    """
+    plan = _active_plan()
+    if plan is None:
+        return
+    for index, spec in enumerate(plan.specs):
+        if not spec.matches(point, context):
+            continue
+        count = _counts.get(index, 0) + 1
+        _counts[index] = count
+        if count <= spec.skip:
+            continue
+        if spec.times is not None and count > spec.skip + spec.times:
+            continue
+        _fire(spec, point, context)
+
+
+def _fire(spec: FaultSpec, point: str, context: dict) -> None:
+    where = f"injection point {point!r}"
+    if context.get("site") is not None:
+        where += f" (site={context['site']!r}"
+        where += f", page={context['page']!r})" if context.get("page") else ")"
+    if spec.action == "raise":
+        raise FaultError(f"injected fault at {where}")
+    if spec.action == "raise-transient":
+        raise TransientFaultError(f"injected transient fault at {where}")
+    if spec.action == "hang":
+        # The stand-in for a wedged site; deadline()'s SIGALRM interrupts
+        # it.  This sleep is fault simulation, not a retry loop — the
+        # retry-sleep CI gate exempts this module.
+        time.sleep(spec.delay)
+        return
+    if spec.action == "disk-full":
+        raise OSError(errno.ENOSPC, f"injected disk-full at {where}")
+    if spec.action == "corrupt-write":
+        path = context.get("path")
+        if path is not None:
+            with contextlib.suppress(OSError):
+                with open(path, "wb") as handle:
+                    handle.write(b"\x00\xffinjected-corruption")
+        raise FaultError(f"injected corrupt write at {where}")
+    if spec.action == "exit":
+        os._exit(17)

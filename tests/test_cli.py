@@ -166,7 +166,11 @@ class TestRunCorpusCommand:
         manifest = tmp_path / "manifest.jsonl"
         entries = [{"site": name, "pages": str(corpus / name)}
                    for name in site_names]
-        entries.append({"site": "doomed", "pages": str(tmp_path / "missing")})
+        # An existing directory with no pages: passes manifest validation
+        # (a *missing* directory is now a discovery-time error) but fails
+        # in the worker, exercising per-site isolation.
+        (tmp_path / "empty").mkdir()
+        entries.append({"site": "doomed", "pages": str(tmp_path / "empty")})
         manifest.write_text(
             "\n".join(json.dumps(entry) for entry in entries) + "\n"
         )
@@ -183,8 +187,9 @@ class TestRunCorpusCommand:
     def test_run_corpus_all_failed_exits_nonzero(self, corpus_on_disk, tmp_path):
         tmp, kb_path, _, _ = corpus_on_disk
         manifest = tmp_path / "manifest.jsonl"
+        (tmp_path / "empty").mkdir()
         manifest.write_text(
-            json.dumps({"site": "doomed", "pages": str(tmp_path / "missing")})
+            json.dumps({"site": "doomed", "pages": str(tmp_path / "empty")})
             + "\n"
         )
         code = main(["run-corpus", "--kb", str(kb_path),

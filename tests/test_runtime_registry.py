@@ -307,3 +307,64 @@ class TestRegistryErrors:
         path.write_text("[1, 2, 3]")
         with pytest.raises(RegistryError, match="expected a JSON object"):
             registry.load("weird")
+
+
+class TestDurableWrites:
+    """_write_atomic's crash contract: fsync before rename, and a failed
+    write leaves neither a temp file nor a torn artifact behind."""
+
+    def test_write_fsyncs_temp_before_replace(
+        self, trained_site, registry, monkeypatch
+    ):
+        import os as os_module
+
+        import repro.runtime.registry as registry_module
+
+        events = []
+        real_fsync, real_replace = os_module.fsync, os_module.replace
+        monkeypatch.setattr(
+            registry_module.os, "fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            registry_module.os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        site, config, _, result = trained_site
+        registry.save(SiteModel.from_result(site, config, result))
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_temp_file_never_survives_failed_write(
+        self, trained_site, registry
+    ):
+        from repro.testing.faults import FaultError, FaultPlan, FaultSpec, active
+
+        site, config, _, result = trained_site
+        model = SiteModel.from_result(site, config, result)
+        plan = FaultPlan(
+            [FaultSpec("registry.write_temp", action="corrupt-write")]
+        )
+        with active(plan), pytest.raises(FaultError):
+            registry.save(model)
+        # Neither the temp file nor a torn artifact is left behind.
+        assert list(registry.root.glob("*.tmp*")) == []
+        assert not registry.path_for(site).exists()
+
+    def test_failed_overwrite_preserves_old_artifact(
+        self, trained_site, registry
+    ):
+        from repro.testing.faults import FaultError, FaultPlan, FaultSpec, active
+
+        site, config, _, result = trained_site
+        model = SiteModel.from_result(site, config, result)
+        registry.save(model)
+        before = registry.path_for(site).read_bytes()
+        plan = FaultPlan(
+            [FaultSpec("registry.write_temp", action="corrupt-write")]
+        )
+        with active(plan), pytest.raises(FaultError):
+            registry.save(model)
+        assert registry.path_for(site).read_bytes() == before
+        assert list(registry.root.glob("*.tmp*")) == []
+        registry.load(site)  # still a valid artifact

@@ -106,6 +106,8 @@ class TestDiscovery:
     def test_duplicate_detection_is_exact_not_normalized(self, tmp_path):
         # Distinct names that differ only in case are two different sites.
         manifest = tmp_path / "m.jsonl"
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
         manifest.write_text(
             json.dumps({"site": "IMDb", "pages": "a"})
             + "\n"
@@ -114,6 +116,24 @@ class TestDiscovery:
         )
         specs = discover_corpus(manifest)
         assert [spec.site for spec in specs] == ["IMDb", "imdb"]
+
+    def test_manifest_missing_pages_dir_rejected(self, tmp_path):
+        """A manifest entry whose pages directory doesn't exist is a
+        discovery-time error naming the manifest line — not a confusing
+        worker-side FileNotFoundError minutes into the run."""
+        (tmp_path / "real").mkdir()
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            json.dumps({"site": "good", "pages": "real"})
+            + "\n"
+            + json.dumps({"site": "ghost", "pages": "missing"})
+            + "\n"
+        )
+        with pytest.raises(
+            ValueError,
+            match=r"m\.jsonl:2: pages directory does not exist for site 'ghost'",
+        ):
+            discover_corpus(manifest)
 
     def test_missing_corpus(self, tmp_path):
         with pytest.raises(FileNotFoundError):
