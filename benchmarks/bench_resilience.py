@@ -153,7 +153,8 @@ def run_kill_resume(root: Path, n_sites: int, pages_per_site: int,
                     "doomed run exited before the kill landed "
                     f"(rc={doomed.returncode})"
                 )
-            time.sleep(0.05)  # journal poll, not a retry loop
+            # repro: allow[bare-sleep] polling the victim's journal from outside the process — not a retry loop, no backoff wanted
+            time.sleep(0.05)
         else:
             raise RuntimeError("doomed run never committed a site")
         os.killpg(os.getpgid(doomed.pid), signal.SIGKILL)

@@ -383,6 +383,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-resident-sites", type=int, default=None,
         help="site residency cap (default: CeresConfig.max_resident_sites)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST-based repo invariant checker",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        dest="lint_format",
+        help="finding output format (default: text)",
+    )
+    lint.add_argument(
+        "--rule", action="append", default=[], metavar="RULE_ID",
+        help="run only this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--exclude", action="append", default=[], metavar="RULE_ID",
+        help="skip this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also report findings silenced by `# repro: allow[...]`",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
     return parser
 
 
@@ -778,6 +808,36 @@ def _cmd_run_corpus(args) -> int:
     return 0 if succeeded else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro import analysis
+
+    if args.list_rules:
+        for rule in analysis.ALL_RULES:
+            print(f"{rule.id:24s} {rule.summary}")
+        return 0
+    try:
+        findings = analysis.lint_paths(
+            args.paths,
+            include=tuple(args.rule),
+            exclude=tuple(args.exclude),
+        )
+    except analysis.UnknownRuleError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    active = analysis.active_findings(findings)
+    shown = findings if args.show_suppressed else active
+    rendered = analysis.FORMATTERS[args.lint_format](shown)
+    if rendered:
+        print(rendered)
+    if args.lint_format == "text":
+        suppressed = len(findings) - len(active)
+        tail = f" ({suppressed} suppressed)" if suppressed else ""
+        print(f"reprolint: {len(active)} finding(s){tail}", file=sys.stderr)
+    # Exit code carries the finding count; cap below 126 so large counts
+    # can't wrap modulo 256 into a clean exit.
+    return min(len(active), 125)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -789,6 +849,7 @@ def main(argv: list[str] | None = None) -> int:
         "run-corpus": _cmd_run_corpus,
         "fuse": _cmd_fuse,
         "stats": _cmd_stats,
+        "lint": _cmd_lint,
     }
     # Observability is enabled before dispatch (instrumented objects may
     # capture their instruments at construction) and written out even when

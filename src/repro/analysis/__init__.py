@@ -1,0 +1,64 @@
+"""repro.analysis — reprolint, the repo's AST-based invariant checker.
+
+Replaces the seven CI grep gates with scope-aware rules and adds
+invariants greps cannot express: lock discipline, deterministic
+iteration on output paths, atomic-write discipline, and an exception
+taxonomy for the runtime.  See README "Static analysis" for the rule
+table and suppression syntax (``# repro: allow[rule-id] reason``).
+"""
+
+from repro.analysis.engine import (
+    ALL_RULES,
+    KNOWN_RULE_IDS,
+    RULES_BY_ID,
+    UnknownRuleError,
+    active_findings,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.analysis.findings import (
+    FORMATTERS,
+    Finding,
+    format_github,
+    format_json,
+    format_text,
+    sort_findings,
+)
+from repro.analysis.rule import LintContext, Rule, normalize_module
+from repro.analysis.suppress import (
+    PARSE_ERROR_RULE_ID,
+    SUPPRESSION_RULE_ID,
+    Suppression,
+    apply_suppressions,
+    collect_suppressions,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FORMATTERS",
+    "Finding",
+    "KNOWN_RULE_IDS",
+    "LintContext",
+    "PARSE_ERROR_RULE_ID",
+    "RULES_BY_ID",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+    "Suppression",
+    "UnknownRuleError",
+    "active_findings",
+    "apply_suppressions",
+    "collect_suppressions",
+    "format_github",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "normalize_module",
+    "select_rules",
+    "sort_findings",
+]

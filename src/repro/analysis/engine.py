@@ -1,0 +1,141 @@
+"""reprolint engine: rule registry, file collection, lint drivers.
+
+``lint_paths`` is the CLI entry point; ``lint_source`` lints an
+in-memory snippet under a virtual module path, which is how the rule
+fixture suite exercises every rule without touching the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rule import LintContext, Rule, normalize_module
+from repro.analysis.rules_discipline import DISCIPLINE_RULES
+from repro.analysis.rules_ported import PORTED_RULES
+from repro.analysis.suppress import (
+    PARSE_ERROR_RULE_ID,
+    apply_suppressions,
+    collect_suppressions,
+)
+
+ALL_RULES: tuple[Rule, ...] = (*PORTED_RULES, *DISCIPLINE_RULES)
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+KNOWN_RULE_IDS: frozenset[str] = frozenset(RULES_BY_ID)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+class UnknownRuleError(ValueError):
+    """Raised when --rule/--exclude names an id the registry lacks."""
+
+
+def select_rules(
+    include: tuple[str, ...] = (), exclude: tuple[str, ...] = ()
+) -> tuple[Rule, ...]:
+    for rule_id in (*include, *exclude):
+        if rule_id not in RULES_BY_ID:
+            raise UnknownRuleError(
+                f"unknown rule id {rule_id!r}; "
+                f"valid ids: {', '.join(sorted(KNOWN_RULE_IDS))}"
+            )
+    rules = ALL_RULES
+    if include:
+        wanted = set(include)
+        rules = tuple(rule for rule in rules if rule.id in wanted)
+    if exclude:
+        dropped = set(exclude)
+        rules = tuple(rule for rule in rules if rule.id not in dropped)
+    return rules
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS & set(candidate.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def lint_source(
+    source: str,
+    module: str,
+    *,
+    path: str | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> list[Finding]:
+    """Lint one module's source text under a virtual module path."""
+
+    display = path if path is not None else module
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_RULE_ID,
+                message=f"could not parse module: {exc.msg}",
+            )
+        ]
+    context = LintContext(
+        path=display, module=module, source=source, tree=tree
+    )
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.repo_level or not rule.applies_to(module):
+            continue
+        findings.extend(rule.check(context))
+    suppressions, problems = collect_suppressions(
+        display, source, set(KNOWN_RULE_IDS)
+    )
+    findings = apply_suppressions(findings, suppressions)
+    findings.extend(problems)
+    return sort_findings(findings)
+
+
+def lint_file(path: Path, rules: tuple[Rule, ...] = ALL_RULES) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source, normalize_module(str(path)), path=str(path), rules=rules
+    )
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    include: tuple[str, ...] = (),
+    exclude: tuple[str, ...] = (),
+    repo_root: str | Path | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` plus repo-level rules."""
+
+    rules = select_rules(include, exclude)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    for rule in rules:
+        if rule.repo_level:
+            findings.extend(rule.scan_repo(root))
+    return sort_findings(findings)
+
+
+def active_findings(findings: list[Finding]) -> list[Finding]:
+    return [finding for finding in findings if not finding.suppressed]

@@ -1,0 +1,101 @@
+"""Finding dataclass and output formatters for reprolint.
+
+A :class:`Finding` pins one invariant violation to a ``file:line`` with the
+rule id, a human message, and a fix hint.  Three render formats are
+supported: ``text`` (terminal), ``json`` (machine consumption), and
+``github`` (workflow error annotations).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation (or suppression problem) at a source line."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    fix_hint: str = ""
+    suppressed: bool = False
+    suppress_reason: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        payload = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+        if self.fix_hint:
+            payload["fix_hint"] = self.fix_hint
+        if self.suppressed:
+            payload["suppressed"] = True
+            payload["suppress_reason"] = self.suppress_reason
+        return payload
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+def format_text(findings: list[Finding]) -> str:
+    lines = []
+    for finding in findings:
+        tag = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location}: [{finding.rule_id}]{tag} {finding.message}"
+        )
+        if finding.fix_hint:
+            lines.append(f"    hint: {finding.fix_hint}")
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        {"findings": [finding.to_dict() for finding in findings],
+         "count": sum(1 for finding in findings if not finding.suppressed)},
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _github_escape(value: str) -> str:
+    # GitHub workflow commands terminate properties on these characters.
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: list[Finding]) -> str:
+    lines = []
+    for finding in findings:
+        message = finding.message
+        if finding.fix_hint:
+            message = f"{message} — {finding.fix_hint}"
+        if finding.suppressed:
+            message = f"(suppressed: {finding.suppress_reason}) {message}"
+        lines.append(
+            f"::error file={_github_escape(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_github_escape(finding.rule_id)}::"
+            f"{_github_escape(message)}"
+        )
+    return "\n".join(lines)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}

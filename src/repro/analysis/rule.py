@@ -1,0 +1,114 @@
+"""Rule framework for reprolint.
+
+A rule is a small object with an id, a one-line invariant summary, a
+rationale (why the invariant exists — ported from the CI grep-gate
+comments where applicable), and a ``check`` generator that walks a parsed
+module and yields :class:`~repro.analysis.findings.Finding`s.
+
+Rules scope themselves by *module path*: a repo-relative, ``src/``-stripped
+path like ``repro/runtime/service.py`` or ``benchmarks/bench_fusion.py``.
+``applies_to`` receives that path so a rule can target one file, one
+subtree, or everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+from repro.analysis.findings import Finding
+
+
+def normalize_module(path: str) -> str:
+    """Map a filesystem path to the module path rules are scoped by.
+
+    Strips any leading directories up to and including a ``src``
+    component (``src/repro/x.py`` and ``/abs/repo/src/repro/x.py`` both
+    become ``repro/x.py``); paths under ``benchmarks/`` or ``tests/``
+    keep that anchor.  Falls back to the path unchanged.
+    """
+
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for anchor in ("src", "benchmarks", "tests"):
+        if anchor in parts:
+            index = parts.index(anchor)
+            if anchor == "src":
+                tail = parts[index + 1:]
+            else:
+                tail = parts[index:]
+            if tail:
+                return "/".join(tail)
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule needs to check one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id``/``summary``/``rationale``/``fix_hint`` and
+    implement ``check``.  Repo-level rules (``repo_level = True``) skip
+    per-file checking and implement ``scan_repo`` instead.
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    fix_hint: str = ""
+    repo_level: bool = False
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("repro/")
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def scan_repo(self, root) -> Iterator[Finding]:  # pragma: no cover - base
+        return iter(())
+
+    def finding(
+        self,
+        context: LintContext,
+        node: ast.AST,
+        message: str,
+        *,
+        fix_hint: str | None = None,
+    ) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+def docstring_constants(tree: ast.Module) -> set[int]:
+    """Return ``id()``s of Constant nodes that are docstrings."""
+
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out

@@ -1,0 +1,162 @@
+"""Inline suppression handling for reprolint.
+
+Syntax::
+
+    some_code()  # repro: allow[rule-id] reason the invariant is waived here
+
+A suppression covers the line it sits on; a standalone comment line (no
+code before the ``#``) also covers the next line.  The reason is
+mandatory — a bare ``# repro: allow[rule-id]`` is itself a finding, as is
+a rule id the linter does not know.  Suppression problems are reported
+under the pseudo-rule id ``suppression`` and cannot themselves be
+suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+SUPPRESSION_RULE_ID = "suppression"
+PARSE_ERROR_RULE_ID = "parse-error"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str, bool]]:
+    """Yield ``(line, col, text, standalone)`` for each comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps allow-syntax
+    inside string literals and docstrings from registering as a
+    suppression.  ``standalone`` is true when nothing but whitespace
+    precedes the comment on its line.
+    """
+
+    out: list[tuple[int, int, str, bool]] = []
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            lineno, col = token.start
+            prefix = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+            out.append((lineno, col + 1, token.string, not prefix.strip()))
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return out
+
+
+@dataclass(frozen=True)
+class Suppression:
+    line: int
+    rule_id: str
+    reason: str
+    standalone: bool
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+def collect_suppressions(
+    path: str, source: str, known_rule_ids: set[str]
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse allow-comments out of ``source``.
+
+    Returns the valid suppressions plus findings for malformed ones
+    (missing reason, unknown rule id).
+    """
+
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+    for lineno, col, text, standalone in _comment_tokens(source):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rule_id = match.group(1).strip()
+        reason = match.group(2).strip()
+        if rule_id not in known_rule_ids:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        f"suppression names unknown rule id {rule_id!r}"
+                    ),
+                    fix_hint="run `repro lint --list-rules` for valid ids",
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Finding(
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        f"suppression of [{rule_id}] has no reason; "
+                        "a justification is required"
+                    ),
+                    fix_hint=(
+                        "write `# repro: allow[%s] <why this line is exempt>`"
+                        % rule_id
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rule_id=rule_id,
+                reason=reason,
+                standalone=standalone,
+            )
+        )
+    return suppressions, problems
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Mark findings covered by a matching suppression as suppressed."""
+
+    if not suppressions:
+        return findings
+    out: list[Finding] = []
+    for finding in findings:
+        if finding.rule_id in (SUPPRESSION_RULE_ID, PARSE_ERROR_RULE_ID):
+            out.append(finding)
+            continue
+        reason = next(
+            (
+                s.reason
+                for s in suppressions
+                if s.rule_id == finding.rule_id and s.covers(finding.line)
+            ),
+            None,
+        )
+        if reason is None:
+            out.append(finding)
+        else:
+            out.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule_id=finding.rule_id,
+                    message=finding.message,
+                    fix_hint=finding.fix_hint,
+                    suppressed=True,
+                    suppress_reason=reason,
+                )
+            )
+    return out

@@ -243,7 +243,10 @@ def run_table9(
             if emission is not None and emission.predicate == extraction.predicate:
                 correct[extraction.predicate] += 1
     table = Table9Result()
-    for predicate in set(annotations) | set(extractions):
+    # sorted(): set-union order is hash-seed-dependent, and Table9Result
+    # breaks extraction-count ties by insertion order — iterate
+    # deterministically so the report is byte-identical across runs.
+    for predicate in sorted(set(annotations) | set(extractions)):
         if predicate == NAME_PREDICATE:
             continue
         n_ext = extractions[predicate]

@@ -36,6 +36,7 @@ from repro import obs
 from repro.core.extraction.extractor import Extraction
 from repro.fusion.fuse import FactKey, FusedFact, fact_key
 from repro.fusion.reliability import estimate_reliability
+from repro.runtime.resilience import atomic_write
 
 __all__ = ["FactStore", "fused_fact_row", "write_fused_jsonl"]
 
@@ -236,9 +237,14 @@ class FactStore:
     def _write_run(
         path: Path, items: Iterable[tuple[FactKey, _Partial]]
     ) -> int:
-        """Write one sorted run file; returns the bytes written."""
+        """Write one sorted run file; returns the bytes written.
+
+        Atomic (temp + fsync + rename): a crash mid-spill or
+        mid-compaction never leaves a torn run file for a resumed or
+        concurrent reader to trust.
+        """
         written = 0
-        with path.open("w", encoding="utf-8") as sink:
+        with atomic_write(path, fault="fusion.run.write") as sink:
             for key, (best, support) in items:
                 line = (
                     json.dumps([list(key), list(best), support],

@@ -17,26 +17,22 @@ global model lives in a subdirectory precisely so it can never collide
 with a percent-encoded site key and never shows up in :meth:`sites`.
 
 Artifacts are self-describing: they carry ``format_version`` (schema
-revision, checked on load) and ``kind`` (sanity tag).  Writes are atomic
-(temp file + ``os.replace``) so a crashed or concurrent writer never
-leaves a torn artifact behind.  Any failure to decode, validate, or
+revision, checked on load) and ``kind`` (sanity tag).  Writes go through
+:func:`repro.runtime.resilience.atomic_write` (temp file + fsync +
+``os.replace`` + directory fsync) so a crash at any instant leaves
+either the old artifact or the complete new one — never an empty or torn
+file, and never a leftover temp.  Any failure to decode, validate, or
 rebuild an artifact surfaces as :class:`RegistryError` with the path and
-reason — never a raw ``KeyError`` five frames deep.  Writes are durable
-as well as atomic: the temp file is fsynced before ``os.replace`` and
-the directory entry after, so a crash at any instant leaves either the
-old artifact or the complete new one — never an empty or torn file.
+reason — never a raw ``KeyError`` five frames deep.
 """
 
 from __future__ import annotations
 
-import contextlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from urllib.parse import quote, unquote
 
-from repro.runtime.resilience import fsync_directory
+from repro.runtime.resilience import atomic_write
 from repro.runtime.serialize import (
     ARTIFACT_KIND,
     FORMAT_VERSION,
@@ -47,7 +43,6 @@ from repro.runtime.serialize import (
     site_model_from_dict,
     site_model_to_dict,
 )
-from repro.testing.faults import fault_point
 
 __all__ = ["RegistryError", "ModelRegistry"]
 
@@ -97,28 +92,8 @@ class ModelRegistry:
         """Atomically write one artifact's JSON payload."""
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(payload, ensure_ascii=False, sort_keys=True)
-        # A unique temp file per call (not per PID): concurrent saves from
-        # threads of one process must not interleave into a torn artifact.
-        descriptor, temp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(text)
-                # Flush user-space and kernel buffers before the rename:
-                # os.replace is only atomic about *names* — without the
-                # fsync a crash after the rename could still surface an
-                # empty or torn artifact under the final path.
-                handle.flush()
-                os.fsync(handle.fileno())
-            fault_point("registry.write_temp", path=temp)
-            os.replace(temp, path)
-            # And persist the rename itself (the directory entry).
-            fsync_directory(path.parent)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(temp)
-            raise
+        with atomic_write(path, fault="registry.write_temp") as handle:
+            handle.write(text)
         return path
 
     def _read_artifact(self, path: Path, kind: str) -> dict:

@@ -54,6 +54,7 @@ __all__ = [
     "STATE_FAILED",
     "STATE_QUARANTINED",
     "STATE_RUNNING",
+    "atomic_write",
     "backoff_delay",
     "classify_error",
     "config_fingerprint",
@@ -232,6 +233,51 @@ def fsync_directory(path: Path | str) -> None:
             os.close(fd)
 
 
+@contextlib.contextmanager
+def atomic_write(
+    path: Path | str,
+    *,
+    fault: str | None = None,
+    fault_fields: dict | None = None,
+) -> Iterator[TextIO]:
+    """Write ``path`` atomically: temp file + fsync + ``os.replace``.
+
+    Yields a text handle onto a uniquely-named temp file in ``path``'s
+    directory (unique per call, not per PID: concurrent saves from
+    threads of one process must not interleave into a torn artifact).
+    On clean exit the handle is flushed and fsynced before the rename —
+    ``os.replace`` is only atomic about *names*; without the fsync a
+    crash after the rename could still surface an empty or torn file
+    under the final path — then the directory entry itself is persisted.
+    On any failure the temp file is removed and the previous contents of
+    ``path`` remain untouched.
+
+    ``fault`` names an optional :func:`repro.testing.faults.fault_point`
+    fired between close and rename (with ``path=<temp>`` so corrupt-write
+    fault actions scribble on the staged file, never the live one).
+    """
+    path = Path(path)
+    descriptor, temp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".tmp"
+    )
+    try:
+        handle = os.fdopen(descriptor, "w", encoding="utf-8")
+        try:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        if fault is not None:
+            fault_point(fault, path=temp, **(fault_fields or {}))
+        os.replace(temp, path)
+        fsync_directory(path.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp)
+        raise
+
+
 # -- the run journal ---------------------------------------------------------
 
 STATE_RUNNING = "running"
@@ -385,22 +431,11 @@ class RunJournal:
         rename): readers see the old rows or all the new ones, never a
         torn file."""
         path = self.rows_path(site)
-        descriptor, temp = tempfile.mkstemp(
-            dir=self.rows_dir, prefix=path.name + ".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                for row in rows:
-                    handle.write(json.dumps(row, ensure_ascii=False) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            fault_point("rows.write", site=site, path=temp)
-            os.replace(temp, path)
-            fsync_directory(self.rows_dir)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(temp)
-            raise
+        with atomic_write(
+            path, fault="rows.write", fault_fields={"site": site}
+        ) as handle:
+            for row in rows:
+                handle.write(json.dumps(row, ensure_ascii=False) + "\n")
         return path
 
     def read_rows_text(self, site: str) -> str:

@@ -520,6 +520,7 @@ def _run_site(
                     report.degraded = True
                     report.error = None
                     report.traceback = None
+                # repro: allow[exception-taxonomy] last-ditch degraded pass — the error was already classified permanent upstream; record it on the report and keep the corpus running
                 except Exception as exc:  # noqa: BLE001
                     report.error = f"{type(exc).__name__}: {exc}"
                     report.traceback = traceback.format_exc()
@@ -797,6 +798,7 @@ def run_corpus(
                 spec = futures[future]
                 try:
                     payload = future.result()
+                # repro: allow[exception-taxonomy] worker crashed outside _run_site's own taxonomy (e.g. BrokenProcessPool); fold it into a failed SiteReport so one site can't sink the run
                 except Exception as exc:  # worker crashed outside _run_site
                     payload = {
                         "report": SiteReport(

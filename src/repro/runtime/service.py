@@ -134,6 +134,7 @@ class ExtractionService:
     def _resident(self, site: str) -> _ResidentSite:
         with self._residency_lock:
             cached = self._sites.get(site)
+            was_resident = site in self._ever_resident
         if cached is not None:
             return cached
         if self.registry is None:
@@ -143,7 +144,7 @@ class ExtractionService:
         try:
             model = self.registry.load(site)
         except RegistryError as exc:
-            if site in self._ever_resident and not self.registry.has(site):
+            if was_resident and not self.registry.has(site):
                 raise RegistryError(
                     f"site {site!r} was served by this process but its "
                     f"artifact has since been deleted from "
@@ -228,6 +229,7 @@ class ExtractionService:
             residents = {
                 site: self._sites.peek(site) for site in self._sites.keys()
             }
+            site_stats = self._sites.stats().to_dict()
         for site, resident in residents.items():
             if resident is None or resident.pool is None:
                 continue
@@ -235,7 +237,7 @@ class ExtractionService:
                 name: stats.to_dict()
                 for name, stats in resident.pool.cache_stats().items()
             }
-        return {"sites": self._sites.stats().to_dict(), "per_site": per_site}
+        return {"sites": site_stats, "per_site": per_site}
 
     def publish_metrics(self, registry=None) -> None:
         """Fold :meth:`cache_stats` into a metrics registry (default: the

@@ -6,6 +6,11 @@ the unit-test suite.  The shape assertions (who wins) run at slightly
 larger scale inside ``tests/test_integration_shapes.py``.
 """
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.datasets import generate_imdb
@@ -98,6 +103,48 @@ class TestTables89Figure6:
         counts = [count for _, count, _ in figure.points]
         assert counts == sorted(counts, reverse=True)
         assert "Figure 6" in figure.format()
+
+    def test_table9_report_is_hash_seed_invariant(self):
+        """run_table9 iterates a set union of predicates; Table9Result's
+        stable sort breaks extraction-count ties by insertion order, so
+        unsorted iteration would leak PYTHONHASHSEED into the report.
+        The report must be byte-identical across hash seeds."""
+        script = (
+            "import sys\n"
+            "from repro.evaluation.experiments.commoncrawl import run_table9\n"
+            "class Page:\n"
+            "    def emission_for_node(self, node):\n"
+            "        return None\n"
+            "class Site:\n"
+            "    name = 'site'\n"
+            "    pages = [Page()]\n"
+            "class Dataset:\n"
+            "    sites = [Site()]\n"
+            "class Ann:\n"
+            "    def __init__(self, p):\n"
+            "        self.predicate = p\n"
+            "class Ext:\n"
+            "    def __init__(self, p):\n"
+            "        self.predicate, self.page_index, self.node = p, 0, None\n"
+            "class APage:\n"
+            "    def __init__(self, anns):\n"
+            "        self.annotations = anns\n"
+            "class Result:\n"
+            "    annotated_pages = [APage([Ann(f'p{i}') for i in range(8)])]\n"
+            "    extractions = [Ext(f'p{i}') for i in range(8)]\n"
+            "table = run_table9(Dataset(), {'site': Result()})\n"
+            "sys.stdout.write(table.format())\n"
+        )
+        outputs = set()
+        for seed in ("1", "2", "3"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = str(Path(__file__).parent.parent / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1, "Table 9 report differs across hash seeds"
 
 
 class TestFigure4:

@@ -318,16 +318,18 @@ class TestDurableWrites:
     ):
         import os as os_module
 
-        import repro.runtime.registry as registry_module
+        # The durable-write mechanics live in resilience.atomic_write;
+        # patch the os seams it calls through.
+        import repro.runtime.resilience as resilience_module
 
         events = []
         real_fsync, real_replace = os_module.fsync, os_module.replace
         monkeypatch.setattr(
-            registry_module.os, "fsync",
+            resilience_module.os, "fsync",
             lambda fd: (events.append("fsync"), real_fsync(fd))[1],
         )
         monkeypatch.setattr(
-            registry_module.os, "replace",
+            resilience_module.os, "replace",
             lambda a, b: (events.append("replace"), real_replace(a, b))[1],
         )
         site, config, _, result = trained_site
