@@ -229,6 +229,94 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(serve)
 
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="run the resilient HTTP/JSON serving tier in front of a "
+        "registry (bounded queue, deadlines, per-site circuit breakers, "
+        "graceful SIGTERM drain)",
+    )
+    serve_http.add_argument(
+        "--registry", required=True, help="model registry directory"
+    )
+    serve_http.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_http.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 binds an ephemeral port (default 8080)",
+    )
+    serve_http.add_argument(
+        "--threads", type=int, default=2,
+        help="batch worker threads (default 2)",
+    )
+    serve_http.add_argument(
+        "--max-queue-depth", type=int, default=64,
+        help="admission queue bound; beyond it requests are shed with "
+        "429 + Retry-After (default 64)",
+    )
+    serve_http.add_argument(
+        "--request-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request wall-clock budget, enqueue to response "
+        "(default 30; expired requests get 504)",
+    )
+    serve_http.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint on shed/draining responses (default 1)",
+    )
+    serve_http.add_argument(
+        "--batch-max-pages", type=int, default=64,
+        help="page cap per merged cross-request batch (default 64)",
+    )
+    serve_http.add_argument(
+        "--batch-linger", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to this long for same-site requests to co-batch "
+        "(default 0: score immediately)",
+    )
+    serve_http.add_argument(
+        "--breaker-failures", type=int, default=3,
+        help="consecutive permanent failures that open a site's circuit "
+        "breaker (default 3)",
+    )
+    serve_http.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe (default 30)",
+    )
+    serve_http.add_argument(
+        "--breaker-probes", type=int, default=1,
+        help="successful probes required to close a half-open breaker "
+        "(default 1)",
+    )
+    serve_http.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="SIGTERM drain budget before queued work is force-answered "
+        "503 (default 30)",
+    )
+    serve_http.add_argument(
+        "--max-body-bytes", type=int, default=16 << 20,
+        help="largest accepted request body (default 16 MiB)",
+    )
+    serve_http.add_argument(
+        "--max-resident-sites", type=int, default=None,
+        help="site residency cap (default: CeresConfig.max_resident_sites)",
+    )
+    serve_http.add_argument(
+        "--transfer-fallback", action="store_true",
+        help="serve sites with no artifact zero-shot from the registry's "
+        "cross-site global model (breaker-open degradation always tries "
+        "the global model regardless of this flag)",
+    )
+    serve_http.add_argument(
+        "--max-parse-depth", type=int, default=None,
+        help="element nesting cap for untrusted HTML "
+        "(default: CeresConfig.max_parse_depth)",
+    )
+    serve_http.add_argument(
+        "--max-parse-nodes", type=int, default=None,
+        help="parsed-node cap for untrusted HTML "
+        "(default: CeresConfig.max_parse_nodes)",
+    )
+    _add_obs_flags(serve_http)
+
     train_global = sub.add_parser(
         "train-global",
         help="train the cross-site global (transfer) model over a corpus "
@@ -566,6 +654,71 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_http(args) -> int:
+    import signal
+
+    from repro.runtime import ExtractionService
+    from repro.serving import ServingConfig, ServingServer
+
+    if args.max_resident_sites is not None and args.max_resident_sites < 1:
+        raise SystemExit("--max-resident-sites must be >= 1")
+    try:
+        serving_config = ServingConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.threads,
+            max_queue_depth=args.max_queue_depth,
+            request_deadline=args.request_deadline,
+            retry_after=args.retry_after,
+            batch_max_pages=args.batch_max_pages,
+            batch_linger=args.batch_linger,
+            breaker_failures=args.breaker_failures,
+            breaker_cooldown=args.breaker_cooldown,
+            breaker_probes=args.breaker_probes,
+            drain_timeout=args.drain_timeout,
+            max_body_bytes=args.max_body_bytes,
+            max_parse_depth=args.max_parse_depth,
+            max_parse_nodes=args.max_parse_nodes,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    service = ExtractionService(
+        args.registry,
+        transfer_fallback=args.transfer_fallback,
+        max_resident_sites=args.max_resident_sites,
+    )
+    # Metrics power /stats and the shed/breaker counters — always on
+    # here, but never clobbering a registry --metrics-output installed.
+    if not obs.metrics_enabled():
+        obs.enable(tracing=False, metrics=True)
+    server = ServingServer(service, serving_config)
+    server.start()
+
+    def _terminate(signum, frame):  # noqa: ARG001 — signal handler signature
+        print(
+            f"[repro] signal {signum}: draining (in-flight work flushes, "
+            f"new work gets 503)",
+            file=sys.stderr,
+            flush=True,
+        )
+        server.initiate_drain()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    # The port line is a contract: harnesses parse it to find an
+    # ephemeral (--port 0) server.
+    print(
+        f"[repro] serving on http://{serving_config.host}:{server.port} "
+        f"(workers={serving_config.workers}, "
+        f"queue={serving_config.max_queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    server.wait_stopped()
+    print("[repro] drained, exiting", file=sys.stderr, flush=True)
+    return 0
+
+
 def _cmd_train_global(args) -> int:
     from repro.runtime import RegistryError, discover_corpus
     from repro.transfer import train_global_from_corpus
@@ -846,6 +999,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "train-global": _cmd_train_global,
         "serve": _cmd_serve,
+        "serve-http": _cmd_serve_http,
         "run-corpus": _cmd_run_corpus,
         "fuse": _cmd_fuse,
         "stats": _cmd_stats,

@@ -22,6 +22,18 @@ GUARDED_BY: dict[str, dict[str, str]] = {
         "_sites": "_residency_lock",
         "_ever_resident": "_residency_lock",
     },
+    "repro/serving/batching.py": {
+        "_pending": "_lock",
+        "_active_sites": "_lock",
+    },
+    "repro/serving/breaker.py": {
+        "_state": "_lock",
+        "_breakers": "_lock",
+    },
+    "repro/serving/server.py": {
+        "_inflight": "_lifecycle",
+        "_phase": "_lifecycle",
+    },
 }
 
 # Modules whose iteration order reaches serialized output (JSON/JSONL
@@ -283,14 +295,15 @@ class ExceptionTaxonomyRule(Rule):
     """Broad excepts in runtime/ must classify, re-raise, or justify."""
 
     id = "exception-taxonomy"
-    summary = "runtime/ broad excepts re-raise or classify_error"
+    summary = "runtime/ and serving/ broad excepts re-raise or classify_error"
     rationale = (
         "The runtime's retry/quarantine machinery routes every failure "
         "through resilience.classify_error so transient faults are "
-        "retried and permanent ones quarantined; an `except Exception` "
-        "that silently swallows breaks that taxonomy and hides poison "
-        "pages.  Handlers that genuinely must swallow carry an "
-        "allow-comment explaining why."
+        "retried and permanent ones quarantined; the serving tier's "
+        "shed/breaker decisions hang off the same taxonomy.  An "
+        "`except Exception` that silently swallows breaks that taxonomy "
+        "and hides poison pages.  Handlers that genuinely must swallow "
+        "carry an allow-comment explaining why."
     )
     fix_hint = (
         "re-raise, call resilience.classify_error(exc), or add "
@@ -300,7 +313,7 @@ class ExceptionTaxonomyRule(Rule):
     _BROAD = frozenset({"Exception", "BaseException"})
 
     def applies_to(self, module: str) -> bool:
-        return module.startswith("repro/runtime/")
+        return module.startswith(("repro/runtime/", "repro/serving/"))
 
     def _is_broad(self, node: ast.ExceptHandler) -> bool:
         if node.type is None:

@@ -108,6 +108,17 @@ class CeresConfig:
     #: served sites are evicted and transparently reloaded on next use.
     max_resident_sites: int = 8
 
+    # --- parsing limits (hostile-input hardening; serving tier) ---
+    #: Cap on open-element nesting depth when parsing untrusted HTML
+    #: (the serving tier passes this to :func:`repro.dom.parser.parse_html`).
+    #: Generous: real template pages nest well under 100 levels; a
+    #: ``<div>``-bomb recursion attack needs thousands.
+    max_parse_depth: int = 240
+    #: Cap on total parsed nodes (elements + text runs) per untrusted
+    #: page.  Generous: the largest SWDE pages build a few tens of
+    #: thousands of nodes.
+    max_parse_nodes: int = 400_000
+
     # --- template clustering (Section 2.1) ---
     #: Whether to split a site's pages into template clusters first.
     use_template_clustering: bool = True

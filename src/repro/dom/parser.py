@@ -15,6 +15,14 @@ template engines emit.  It handles:
 The resulting :class:`Document` exposes ``text_fields()`` — the
 document-order list of visible, non-whitespace text nodes that CERES
 annotates and classifies.
+
+Hostile-input hardening: :func:`parse_html` accepts ``max_depth`` /
+``max_nodes`` caps (the serving tier passes
+:attr:`~repro.core.config.CeresConfig.max_parse_depth` /
+:attr:`~repro.core.config.CeresConfig.max_parse_nodes`), raising
+:class:`ParseLimitError` — a permanently-classified error — instead of
+letting a POSTed ``<div><div><div>…`` bomb blow the recursion limit or
+RAM.  Trusted corpus files parse uncapped by default.
 """
 
 from __future__ import annotations
@@ -24,7 +32,17 @@ from html.parser import HTMLParser
 
 from repro.dom.node import NON_CONTENT_ELEMENTS, VOID_ELEMENTS, ElementNode, TextNode
 
-__all__ = ["Document", "parse_html"]
+__all__ = ["Document", "ParseLimitError", "parse_html"]
+
+
+class ParseLimitError(ValueError):
+    """Parsed HTML exceeded its structural budget (depth or node count).
+
+    Classified *permanent* by
+    :func:`repro.runtime.resilience.classify_error` (a ``ValueError``:
+    retrying the same payload cannot help) — the serving tier answers it
+    with a client-error status instead of melting down.
+    """
 
 #: Monotonic source of :attr:`Document.doc_id` values.  ``next()`` on an
 #: ``itertools.count`` is atomic under the GIL, so concurrent parsing
@@ -121,13 +139,35 @@ class Document:
 
 
 class _TreeBuilder(HTMLParser):
-    """Incremental DOM construction driven by HTMLParser events."""
+    """Incremental DOM construction driven by HTMLParser events.
 
-    def __init__(self) -> None:
+    ``max_depth`` caps how deep the open-element stack may grow and
+    ``max_nodes`` caps total nodes built (elements + text); exceeding
+    either raises :class:`ParseLimitError` mid-feed, before the hostile
+    payload can exhaust the recursion limit (xpath/feature walks recurse
+    per level) or memory.  ``None`` disables a cap.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        max_nodes: int | None = None,
+    ) -> None:
         super().__init__(convert_charrefs=True)
         self.synthetic_root = ElementNode("#fragment")
         self._stack: list[ElementNode] = [self.synthetic_root]
         self._pending_text: list[str] = []
+        self._max_depth = max_depth
+        self._max_nodes = max_nodes
+        self._n_nodes = 0
+
+    def _count_node(self) -> None:
+        self._n_nodes += 1
+        if self._max_nodes is not None and self._n_nodes > self._max_nodes:
+            raise ParseLimitError(
+                f"document exceeds max_parse_nodes={self._max_nodes}: "
+                f"refusing to build node {self._n_nodes}"
+            )
 
     # -- text buffering -------------------------------------------------
 
@@ -145,6 +185,7 @@ class _TreeBuilder(HTMLParser):
         else:
             if not text:
                 return
+            self._count_node()
             parent.append(TextNode(text))
 
     # -- HTMLParser callbacks --------------------------------------------
@@ -155,6 +196,16 @@ class _TreeBuilder(HTMLParser):
         if closers:
             while len(self._stack) > 1 and self._stack[-1].tag in closers:
                 self._stack.pop()
+        if (
+            self._max_depth is not None
+            and tag not in VOID_ELEMENTS
+            and len(self._stack) > self._max_depth
+        ):
+            raise ParseLimitError(
+                f"document exceeds max_parse_depth={self._max_depth} "
+                f"at <{tag}>"
+            )
+        self._count_node()
         element = ElementNode(tag, {k: (v or "") for k, v in attrs})
         self._stack[-1].append(element)
         if tag not in VOID_ELEMENTS:
@@ -162,6 +213,7 @@ class _TreeBuilder(HTMLParser):
 
     def handle_startendtag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
         self._flush_text()
+        self._count_node()
         element = ElementNode(tag, {k: (v or "") for k, v in attrs})
         self._stack[-1].append(element)
 
@@ -189,14 +241,26 @@ class _TreeBuilder(HTMLParser):
         del self._stack[1:]
 
 
-def parse_html(html: str, url: str = "") -> Document:
+def parse_html(
+    html: str,
+    url: str = "",
+    *,
+    max_depth: int | None = None,
+    max_nodes: int | None = None,
+) -> Document:
     """Parse an HTML string into a :class:`Document`.
 
     If the markup contains an ``<html>`` element it becomes the document
     root; otherwise the synthetic fragment root is used (useful in tests
     operating on snippets).
+
+    ``max_depth`` / ``max_nodes`` cap the tree a hostile payload may
+    build (raising :class:`ParseLimitError`); untrusted input — anything
+    POSTed to the serving tier — should always pass the
+    :class:`~repro.core.config.CeresConfig` caps.  Defaults are
+    uncapped, preserving behaviour for trusted corpus files.
     """
-    builder = _TreeBuilder()
+    builder = _TreeBuilder(max_depth=max_depth, max_nodes=max_nodes)
     builder.feed(html)
     builder.close()
     root = builder.synthetic_root

@@ -23,6 +23,7 @@ silently skewing the merge.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Mapping, Sequence
 
@@ -44,16 +45,22 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing integer-ish counter."""
+    """A monotonically increasing integer-ish counter.
 
-    __slots__ = ("name", "value")
+    Thread-safe: the serving tier increments from handler and worker
+    threads concurrently, and ``+=`` is not atomic across bytecodes.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -65,7 +72,9 @@ class Histogram:
     (i.e. non-cumulative), so merged histograms are exact sums.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "count", "min", "max")
+    __slots__ = (
+        "name", "buckets", "counts", "total", "count", "min", "max", "_lock",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
@@ -79,6 +88,7 @@ class Histogram:
         self.count = 0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         index = len(self.buckets)  # overflow bucket
@@ -86,13 +96,14 @@ class Histogram:
             if value <= bound:
                 index = i
                 break
-        self.counts[index] += 1
-        self.total += value
-        self.count += 1
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -136,26 +147,33 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Guards instrument *creation* and dict iteration; each
+        # instrument then serializes its own mutations.  Two threads
+        # racing counter("x") must get the same Counter, not clobber
+        # each other's increments with fresh instances.
+        self._registry_lock = threading.Lock()
 
     # -- instruments -------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        found = self._counters.get(name)
-        if found is None:
-            found = self._counters[name] = Counter(name)
-        return found
+        with self._registry_lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            return found
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
     ) -> Histogram:
-        found = self._histograms.get(name)
-        if found is None:
-            found = self._histograms[name] = Histogram(name, buckets)
-        elif found.buckets != tuple(buckets):
-            raise ValueError(
-                f"histogram {name!r} already exists with different buckets"
-            )
-        return found
+        with self._registry_lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name, buckets)
+            elif found.buckets != tuple(buckets):
+                raise ValueError(
+                    f"histogram {name!r} already exists with different buckets"
+                )
+            return found
 
     # -- conveniences ------------------------------------------------------
 
@@ -194,11 +212,11 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Plain-data view: ``{"counters": {...}, "histograms": {...}}``."""
+        with self._registry_lock:
+            counters = sorted(self._counters.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
+            "counters": {name: counter.value for name, counter in counters},
             "histograms": {
                 name: {
                     "buckets": list(histogram.buckets),
@@ -208,7 +226,7 @@ class MetricsRegistry:
                     "min": histogram.min,
                     "max": histogram.max,
                 }
-                for name, histogram in sorted(self._histograms.items())
+                for name, histogram in histograms
             },
         }
 
@@ -223,23 +241,27 @@ class MetricsRegistry:
                 raise ValueError(
                     f"histogram {name!r}: bucket mismatch in merge"
                 )
-            for index, count in enumerate(data["counts"]):
-                histogram.counts[index] += count
-            histogram.total += data["sum"]
-            histogram.count += data["count"]
-            for bound, pick in (("min", min), ("max", max)):
-                incoming = data[bound]
-                if incoming is not None:
-                    current = getattr(histogram, bound)
-                    setattr(
-                        histogram,
-                        bound,
-                        incoming if current is None else pick(current, incoming),
-                    )
+            with histogram._lock:
+                for index, count in enumerate(data["counts"]):
+                    histogram.counts[index] += count
+                histogram.total += data["sum"]
+                histogram.count += data["count"]
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = data[bound]
+                    if incoming is not None:
+                        current = getattr(histogram, bound)
+                        setattr(
+                            histogram,
+                            bound,
+                            incoming
+                            if current is None
+                            else pick(current, incoming),
+                        )
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._registry_lock:
+            self._counters.clear()
+            self._histograms.clear()
 
 
 def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:

@@ -41,12 +41,15 @@ _EXPORTS = {
     "LRUCache": "repro.runtime.cache",
     "ModelRegistry": "repro.runtime.registry",
     "RegistryError": "repro.runtime.registry",
+    "Deadline": "repro.runtime.resilience",
     "JournalError": "repro.runtime.resilience",
+    "OverloadError": "repro.runtime.resilience",
     "RunJournal": "repro.runtime.resilience",
     "SiteTimeoutError": "repro.runtime.resilience",
     "backoff_delay": "repro.runtime.resilience",
     "classify_error": "repro.runtime.resilience",
     "deadline": "repro.runtime.resilience",
+    "soft_deadline": "repro.runtime.resilience",
     "SiteReport": "repro.runtime.runner",
     "SiteSpec": "repro.runtime.runner",
     "discover_corpus": "repro.runtime.runner",

@@ -19,13 +19,19 @@ them:
   tests replay exactly).  ``sleep_backoff`` is the **only** sanctioned
   retry sleep in the codebase; CI greps for bare ``time.sleep`` retry
   loops elsewhere.
-* :func:`deadline` — a per-site wall-clock timeout (SIGALRM-based; pool
-  workers and inline runs both execute site work on their process's main
-  thread, where the alarm is deliverable).
+* :func:`deadline` — a per-site wall-clock timeout (SIGALRM-based on the
+  main thread, where the alarm is deliverable; off the main thread it
+  degrades to the cooperative :func:`soft_deadline` check).
+* :func:`soft_deadline` / :class:`Deadline` — a monotonic-clock
+  cooperative deadline usable from *any* thread (the serving tier's
+  request handlers and batch workers), with a timer-armed event as the
+  wake-up fallback for blocked waiters.
 * :func:`classify_error` — transient (worth retrying: timeouts,
-  connection resets, EAGAIN/ENOSPC-style OS hiccups, injected transient
-  faults) vs permanent (retrying cannot help: missing files, value
-  errors, injected permanent faults).
+  connection resets, ENOSPC-style OS hiccups, injected transient
+  faults) vs overload (the system is busy, not broken: bounded queues
+  full, EAGAIN/EBUSY contention — retry later, never trip a breaker)
+  vs permanent (retrying cannot help: missing files, value errors,
+  injected permanent faults).
 """
 
 from __future__ import annotations
@@ -44,10 +50,17 @@ from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 from urllib.parse import quote
 
-from repro.testing.faults import FaultError, TransientFaultError, fault_point
+from repro.testing.faults import (
+    FaultError,
+    OverloadFaultError,
+    TransientFaultError,
+    fault_point,
+)
 
 __all__ = [
+    "Deadline",
     "JournalError",
+    "OverloadError",
     "RunJournal",
     "SiteTimeoutError",
     "STATE_DONE",
@@ -62,11 +75,23 @@ __all__ = [
     "fsync_directory",
     "site_fingerprint",
     "sleep_backoff",
+    "soft_deadline",
 ]
 
 
 class SiteTimeoutError(TimeoutError):
     """A site exceeded its wall-clock budget (see :func:`deadline`)."""
+
+
+class OverloadError(RuntimeError):
+    """The system is too busy to take the work right now.
+
+    Raised by bounded admission paths (the serving tier's queue, a
+    breaker open with no fallback).  Classified ``"overload"`` by
+    :func:`classify_error`: worth retrying *later* (it is not broken),
+    but never counted toward a circuit breaker and never treated as a
+    permanent failure.
+    """
 
 
 class JournalError(ValueError):
@@ -76,13 +101,11 @@ class JournalError(ValueError):
 
 # -- error classification ----------------------------------------------------
 
-#: OS-level errnos worth retrying: contended/flaky resources that can
-#: clear on their own.  Missing files (ENOENT & friends) are *not* here —
+#: OS-level errnos worth retrying: flaky resources that can clear on
+#: their own.  Missing files (ENOENT & friends) are *not* here —
 #: retrying a nonexistent pages directory cannot help.
 _TRANSIENT_ERRNOS = frozenset(
     {
-        errno.EAGAIN,
-        errno.EBUSY,
         errno.EINTR,
         errno.EIO,
         errno.ENOSPC,
@@ -91,26 +114,40 @@ _TRANSIENT_ERRNOS = frozenset(
     }
 )
 
+#: OS-level errnos meaning "busy", not "broken": the resource exists and
+#: works, there is just contention for it right now.  Distinct from
+#: transient so shed/breaker decisions never conflate load with damage.
+_OVERLOAD_ERRNOS = frozenset({errno.EAGAIN, errno.EBUSY})
+
 
 def classify_error(exc: BaseException) -> str:
-    """``"transient"`` (retry with backoff) or ``"permanent"`` (don't).
+    """``"transient"`` (retry with backoff), ``"overload"`` (busy — back
+    off and retry later, never trips a breaker), or ``"permanent"``
+    (retrying cannot help).
 
     Injected faults carry their own classification
-    (:class:`TransientFaultError` vs :class:`FaultError`); timeouts and
-    connection failures are transient; OS errors are transient only for
-    contended-resource errnos; everything else — logic errors, missing
-    inputs, malformed data — is permanent.
+    (:class:`TransientFaultError` / :class:`OverloadFaultError` vs
+    :class:`FaultError`); timeouts and connection failures are
+    transient; OS errors split into contended-resource (overload) and
+    flaky-resource (transient) errnos; everything else — logic errors,
+    missing inputs, malformed data — is permanent.
     """
+    if isinstance(exc, OverloadFaultError):
+        return "overload"
     if isinstance(exc, TransientFaultError):
         return "transient"
     if isinstance(exc, FaultError):
         return "permanent"
+    if isinstance(exc, OverloadError):
+        return "overload"
     if isinstance(exc, (FileNotFoundError, NotADirectoryError,
                         IsADirectoryError, PermissionError)):
         return "permanent"
     if isinstance(exc, (TimeoutError, ConnectionError, InterruptedError)):
         return "transient"
     if isinstance(exc, OSError):
+        if exc.errno in _OVERLOAD_ERRNOS:
+            return "overload"
         return "transient" if exc.errno in _TRANSIENT_ERRNOS else "permanent"
     return "permanent"
 
@@ -149,29 +186,125 @@ def sleep_backoff(
     return delay
 
 
-# -- wall-clock deadline -----------------------------------------------------
+# -- wall-clock deadlines ----------------------------------------------------
+
+
+class Deadline:
+    """A monotonic-clock cooperative deadline, usable from any thread.
+
+    Unlike :func:`deadline` (SIGALRM — main-thread-only, preemptive),
+    a ``Deadline`` never interrupts anything by itself: code *checks* it
+    at safe points (:meth:`check`, :meth:`expired`) and sizes its
+    blocking waits by :meth:`remaining`.  :attr:`expired_event` is a
+    :class:`threading.Event` that :func:`soft_deadline` arms with a
+    timer at expiry, so a waiter multiplexing on it (or on an event via
+    :meth:`wait`) wakes without polling even when nothing else fires.
+    """
+
+    __slots__ = ("seconds", "_expires_at", "expired_event", "_timer")
+
+    def __init__(self, seconds: float | None) -> None:
+        #: the budget this deadline was created with (None = unbounded).
+        self.seconds = seconds
+        self._expires_at = (
+            None if seconds is None else time.monotonic() + seconds
+        )
+        #: set once the budget is exhausted (by the fallback timer, or by
+        #: the first expiry-observing call on any thread).
+        self.expired_event = threading.Event()
+        self._timer: threading.Timer | None = None
+
+    def _arm_timer(self) -> None:
+        """Start the fallback timer that flips :attr:`expired_event`."""
+        if self.seconds is not None and self._timer is None:
+            self._timer = threading.Timer(
+                self.seconds, self.expired_event.set
+            )
+            self._timer.daemon = True
+            self._timer.start()
+
+    def cancel(self) -> None:
+        """Stop the fallback timer (the guarded block finished)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def remaining(self) -> float | None:
+        """Seconds left (never negative); ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted (monotonic clock is truth)."""
+        if self._expires_at is None:
+            return False
+        if time.monotonic() >= self._expires_at:
+            self.expired_event.set()
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`SiteTimeoutError` if the budget is exhausted."""
+        if self.expired():
+            raise SiteTimeoutError(
+                f"soft deadline of {self.seconds}s exceeded"
+            )
+
+    def wait(self, event: threading.Event, grace: float = 0.0) -> bool:
+        """Wait for ``event`` up to the remaining budget (+ ``grace``).
+
+        Returns whether the event was set — ``False`` means the deadline
+        ran out first.  With no budget, waits indefinitely.
+        """
+        left = self.remaining()
+        return event.wait(None if left is None else left + grace)
 
 
 @contextlib.contextmanager
-def deadline(seconds: float | None) -> Iterator[None]:
+def soft_deadline(seconds: float | None) -> Iterator[Deadline]:
+    """Cooperative, any-thread counterpart of :func:`deadline`.
+
+    Yields a :class:`Deadline` the guarded code checks at safe points;
+    the fallback timer arms :attr:`Deadline.expired_event` so blocked
+    waiters wake at expiry without polling.  ``seconds`` None/<= 0
+    yields an unbounded deadline (checks never fire), mirroring
+    :func:`deadline`'s no-op contract.
+    """
+    unbounded = seconds is None or seconds <= 0
+    handle = Deadline(None if unbounded else seconds)
+    handle._arm_timer()
+    try:
+        yield handle
+    finally:
+        handle.cancel()
+
+
+@contextlib.contextmanager
+def deadline(seconds: float | None) -> Iterator[Deadline | None]:
     """Raise :class:`SiteTimeoutError` if the block outlives ``seconds``.
 
-    SIGALRM-based, so it interrupts blocking waits (a hung page read, an
-    injected ``hang`` fault sleeping in C ``sleep``).  A no-op when
-    ``seconds`` is None/<= 0, when the platform has no SIGALRM, or when
-    called off the main thread (signals are only deliverable to the main
-    thread) — both ``run_corpus`` inline mode and pool workers run site
-    work on their process's main thread, so the guard matters only for
-    exotic embeddings, which degrade to "no timeout" rather than crash.
+    SIGALRM-based on the main thread, so it interrupts blocking waits (a
+    hung page read, an injected ``hang`` fault sleeping in C ``sleep``);
+    both ``run_corpus`` inline mode and pool workers run site work on
+    their process's main thread, where the alarm is deliverable.  Off
+    the main thread (or without SIGALRM) it degrades to the cooperative
+    :func:`soft_deadline`: the block cannot be preempted, but an overrun
+    is still detected — and raised — when the block exits, and the
+    yielded :class:`Deadline` lets cooperative code check mid-flight.
+    A no-op when ``seconds`` is None/<= 0.
     """
+    if seconds is None or seconds <= 0:
+        yield None
+        return
     usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
-        yield
+        with soft_deadline(seconds) as handle:
+            yield handle
+            handle.check()
         return
 
     def _expire(signum, frame):  # noqa: ARG001 — signal handler signature

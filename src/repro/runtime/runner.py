@@ -458,9 +458,10 @@ def _run_site(
     would ship the whole KB with every task.
 
     Attempt schedule: up to ``max_attempts`` full-batch attempts, each
-    under ``site_timeout`` wall-clock, retrying **transient** failures
-    (``classify_error``) after a deterministic-jitter exponential
-    backoff.  If the full batch never succeeds (permanent error, or
+    under ``site_timeout`` wall-clock, retrying **transient** and
+    **overload** failures (``classify_error`` — busy is worth waiting
+    out just like flaky; only *permanent* aborts the schedule) after a
+    deterministic-jitter exponential backoff.  If the full batch never succeeds (permanent error, or
     retries exhausted), one final **degraded** attempt isolates pages:
     poison pages are quarantined by name and the site completes on the
     survivors — a bad page costs a page, not a site.

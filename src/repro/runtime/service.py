@@ -214,6 +214,15 @@ class ExtractionService:
             self._global = self.registry.load_global()
         return self._global
 
+    def has_site_model(self, site: str) -> bool:
+        """True if ``site`` would be served by its *own* model — resident
+        or with a registry artifact — rather than zero-shot.  Never
+        loads anything; never raises."""
+        with self._residency_lock:
+            if site in self._sites:
+                return True
+        return self.registry is not None and self.registry.has(site)
+
     # -- observability -----------------------------------------------------
 
     def cache_stats(self) -> dict:
@@ -302,12 +311,43 @@ class ExtractionService:
         registry.inc("service.extractions", len(extractions))
         return extractions
 
+    def extract_pages_transfer(
+        self,
+        site: str,
+        documents: list[Document],
+        threshold: float | None = None,
+    ) -> list[Extraction]:
+        """Serve one request zero-shot through the global model,
+        *regardless* of whether a per-site artifact exists.
+
+        This is the serving tier's graceful-degradation path: a site
+        whose per-site model keeps failing (circuit breaker open) is
+        served from the cross-site transfer model — rows tagged
+        ``model="transfer"`` — instead of 500ing.  Unlike the implicit
+        absence fallback in :meth:`extract_pages`, the ``upgrade_hook``
+        is *not* invited: the per-site model exists and is suspect, so
+        retraining policy belongs to whoever opened the breaker.
+
+        Raises :class:`RegistryError` when no global model is available.
+        """
+        global_model = self.global_model()
+        if global_model is None:
+            raise RegistryError(
+                f"cannot serve {site!r} zero-shot: no cross-site global "
+                f"model is installed (train one with "
+                f"`python -m repro train-global`)"
+            )
+        return self._extract_transfer(
+            site, documents, threshold, global_model, invoke_hook=False
+        )
+
     def _extract_transfer(
         self,
         site: str,
         documents: list[Document],
         threshold: float | None,
         global_model: GlobalCeresModel,
+        invoke_hook: bool = True,
     ) -> list[Extraction]:
         """Zero-shot serving of one request through the global model."""
         with obs.span(
@@ -321,7 +361,7 @@ class ExtractionService:
         registry.inc("transfer.pages", len(documents))
         registry.inc("transfer.extractions", len(extractions))
         hook = self.upgrade_hook
-        if hook is not None:
+        if invoke_hook and hook is not None:
             hook(site, documents)
         return extractions
 

@@ -1,0 +1,45 @@
+"""Resilient online serving tier (``python -m repro serve-http``).
+
+A stdlib-only threaded HTTP/JSON front for
+:class:`~repro.runtime.service.ExtractionService`, built around the
+failure modes a long-lived server actually meets: overload (bounded
+admission + 429 shedding), slow requests (cooperative deadlines → 504),
+broken site models (per-site circuit breakers degrading to the
+zero-shot transfer model), and shutdown (SIGTERM drains accepted work,
+then exits 0).  See :mod:`repro.serving.server` for the full design
+notes and the README's "Online serving" section for the runbook.
+"""
+
+from __future__ import annotations
+
+from repro.serving.batching import (
+    OFFER_ACCEPTED,
+    OFFER_CLOSED,
+    OFFER_FULL,
+    AdmissionQueue,
+    PendingRequest,
+)
+from repro.serving.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.serving.config import ServingConfig
+from repro.serving.server import ServingServer
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OFFER_ACCEPTED",
+    "OFFER_CLOSED",
+    "OFFER_FULL",
+    "OPEN",
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "PendingRequest",
+    "ServingConfig",
+    "ServingServer",
+]

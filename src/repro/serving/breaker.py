@@ -1,0 +1,177 @@
+"""Per-site circuit breakers for the serving tier.
+
+A breaker watches the *permanent* failure stream of one site's warm
+extraction path and cuts the site over to the zero-shot transfer
+fallback when that path is clearly broken (corrupt artifact, model
+incompatible with current code, poisoned template).  Transient and
+overload failures never trip a breaker — retrying those is the whole
+point of classifying them.
+
+States follow the classic pattern:
+
+``closed``
+    Normal operation.  ``breaker_failures`` *consecutive* permanent
+    failures open the breaker.
+``open``
+    All traffic routes to the fallback.  After ``breaker_cooldown``
+    seconds the next request is let through as a probe (half-open).
+``half-open``
+    At most one probe is in flight at a time.  ``breaker_probes``
+    consecutive probe successes close the breaker; a permanent probe
+    failure reopens it (and restarts the cooldown).
+
+The board and each breaker are thread-safe; ``clock`` is injectable so
+tests can drive the cooldown without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import threading
+
+__all__ = ["BreakerBoard", "CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-driven routing switch for one site's primary path."""
+
+    def __init__(
+        self,
+        failures: int = 3,
+        cooldown: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        if probes < 1:
+            raise ValueError("probes must be >= 1")
+        self._failures = failures
+        self._cooldown = cooldown
+        self._probes = probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = {
+            "phase": CLOSED,
+            "consecutive_failures": 0,
+            "opened_at": 0.0,
+            "probe_in_flight": False,
+            "probe_successes": 0,
+            "opened_total": 0,
+        }
+
+    def route(self) -> str:
+        """Where the next request should go: ``"primary"`` or ``"fallback"``.
+
+        Calling this is a commitment: a ``"primary"`` answer in the
+        half-open phase claims the single probe slot, and the caller
+        must report back via :meth:`record_success` /
+        :meth:`record_failure` to release it.
+        """
+        with self._lock:
+            state = self._state
+            if state["phase"] == CLOSED:
+                return "primary"
+            if state["phase"] == OPEN:
+                if self._clock() - state["opened_at"] < self._cooldown:
+                    return "fallback"
+                state["phase"] = HALF_OPEN
+                state["probe_in_flight"] = False
+                state["probe_successes"] = 0
+            # half-open: one probe at a time, everyone else falls back.
+            if state["probe_in_flight"]:
+                return "fallback"
+            state["probe_in_flight"] = True
+            return "primary"
+
+    def record_success(self) -> None:
+        """Report a primary-path success (closes a probed breaker)."""
+        with self._lock:
+            state = self._state
+            state["consecutive_failures"] = 0
+            if state["phase"] == HALF_OPEN:
+                state["probe_in_flight"] = False
+                state["probe_successes"] += 1
+                if state["probe_successes"] >= self._probes:
+                    state["phase"] = CLOSED
+
+    def record_failure(self, category: str) -> bool:
+        """Report a primary-path failure of ``classify_error`` *category*.
+
+        Returns True when this report opened (or reopened) the breaker.
+        Only ``"permanent"`` failures count against the trip threshold;
+        a transient/overload probe failure just releases the probe slot
+        so the next request can try again.
+        """
+        with self._lock:
+            state = self._state
+            if state["phase"] == HALF_OPEN:
+                state["probe_in_flight"] = False
+                if category != "permanent":
+                    return False
+                state["phase"] = OPEN
+                state["opened_at"] = self._clock()
+                state["opened_total"] += 1
+                return True
+            if category != "permanent":
+                return False
+            state["consecutive_failures"] += 1
+            if state["phase"] == CLOSED and state["consecutive_failures"] >= self._failures:
+                state["phase"] = OPEN
+                state["opened_at"] = self._clock()
+                state["opened_total"] += 1
+                return True
+            return False
+
+    @property
+    def phase(self) -> str:
+        with self._lock:
+            return self._state["phase"]
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of the breaker's state (for ``/stats``)."""
+        with self._lock:
+            return dict(self._state)
+
+
+class BreakerBoard:
+    """Lazily-created :class:`CircuitBreaker` per site."""
+
+    def __init__(
+        self,
+        failures: int = 3,
+        cooldown: float = 30.0,
+        probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._failures = failures
+        self._cooldown = cooldown
+        self._probes = probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def for_site(self, site: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(site)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failures=self._failures,
+                    cooldown=self._cooldown,
+                    probes=self._probes,
+                    clock=self._clock,
+                )
+                self._breakers[site] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-site breaker snapshots, sites sorted for stable output."""
+        with self._lock:
+            boards = sorted(self._breakers.items())
+        return {site: breaker.snapshot() for site, breaker in boards}

@@ -1,0 +1,91 @@
+"""Knobs for the resilient online serving tier (``serve-http``).
+
+Every field maps to a CLI flag; defaults are sized for a laptop-scale
+deployment and are deliberately conservative about memory (bounded
+queue) and latency (short linger).  :class:`ServingConfig` is frozen —
+the server reads it from many threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """All knobs of the HTTP serving tier, validated at construction."""
+
+    # --- wire ---
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (the bound port is printed on
+    #: startup and exposed as :attr:`ServingServer.port`).
+    port: int = 8080
+    #: Largest accepted request body; beyond it the request is answered
+    #: 413 without being read.
+    max_body_bytes: int = 16 << 20
+
+    # --- admission / backpressure ---
+    #: Batch worker threads (cross-*site* parallelism; requests for one
+    #: site are serialized through its extractor pool).
+    workers: int = 2
+    #: Bounded admission queue depth (requests).  A full queue sheds new
+    #: work with 429 + ``Retry-After`` instead of queueing unboundedly.
+    max_queue_depth: int = 64
+    #: ``Retry-After`` value (seconds) sent with shed (429) and
+    #: draining (503) responses.
+    retry_after: float = 1.0
+
+    # --- deadlines ---
+    #: Per-request wall-clock budget, enqueue to response.  A request
+    #: whose budget runs out is answered 504 — by the worker if it is
+    #: still queued, by the handler if the worker is wedged.  Clients
+    #: may request *less* via a ``deadline`` body field, never more.
+    request_deadline: float = 30.0
+
+    # --- cross-request micro-batching ---
+    #: Page cap per merged batch fed to the scoring engine.
+    batch_max_pages: int = 64
+    #: After claiming a batch, wait up to this long for more same-site
+    #: requests to arrive before scoring (0 disables).  Trades a little
+    #: latency for fuller :class:`BatchScorer` batches.
+    batch_linger: float = 0.0
+
+    # --- per-site circuit breakers ---
+    #: Consecutive *permanent* failures that open a site's breaker
+    #: (transient/overload failures never count).
+    breaker_failures: int = 3
+    #: Seconds an open breaker waits before letting a probe through
+    #: (open → half-open).
+    breaker_cooldown: float = 30.0
+    #: Consecutive successful probes required to close a half-open
+    #: breaker.
+    breaker_probes: int = 1
+
+    # --- graceful drain ---
+    #: Seconds the SIGTERM drain waits for queued + in-flight work
+    #: before force-answering what remains with 503 and exiting anyway.
+    drain_timeout: float = 30.0
+
+    # --- hostile-input parse caps (None → CeresConfig defaults) ---
+    max_parse_depth: int | None = None
+    max_parse_nodes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.batch_max_pages < 1:
+            raise ValueError("batch_max_pages must be >= 1")
+        if self.request_deadline <= 0:
+            raise ValueError("request_deadline must be > 0 seconds")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_probes < 1:
+            raise ValueError("breaker_probes must be >= 1")
+        if self.breaker_cooldown < 0 or self.batch_linger < 0:
+            raise ValueError("durations must be >= 0")
+        if self.drain_timeout <= 0:
+            raise ValueError("drain_timeout must be > 0 seconds")

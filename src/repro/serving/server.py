@@ -1,0 +1,627 @@
+"""The resilient HTTP serving tier in front of :class:`ExtractionService`.
+
+``python -m repro serve-http`` starts a :class:`ServingServer`: a
+stdlib-only threaded HTTP/JSON server designed around failure rather
+than around the happy path.
+
+* **Backpressure, not buffering.**  Admission goes through a bounded
+  queue (:class:`~repro.serving.batching.AdmissionQueue`); when it is
+  full the request is shed immediately with ``429`` + ``Retry-After``.
+  Queue depth and shed counts surface through :mod:`repro.obs`.
+* **Deadlines end-to-end.**  Every request carries a cooperative
+  :class:`~repro.runtime.resilience.Deadline`; a request that cannot be
+  answered in time gets ``504`` — from the worker if it is still
+  queued, from its own handler thread if a worker wedged.
+* **Per-site circuit breakers.**  Consecutive *permanent* failures of a
+  site's warm path open its breaker
+  (:class:`~repro.serving.breaker.CircuitBreaker`); while open, the
+  site degrades to the zero-shot transfer model (rows tagged
+  ``model="transfer"``) instead of 500ing every request.
+* **Cross-request micro-batching.**  Workers pull all queued requests
+  for one ``(site, threshold)`` at once, so the compiled scoring engine
+  sees full batches even from single-page clients.
+* **Graceful drain.**  SIGTERM stops admission (503 for new work),
+  flushes everything already accepted, then exits 0.  Every accepted
+  request is answered exactly once, drain or no drain.
+
+Endpoints: ``POST /extract``, ``GET /healthz`` (process liveness),
+``GET /readyz`` (admission state), ``GET /stats`` (queue, breakers,
+metrics, cache residency).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.core.config import CeresConfig
+from repro.dom.parser import ParseLimitError, parse_html
+from repro.runtime.resilience import classify_error, soft_deadline
+from repro.runtime.runner import extraction_row
+from repro.serving.batching import (
+    OFFER_ACCEPTED,
+    OFFER_FULL,
+    AdmissionQueue,
+    PendingRequest,
+)
+from repro.serving.breaker import BreakerBoard
+from repro.serving.config import ServingConfig
+from repro.testing.faults import fault_point
+
+__all__ = ["ServingServer"]
+
+#: classify_error category -> HTTP status for a failed extraction.
+_CATEGORY_STATUS = {"permanent": 500, "transient": 503, "overload": 429}
+
+PHASE_READY = "ready"
+PHASE_DRAINING = "draining"
+PHASE_STOPPED = "stopped"
+
+
+class _JsonReply(Exception):
+    """Internal control flow: abort request handling with this response."""
+
+    def __init__(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    # One thread per connection; daemonized so a handler wedged by an
+    # injected hang fault can never block process exit, and shutdown
+    # does not wait on it either.
+    daemon_threads = True
+    block_on_close = False
+    allow_reuse_address = True
+    app: "ServingServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _HTTPServer
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging goes through repro.obs, not stderr
+
+    def _reply(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", str(math.ceil(retry_after)))
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            # The client hung up mid-response; nothing left to answer.
+            self.close_connection = True
+
+    def do_GET(self) -> None:
+        app = self.server.app
+        if self.path == "/healthz":
+            self._reply(200, {"status": "alive"})
+        elif self.path == "/readyz":
+            phase = app.phase
+            if phase == PHASE_READY:
+                self._reply(200, {"status": PHASE_READY})
+            else:
+                self._reply(
+                    503, {"status": phase}, retry_after=app.config.retry_after
+                )
+        elif self.path == "/stats":
+            self._reply(200, app.stats_payload())
+        else:
+            self._reply(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_POST(self) -> None:
+        app = self.server.app
+        if self.path != "/extract":
+            self._reply(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        with obs.metrics().timer("serving.request_seconds"):
+            try:
+                status, payload, retry_after = app.handle_extract(self)
+            except _JsonReply as reply:
+                status = reply.status
+                payload = reply.payload
+                retry_after = reply.retry_after
+            except Exception as exc:
+                # Injected handler faults and genuine bugs end up here;
+                # classify so chaos runs see the taxonomy on the wire.
+                category = classify_error(exc)
+                status = _CATEGORY_STATUS[category]
+                payload = {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "category": category,
+                }
+                retry_after = (
+                    app.config.retry_after if status in (429, 503) else None
+                )
+        self._reply(status, payload, retry_after)
+
+
+class ServingServer:
+    """Owns the HTTP listener, the admission queue, and the batch workers.
+
+    Thread model: one handler thread per connection (produces
+    :class:`PendingRequest`s and waits on them), ``config.workers``
+    batch workers (consume site batches), one acceptor thread running
+    ``serve_forever``, and — once drain starts — one drain thread.
+    ``_lifecycle`` guards the request gauge and the phase machine.
+    """
+
+    def __init__(
+        self,
+        service,
+        config: ServingConfig | None = None,
+        *,
+        ceres_config: CeresConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config or ServingConfig()
+        parse_defaults = ceres_config or getattr(
+            service, "config", None
+        ) or CeresConfig()
+        self._max_parse_depth = (
+            self.config.max_parse_depth
+            if self.config.max_parse_depth is not None
+            else parse_defaults.max_parse_depth
+        )
+        self._max_parse_nodes = (
+            self.config.max_parse_nodes
+            if self.config.max_parse_nodes is not None
+            else parse_defaults.max_parse_nodes
+        )
+        self.queue = AdmissionQueue(
+            max_depth=self.config.max_queue_depth,
+            batch_max_pages=self.config.batch_max_pages,
+            batch_linger=self.config.batch_linger,
+        )
+        self.breakers = BreakerBoard(
+            failures=self.config.breaker_failures,
+            cooldown=self.config.breaker_cooldown,
+            probes=self.config.breaker_probes,
+        )
+        self._lifecycle = threading.Condition()
+        self._phase = PHASE_READY
+        self._inflight = 0
+        self._workers: list[threading.Thread] = []
+        self._acceptor: threading.Thread | None = None
+        self._httpd: _HTTPServer | None = None
+        self._stopped_event = threading.Event()
+        self.port: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, spawn workers, and start accepting (returns at once)."""
+        self._httpd = _HTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.app = self
+        self.port = self._httpd.server_address[1]
+        for index in range(self.config.workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"serving-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._acceptor = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serving-acceptor",
+            daemon=True,
+        )
+        self._acceptor.start()
+
+    @property
+    def phase(self) -> str:
+        with self._lifecycle:
+            return self._phase
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown (idempotent, signal-handler safe).
+
+        New work is refused with 503 immediately; already-accepted work
+        keeps flowing.  A background thread completes the drain and
+        flips the server to ``stopped``.
+        """
+        with self._lifecycle:
+            if self._phase != PHASE_READY:
+                return
+            self._phase = PHASE_DRAINING
+        self.queue.begin_drain()
+        threading.Thread(
+            target=self._drain, name="serving-drain", daemon=True
+        ).start()
+
+    def _drain(self) -> None:
+        with soft_deadline(self.config.drain_timeout) as budget:
+            clean = self.queue.wait_idle(
+                budget.remaining() or self.config.drain_timeout
+            )
+            clean = self._wait_inflight(budget) and clean
+        if not clean:
+            # Forced drain: whatever is still queued gets a definitive
+            # 503 now rather than a hang; in-flight batches keep their
+            # workers (daemonized) and die with the process.
+            for request in self.queue.abort_pending():
+                if request.fulfill(
+                    (
+                        "error",
+                        503,
+                        "server shut down before the request could run",
+                        "overload",
+                    )
+                ):
+                    obs.metrics().inc("serving.drain_forced")
+        try:
+            fault_point("serving.drain")
+        except Exception as exc:
+            # An injected drain fault must not leave the process hanging
+            # half-stopped; note it and finish shutting down anyway.
+            obs.metrics().inc(f"serving.drain_errors_{classify_error(exc)}")
+        self.queue.stop()
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        with self._lifecycle:
+            self._phase = PHASE_STOPPED
+        self._stopped_event.set()
+
+    def _wait_inflight(self, budget) -> bool:
+        with self._lifecycle:
+            while self._inflight > 0:
+                remaining = budget.remaining()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._lifecycle.wait(
+                    0.1 if remaining is None else min(0.1, remaining)
+                )
+            return True
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        """Block until the drain completes (signal-friendly polling)."""
+        with soft_deadline(timeout) as budget:
+            while not self._stopped_event.is_set():
+                remaining = budget.remaining()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._stopped_event.wait(
+                    0.2 if remaining is None else min(0.2, remaining)
+                )
+        return True
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Drain and wait for the server to stop (test convenience)."""
+        self.initiate_drain()
+        return self.wait_stopped(timeout)
+
+    # -- request path (handler threads) ------------------------------------
+
+    def handle_extract(self, handler: _Handler):
+        """Admit, wait, and shape one ``/extract`` response.
+
+        Returns ``(status, payload, retry_after)``; raises
+        :class:`_JsonReply` for early-out responses.
+        """
+        payload = self._read_request(handler)
+        site = payload.get("site")
+        if not isinstance(site, str) or not site:
+            raise _JsonReply(400, {"error": "body must carry a 'site' string"})
+        fault_point("serving.handle", site=site)
+        documents = self._parse_pages(payload)
+        threshold = self._number_field(payload, "threshold")
+        deadline_s = self.config.request_deadline
+        client_deadline = self._number_field(payload, "deadline")
+        if client_deadline is not None and client_deadline > 0:
+            deadline_s = min(deadline_s, client_deadline)
+        if self.phase != PHASE_READY:
+            raise _JsonReply(
+                503,
+                {"error": "server is draining", "category": "overload"},
+                retry_after=self.config.retry_after,
+            )
+        registry = obs.metrics()
+        with soft_deadline(deadline_s) as request_deadline:
+            request = PendingRequest(
+                site=site,
+                documents=documents,
+                threshold=threshold,
+                deadline=request_deadline,
+            )
+            verdict = self.queue.offer(request)
+            if verdict == OFFER_FULL:
+                registry.inc("serving.shed")
+                raise _JsonReply(
+                    429,
+                    {"error": "admission queue is full", "category": "overload"},
+                    retry_after=self.config.retry_after,
+                )
+            if verdict != OFFER_ACCEPTED:
+                raise _JsonReply(
+                    503,
+                    {"error": "server is draining", "category": "overload"},
+                    retry_after=self.config.retry_after,
+                )
+            registry.inc("serving.accepted")
+            registry.observe(
+                "serving.queue_depth", self.queue.stats()["depth"]
+            )
+            self._begin_request()
+            try:
+                fulfilled = request.wait()
+                if not fulfilled and request.forsake():
+                    registry.inc("serving.deadline_expired")
+                    raise _JsonReply(
+                        504,
+                        {
+                            "error": (
+                                f"deadline of {deadline_s}s expired before "
+                                "a worker could answer"
+                            ),
+                            "category": "overload",
+                        },
+                    )
+            finally:
+                self._end_request()
+        outcome = request.outcome
+        registry.inc("serving.responses")
+        if outcome[0] == "ok":
+            _, rows, model = outcome
+            return (
+                200,
+                {
+                    "site": site,
+                    "model": model,
+                    "pages": len(documents),
+                    "extractions": len(rows),
+                    "rows": rows,
+                },
+                None,
+            )
+        _, status, message, category = outcome
+        retry_after = (
+            self.config.retry_after if status in (429, 503) else None
+        )
+        return status, {"error": message, "category": category}, retry_after
+
+    def _read_request(self, handler: _Handler) -> dict:
+        try:
+            length = int(handler.headers.get("Content-Length", ""))
+        except ValueError:
+            handler.close_connection = True  # body never read
+            raise _JsonReply(
+                411, {"error": "Content-Length is required"}
+            ) from None
+        if length > self.config.max_body_bytes:
+            handler.close_connection = True  # refuse to read the body
+            raise _JsonReply(
+                413,
+                {
+                    "error": (
+                        f"body of {length} bytes exceeds the "
+                        f"{self.config.max_body_bytes}-byte limit"
+                    )
+                },
+            )
+        body = handler.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except ValueError as exc:
+            raise _JsonReply(
+                400, {"error": f"body is not valid JSON: {exc}"}
+            ) from None
+        if not isinstance(payload, dict):
+            raise _JsonReply(400, {"error": "body must be a JSON object"})
+        return payload
+
+    def _parse_pages(self, payload: dict) -> list:
+        pages = payload.get("pages")
+        if not isinstance(pages, list) or not pages:
+            raise _JsonReply(
+                400, {"error": "body must carry a non-empty 'pages' list"}
+            )
+        documents = []
+        for index, page in enumerate(pages):
+            if not isinstance(page, dict) or not isinstance(
+                page.get("html"), str
+            ):
+                raise _JsonReply(
+                    400,
+                    {"error": f"pages[{index}] must carry an 'html' string"},
+                )
+            try:
+                documents.append(
+                    parse_html(
+                        page["html"],
+                        url=str(page.get("url", f"page-{index}")),
+                        max_depth=self._max_parse_depth,
+                        max_nodes=self._max_parse_nodes,
+                    )
+                )
+            except ParseLimitError as exc:
+                obs.metrics().inc("serving.parse_rejected")
+                raise _JsonReply(
+                    422,
+                    {
+                        "error": f"pages[{index}]: {exc}",
+                        "category": "permanent",
+                    },
+                ) from None
+        return documents
+
+    @staticmethod
+    def _number_field(payload: dict, key: str) -> float | None:
+        value = payload.get(key)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _JsonReply(400, {"error": f"'{key}' must be a number"})
+        return float(value)
+
+    def _begin_request(self) -> None:
+        with self._lifecycle:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._lifecycle:
+            self._inflight -= 1
+            self._lifecycle.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: runbook view of the whole serving tier."""
+        with self._lifecycle:
+            phase = self._phase
+            inflight = self._inflight
+        return {
+            "phase": phase,
+            "inflight": inflight,
+            "queue": self.queue.stats(),
+            "breakers": self.breakers.snapshot(),
+            "metrics": obs.metrics().snapshot(),
+            "service": self.service.cache_stats(),
+        }
+
+    # -- batch path (worker threads) ---------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            claimed = self.queue.take_batch()
+            if claimed is None:
+                return
+            site, batch = claimed
+            try:
+                self._process_batch(site, batch)
+            finally:
+                self.queue.finish_site(site)
+
+    def _process_batch(self, site: str, batch: list) -> None:
+        registry = obs.metrics()
+        live = []
+        for request in batch:
+            if request.deadline.expired():
+                if request.fulfill(
+                    (
+                        "error",
+                        504,
+                        "request expired while queued",
+                        "overload",
+                    )
+                ):
+                    registry.inc("serving.deadline_expired_queued")
+            else:
+                live.append(request)
+        if not live:
+            return
+        threshold = live[0].threshold
+        merged: list = []
+        offsets: list[int] = []
+        for request in live:
+            offsets.append(len(merged))
+            merged.extend(request.documents)
+        registry.inc("serving.batches")
+        registry.observe("serving.batch_pages", len(merged))
+        breaker = self.breakers.for_site(site)
+        route = breaker.route()
+        if route == "primary":
+            try:
+                with obs.span(
+                    "serving.batch", site=site, pages=len(merged),
+                    route="primary",
+                ):
+                    fault_point("serving.batch", site=site)
+                    extractions = self.service.extract_pages(
+                        site, merged, threshold
+                    )
+            except Exception as exc:
+                category = classify_error(exc)
+                if breaker.record_failure(category):
+                    registry.inc("serving.breaker_opened")
+                registry.inc(f"serving.errors_{category}")
+                outcome = (
+                    "error",
+                    _CATEGORY_STATUS[category],
+                    f"{type(exc).__name__}: {exc}",
+                    category,
+                )
+                for request in live:
+                    request.fulfill(outcome)
+                return
+            breaker.record_success()
+            registry.inc("serving.primary_requests", len(live))
+            # The primary route still serves zero-shot when the service
+            # has --transfer-fallback on and no model for this site.
+            label = (
+                "site" if self.service.has_site_model(site) else "transfer"
+            )
+            self._fulfill_split(live, offsets, merged, extractions, site, label)
+            return
+        try:
+            with obs.span(
+                "serving.batch", site=site, pages=len(merged),
+                route="fallback",
+            ):
+                extractions = self.service.extract_pages_transfer(
+                    site, merged, threshold
+                )
+        except Exception as exc:
+            category = classify_error(exc)
+            registry.inc(f"serving.fallback_errors_{category}")
+            outcome = (
+                "error",
+                503,
+                (
+                    f"circuit breaker open for {site!r} and the zero-shot "
+                    f"fallback failed: {type(exc).__name__}: {exc}"
+                ),
+                "overload",
+            )
+            for request in live:
+                request.fulfill(outcome)
+            return
+        registry.inc("serving.fallback_requests", len(live))
+        self._fulfill_split(live, offsets, merged, extractions, site, "transfer")
+
+    @staticmethod
+    def _fulfill_split(
+        live: list, offsets: list[int], merged: list, extractions: list,
+        site: str, model: str,
+    ) -> None:
+        """Route each extraction back to the request that sent its page."""
+        # The extractions themselves are the provenance of record: a
+        # service-level --transfer-fallback can serve an unseen site
+        # zero-shot even on the breaker's primary route, and then the
+        # top-level label must say "transfer" like the rows do.
+        provenances = {getattr(e, "model", "site") for e in extractions}
+        if len(provenances) == 1:
+            model = provenances.pop()
+        per_request: list[list[dict]] = [[] for _ in live]
+        bounds = offsets[1:] + [len(merged)]
+        owner = 0
+        for extraction in sorted(extractions, key=lambda e: e.page_index):
+            while extraction.page_index >= bounds[owner]:
+                owner += 1
+            per_request[owner].append(
+                extraction_row(
+                    extraction, merged[extraction.page_index].url, site
+                )
+            )
+        for request, rows in zip(live, per_request):
+            request.fulfill(("ok", rows, model))

@@ -39,6 +39,9 @@ Actions:
 ``raise-transient``
     raise :class:`TransientFaultError` — classified *transient*
     (retried with backoff).
+``raise-overload``
+    raise :class:`OverloadFaultError` — classified *overload* (busy,
+    not broken: shed/retry-later, never trips a circuit breaker).
 ``hang``
     sleep ``delay`` seconds (default far beyond any site timeout), the
     stand-in for a wedged page/site; a surrounding
@@ -69,6 +72,7 @@ __all__ = [
     "FaultError",
     "FaultPlan",
     "FaultSpec",
+    "OverloadFaultError",
     "TransientFaultError",
     "active",
     "fault_point",
@@ -80,7 +84,15 @@ __all__ = [
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 _ACTIONS = frozenset(
-    {"raise", "raise-transient", "hang", "disk-full", "corrupt-write", "exit"}
+    {
+        "raise",
+        "raise-transient",
+        "raise-overload",
+        "hang",
+        "disk-full",
+        "corrupt-write",
+        "exit",
+    }
 )
 
 
@@ -89,7 +101,12 @@ class FaultError(RuntimeError):
 
 
 class TransientFaultError(FaultError):
-    """An injected fault that heals on retry (network blip, busy lock)."""
+    """An injected fault that heals on retry (network blip, flaky disk)."""
+
+
+class OverloadFaultError(FaultError):
+    """An injected "too busy" fault (queue full, contended resource) —
+    classified *overload*: shed or retry later, never breaker-tripping."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -233,6 +250,8 @@ def _fire(spec: FaultSpec, point: str, context: dict) -> None:
         raise FaultError(f"injected fault at {where}")
     if spec.action == "raise-transient":
         raise TransientFaultError(f"injected transient fault at {where}")
+    if spec.action == "raise-overload":
+        raise OverloadFaultError(f"injected overload fault at {where}")
     if spec.action == "hang":
         # The stand-in for a wedged site; deadline()'s SIGALRM interrupts
         # it.  This sleep is fault simulation, not a retry loop — the

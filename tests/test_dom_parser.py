@@ -1,5 +1,7 @@
 """Tests for repro.dom.parser and repro.dom.node."""
 
+import pytest
+
 from repro.dom.node import ElementNode, TextNode
 from repro.dom.parser import parse_html
 
@@ -205,3 +207,54 @@ class TestDocId:
         doc = parse_html("<p>fragment</p>")
         assert isinstance(doc.doc_id, int)
         assert doc.doc_id > 0
+
+
+class TestParseLimits:
+    """Hostile-input caps: depth and node-count bombs are refused with a
+    permanent, classified error instead of exhausting the process."""
+
+    def test_depth_bomb_rejected(self):
+        from repro.dom.parser import ParseLimitError
+
+        bomb = "<div>" * 50 + "x" + "</div>" * 50
+        with pytest.raises(ParseLimitError, match="max_parse_depth"):
+            parse_html(bomb, max_depth=20)
+
+    def test_node_bomb_rejected(self):
+        from repro.dom.parser import ParseLimitError
+
+        bomb = "<html><body>" + "<p>x</p>" * 200 + "</body></html>"
+        with pytest.raises(ParseLimitError, match="max_parse_nodes"):
+            parse_html(bomb, max_nodes=100)
+
+    def test_limits_classified_permanent(self):
+        from repro.dom.parser import ParseLimitError
+        from repro.runtime.resilience import classify_error
+
+        try:
+            parse_html("<div>" * 30, max_depth=10)
+        except ParseLimitError as exc:
+            assert classify_error(exc) == "permanent"
+        else:  # pragma: no cover - the parse must fail
+            raise AssertionError("depth bomb parsed")
+
+    def test_normal_page_fits_generous_defaults(self):
+        from repro.core.config import CeresConfig
+
+        config = CeresConfig()
+        doc = parse_html(
+            SIMPLE,
+            max_depth=config.max_parse_depth,
+            max_nodes=config.max_parse_nodes,
+        )
+        assert doc.root.tag == "html"
+
+    def test_uncapped_by_default(self):
+        deep = "<div>" * 400 + "x" + "</div>" * 400
+        doc = parse_html(deep)  # trusted-corpus path stays permissive
+        assert doc.root is not None
+
+    def test_depth_cap_ignores_void_elements(self):
+        flat = "<html><body>" + "<br/>" * 50 + "</body></html>"
+        doc = parse_html(flat, max_depth=10)  # <br> never nests
+        assert doc.root.tag == "html"

@@ -1,0 +1,700 @@
+"""The resilient serving tier: breakers, backpressure, deadlines,
+micro-batching, and graceful drain.
+
+The HTTP tests run a real :class:`ServingServer` on an ephemeral port
+per test — the threading, admission, and exactly-once-response
+machinery is the thing under test, so nothing is mocked below the
+:class:`ExtractionService` boundary.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.config import CeresConfig
+from repro.core.pipeline import CeresPipeline
+from repro.datasets import generate_swde, seed_kb_for
+from repro.runtime import ExtractionService, SiteModel
+from repro.runtime.resilience import Deadline
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OFFER_ACCEPTED,
+    OFFER_CLOSED,
+    OFFER_FULL,
+    OPEN,
+    AdmissionQueue,
+    BreakerBoard,
+    CircuitBreaker,
+    PendingRequest,
+    ServingConfig,
+    ServingServer,
+)
+from repro.testing.faults import FaultPlan, FaultSpec, active
+from repro.transfer import collect_site_examples, train_global
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+
+
+@pytest.fixture(scope="module")
+def trained_world():
+    """One trained site, its pages' raw HTML, and a global model."""
+    dataset = generate_swde("movie", n_sites=2, pages_per_site=12, seed=11)
+    kb = seed_kb_for(dataset, 11)
+    site = dataset.sites[1]
+    documents = [page.document for page in site.pages]
+    config = CeresConfig()
+    pipeline = CeresPipeline(kb, config)
+    result = pipeline.run(documents, documents)
+    assert result.extractions
+    donor = dataset.sites[0]
+    pool = collect_site_examples(
+        donor.name, kb, [page.document for page in donor.pages], config
+    )
+    predicates = sorted(
+        {example.label for example in pool.examples if example.label != "OTHER"}
+    )
+    global_model = train_global([pool], predicates, config=config)
+    return {
+        "site": site.name,
+        "config": config,
+        "site_model": SiteModel.from_result(site.name, config, result),
+        "documents": documents,
+        "html": [page.html for page in site.pages],
+        "global_model": global_model,
+    }
+
+
+@pytest.fixture()
+def service(trained_world):
+    service = ExtractionService()
+    service.add_site_model(trained_world["site_model"])
+    service.set_global_model(trained_world["global_model"])
+    return service
+
+
+@pytest.fixture()
+def serving(request, service):
+    """A running server on an ephemeral port; torn down hard after the
+    test.  Parametrize knobs via ``@pytest.mark.parametrize('serving',
+    [dict(...)], indirect=True)``."""
+    knobs = dict(
+        port=0, workers=2, request_deadline=10.0, retry_after=0.5,
+        drain_timeout=2.0,
+    )
+    knobs.update(getattr(request, "param", {}))
+    config = ServingConfig(**knobs)
+    obs.enable(tracing=False, metrics=True)
+    server = ServingServer(service, config)
+    server.start()
+    yield server
+    server.stop(timeout=10)
+    obs.disable()
+
+
+def _post(port, payload, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    body = payload if isinstance(payload, (str, bytes)) else json.dumps(payload)
+    conn.request("POST", "/extract", body=body)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    headers = dict(response.getheaders())
+    conn.close()
+    return response.status, data, headers
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    conn.request("GET", path)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    status = response.status
+    conn.close()
+    return status, data
+
+
+def _request(world, n_pages=1):
+    return {
+        "site": world["site"],
+        "pages": [
+            {"html": html, "url": f"page-{index}"}
+            for index, html in enumerate(world["html"][:n_pages])
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker (unit, fake clock)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_closed_until_consecutive_permanent_failures(self):
+        breaker = CircuitBreaker(failures=3, clock=FakeClock())
+        assert breaker.route() == "primary"
+        assert breaker.record_failure("permanent") is False
+        assert breaker.record_failure("permanent") is False
+        assert breaker.phase == CLOSED
+        assert breaker.record_failure("permanent") is True
+        assert breaker.phase == OPEN
+        assert breaker.route() == "fallback"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failures=2, clock=FakeClock())
+        breaker.record_failure("permanent")
+        breaker.record_success()
+        breaker.record_failure("permanent")
+        assert breaker.phase == CLOSED  # streak broken: still closed
+
+    @pytest.mark.parametrize("category", ["transient", "overload"])
+    def test_non_permanent_failures_never_trip(self, category):
+        breaker = CircuitBreaker(failures=1, clock=FakeClock())
+        for _ in range(10):
+            assert breaker.record_failure(category) is False
+        assert breaker.phase == CLOSED
+
+    def test_cooldown_gates_the_half_open_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, cooldown=30.0, clock=clock)
+        breaker.record_failure("permanent")
+        assert breaker.route() == "fallback"  # cooling down
+        clock.advance(31.0)
+        assert breaker.route() == "primary"  # the probe
+        assert breaker.phase == HALF_OPEN
+        assert breaker.route() == "fallback"  # one probe at a time
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, cooldown=1.0, clock=clock)
+        breaker.record_failure("permanent")
+        clock.advance(2.0)
+        assert breaker.route() == "primary"
+        breaker.record_success()
+        assert breaker.phase == CLOSED
+        assert breaker.route() == "primary"
+
+    def test_probe_permanent_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, cooldown=1.0, clock=clock)
+        breaker.record_failure("permanent")
+        clock.advance(2.0)
+        assert breaker.route() == "primary"
+        assert breaker.record_failure("permanent") is True
+        assert breaker.phase == OPEN
+        assert breaker.route() == "fallback"  # cooldown restarted
+
+    def test_probe_transient_failure_releases_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failures=1, cooldown=1.0, clock=clock)
+        breaker.record_failure("permanent")
+        clock.advance(2.0)
+        assert breaker.route() == "primary"
+        assert breaker.record_failure("transient") is False
+        assert breaker.phase == HALF_OPEN
+        assert breaker.route() == "primary"  # next request may probe again
+
+    def test_multi_probe_closing(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failures=1, cooldown=1.0, probes=2, clock=clock
+        )
+        breaker.record_failure("permanent")
+        clock.advance(2.0)
+        assert breaker.route() == "primary"
+        breaker.record_success()
+        assert breaker.phase == HALF_OPEN  # one success is not enough
+        assert breaker.route() == "primary"
+        breaker.record_success()
+        assert breaker.phase == CLOSED
+
+    def test_snapshot_counts_openings(self):
+        breaker = CircuitBreaker(failures=1, clock=FakeClock())
+        breaker.record_failure("permanent")
+        snapshot = breaker.snapshot()
+        assert snapshot["phase"] == OPEN
+        assert snapshot["opened_total"] == 1
+
+    def test_board_lazily_creates_and_snapshots(self):
+        board = BreakerBoard(failures=1)
+        assert board.for_site("a") is board.for_site("a")
+        board.for_site("a").record_failure("permanent")
+        snapshot = board.snapshot()
+        assert snapshot["a"]["phase"] == OPEN
+
+
+# ---------------------------------------------------------------------------
+# admission queue (unit)
+
+
+def _pending(site, n_docs=1, threshold=None, seconds=None):
+    return PendingRequest(
+        site=site,
+        documents=[object()] * n_docs,
+        threshold=threshold,
+        deadline=Deadline(seconds),
+    )
+
+
+class TestAdmissionQueue:
+    def test_offer_verdicts(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.offer(_pending("a")) == OFFER_ACCEPTED
+        assert queue.offer(_pending("a")) == OFFER_ACCEPTED
+        assert queue.offer(_pending("a")) == OFFER_FULL
+        queue.begin_drain()
+        assert queue.offer(_pending("a")) == OFFER_CLOSED
+
+    def test_take_batch_groups_same_site_and_threshold(self):
+        queue = AdmissionQueue(max_depth=10)
+        first = _pending("a", 2)
+        second = _pending("a", 3)
+        other_site = _pending("b", 1)
+        other_threshold = _pending("a", 1, threshold=0.9)
+        for request in (first, second, other_site, other_threshold):
+            queue.offer(request)
+        site, batch = queue.take_batch()
+        assert site == "a"
+        assert batch == [first, second]  # same (site, threshold) only
+
+    def test_batch_page_cap(self):
+        queue = AdmissionQueue(max_depth=10, batch_max_pages=4)
+        first = _pending("a", 3)
+        second = _pending("a", 3)  # 3 + 3 > 4: must wait for batch two
+        queue.offer(first)
+        queue.offer(second)
+        _, batch = queue.take_batch()
+        assert batch == [first]
+
+    def test_oversized_single_request_still_ships(self):
+        queue = AdmissionQueue(max_depth=10, batch_max_pages=4)
+        big = _pending("a", 9)
+        queue.offer(big)
+        _, batch = queue.take_batch()
+        assert batch == [big]
+
+    def test_per_site_serialization(self):
+        queue = AdmissionQueue(max_depth=10)
+        queue.offer(_pending("a"))
+        queue.offer(_pending("a"))
+        queue.offer(_pending("b"))
+        site_one, _ = queue.take_batch()
+        assert site_one == "a"
+        # "a" is claimed: the next batch must be "b", even though another
+        # "a" request arrived first.
+        queue.offer(_pending("a"))
+        site_two, _ = queue.take_batch()
+        assert site_two == "b"
+        queue.finish_site("a")
+        site_three, _ = queue.take_batch()
+        assert site_three == "a"
+
+    def test_stop_drains_then_signals_exit(self):
+        queue = AdmissionQueue(max_depth=10)
+        queue.offer(_pending("a"))
+        queue.stop()
+        assert queue.take_batch() is not None  # queued work still flows
+        assert queue.take_batch() is None  # then workers are told to exit
+
+    def test_wait_idle_and_abort(self):
+        queue = AdmissionQueue(max_depth=10)
+        queue.offer(_pending("a"))
+        assert queue.wait_idle(0.05) is False
+        aborted = queue.abort_pending()
+        assert len(aborted) == 1
+        assert queue.wait_idle(0.05) is True
+
+    def test_exactly_once_fulfill_vs_forsake(self):
+        request = _pending("a")
+        assert request.fulfill(("ok", [], "site")) is True
+        assert request.forsake() is False  # worker won
+        late = _pending("a")
+        assert late.forsake() is True
+        assert late.fulfill(("ok", [], "site")) is False  # waiter won
+
+
+# ---------------------------------------------------------------------------
+# HTTP integration
+
+
+class TestHttpServing:
+    def test_round_trip_matches_direct_service(
+        self, serving, service, trained_world
+    ):
+        world = trained_world
+        status, data, _ = _post(serving.port, _request(world, n_pages=12))
+        assert status == 200
+        assert data["model"] == "site"
+        assert data["pages"] == 12
+        direct = service.extract_pages(world["site"], world["documents"])
+        assert data["extractions"] == len(direct)
+        row = data["rows"][0]
+        assert set(row) >= {
+            "site", "page", "subject", "predicate", "object", "confidence",
+        }
+
+    def test_concurrent_single_page_requests_all_answered(
+        self, serving, trained_world
+    ):
+        results = []
+        lock = threading.Lock()
+
+        def one(index):
+            payload = {
+                "site": trained_world["site"],
+                "pages": [
+                    {"html": trained_world["html"][index], "url": f"p{index}"}
+                ],
+            }
+            status, data, _ = _post(serving.port, payload)
+            with lock:
+                results.append((index, status, data))
+
+        threads = [
+            threading.Thread(target=one, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(r[1] for r in results) == [200] * 8
+        for index, _, data in results:
+            for row in data["rows"]:
+                assert row["page"] == f"p{index}"  # no cross-request bleed
+
+    def test_health_endpoints(self, serving):
+        assert _get(serving.port, "/healthz") == (200, {"status": "alive"})
+        status, data = _get(serving.port, "/readyz")
+        assert (status, data["status"]) == (200, "ready")
+        status, data = _get(serving.port, "/stats")
+        assert status == 200
+        assert data["phase"] == "ready"
+        assert "queue" in data and "breakers" in data and "metrics" in data
+
+    def test_unknown_endpoint_404(self, serving):
+        status, _ = _get(serving.port, "/nope")
+        assert status == 404
+
+    def test_malformed_json_400(self, serving):
+        status, data, _ = _post(serving.port, "{nope")
+        assert status == 400
+        assert "JSON" in data["error"]
+
+    def test_missing_site_400(self, serving):
+        status, _, _ = _post(serving.port, {"pages": [{"html": "<p>x</p>"}]})
+        assert status == 400
+
+    def test_pages_required_400(self, serving, trained_world):
+        status, _, _ = _post(serving.port, {"site": trained_world["site"]})
+        assert status == 400
+
+    def test_depth_bomb_422_permanent(self, serving, trained_world):
+        bomb = "<div>" * 400 + "x" + "</div>" * 400
+        status, data, _ = _post(
+            serving.port,
+            {"site": trained_world["site"], "pages": [{"html": bomb}]},
+        )
+        assert status == 422
+        assert data["category"] == "permanent"
+
+    def test_unknown_site_is_permanent_500(self, serving):
+        status, data, _ = _post(
+            serving.port,
+            {"site": "never-trained", "pages": [{"html": "<p>x</p>"}]},
+        )
+        assert status == 500
+        assert data["category"] == "permanent"
+
+    @pytest.mark.parametrize(
+        "serving",
+        [dict(workers=1, max_queue_depth=1, request_deadline=1.0)],
+        indirect=True,
+    )
+    def test_full_queue_sheds_429_with_retry_after(
+        self, serving, trained_world
+    ):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "serving.batch", site=trained_world["site"],
+                    action="hang", delay=30.0, times=1,
+                )
+            ]
+        )
+        with active(plan):
+            payload = _request(trained_world)
+            background = []
+
+            def fire():
+                background.append(_post(serving.port, payload))
+
+            wedged = threading.Thread(target=fire)
+            wedged.start()
+            time.sleep(0.3)  # let the worker claim it and hang
+            queued = threading.Thread(target=fire)
+            queued.start()
+            time.sleep(0.2)
+            status, data, headers = _post(serving.port, payload)
+            assert status == 429
+            assert data["category"] == "overload"
+            assert headers.get("Retry-After") == "1"
+            wedged.join()
+            queued.join()
+        # Wedged and queued requests hit the 1s deadline: 504, exactly once.
+        assert sorted(result[0] for result in background) == [504, 504]
+        counters = serving.stats_payload()["metrics"]["counters"]
+        assert counters["serving.shed"] == 1
+        assert counters["serving.accepted"] == 2
+
+    def test_client_deadline_can_only_shrink(self, serving, trained_world):
+        payload = dict(_request(trained_world), deadline=120.0)
+        status, _, _ = _post(serving.port, payload)
+        assert status == 200  # capped at the server budget, still served
+
+    def test_breaker_opens_then_serves_transfer_then_recloses(
+        self, serving, trained_world
+    ):
+        site = trained_world["site"]
+        serving.breakers._cooldown = 0.3  # fast half-open for the test
+        plan = FaultPlan(
+            [FaultSpec("serving.batch", site=site, action="raise", times=3)]
+        )
+        payload = _request(trained_world)
+        with active(plan):
+            for _ in range(3):
+                status, data, _ = _post(serving.port, payload)
+                assert status == 500
+                assert data["category"] == "permanent"
+            breaker = serving.breakers.for_site(site)
+            assert breaker.phase == OPEN
+            # Open: requests degrade to the zero-shot transfer model.
+            status, data, _ = _post(serving.port, payload)
+            assert status == 200
+            assert data["model"] == "transfer"
+            for row in data["rows"]:
+                assert row["model"] == "transfer"
+            time.sleep(0.4)  # cooldown elapses; faults are exhausted
+            status, data, _ = _post(serving.port, payload)
+            assert status == 200
+            assert data["model"] == "site"
+            assert breaker.phase == CLOSED
+        counters = serving.stats_payload()["metrics"]["counters"]
+        assert counters["serving.breaker_opened"] == 1
+        assert counters["serving.fallback_requests"] == 1
+
+    def test_service_level_transfer_fallback_labels_response(
+        self, trained_world
+    ):
+        """An unseen site served zero-shot by a --transfer-fallback
+        service must say model="transfer" at the top level too, even
+        though it went down the breaker's primary route."""
+        service = ExtractionService(transfer_fallback=True)
+        service.add_site_model(trained_world["site_model"])
+        service.set_global_model(trained_world["global_model"])
+        obs.enable(tracing=False, metrics=True)
+        server = ServingServer(service, ServingConfig(port=0, workers=1))
+        server.start()
+        try:
+            status, data, _ = _post(server.port, {
+                "site": "never-seen.example",
+                "pages": [{"html": trained_world["html"][0], "url": "p0"}],
+            })
+        finally:
+            server.stop()
+            obs.disable()
+        assert status == 200
+        assert data["model"] == "transfer"
+        assert all(row["model"] == "transfer" for row in data["rows"])
+
+    def test_transient_faults_never_open_the_breaker(
+        self, serving, trained_world
+    ):
+        site = trained_world["site"]
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "serving.batch", site=site,
+                    action="raise-transient", times=5,
+                )
+            ]
+        )
+        payload = _request(trained_world)
+        with active(plan):
+            for _ in range(5):
+                status, data, _ = _post(serving.port, payload)
+                assert status == 503
+                assert data["category"] == "transient"
+        assert serving.breakers.for_site(site).phase == CLOSED
+        status, data, _ = _post(serving.port, payload)
+        assert status == 200
+        assert data["model"] == "site"
+
+    def test_overload_faults_map_to_429(self, serving, trained_world):
+        site = trained_world["site"]
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "serving.batch", site=site,
+                    action="raise-overload", times=1,
+                )
+            ]
+        )
+        with active(plan):
+            status, data, headers = _post(
+                serving.port, _request(trained_world)
+            )
+        assert status == 429
+        assert data["category"] == "overload"
+        assert "Retry-After" in headers
+        assert serving.breakers.for_site(site).phase == CLOSED
+
+    @pytest.mark.parametrize(
+        "serving", [dict(batch_linger=0.15, workers=1)], indirect=True
+    )
+    def test_cross_request_micro_batching(self, serving, trained_world):
+        """Concurrent single-page requests for one site score as one
+        merged batch when linger is on."""
+        results = []
+        lock = threading.Lock()
+
+        def one(index):
+            payload = {
+                "site": trained_world["site"],
+                "pages": [
+                    {"html": trained_world["html"][index], "url": f"p{index}"}
+                ],
+            }
+            outcome = _post(serving.port, payload)
+            with lock:
+                results.append(outcome)
+
+        threads = [
+            threading.Thread(target=one, args=(index,)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result[0] == 200 for result in results)
+        histograms = serving.stats_payload()["metrics"]["histograms"]
+        batched = histograms["serving.batch_pages"]
+        assert batched["max"] >= 2  # at least one merged batch
+        counters = serving.stats_payload()["metrics"]["counters"]
+        assert counters["serving.batches"] < 4
+
+
+class TestDrain:
+    @pytest.mark.parametrize(
+        "serving", [dict(workers=1, batch_linger=0.05)], indirect=True
+    )
+    def test_drain_answers_every_accepted_request_exactly_once(
+        self, serving, trained_world
+    ):
+        """SIGTERM semantics: accepted work flushes, new work gets 503,
+        and the server stops cleanly."""
+        results = []
+        lock = threading.Lock()
+
+        def one(index):
+            payload = {
+                "site": trained_world["site"],
+                "pages": [
+                    {
+                        "html": trained_world["html"][index % 12],
+                        "url": f"p{index}",
+                    }
+                ],
+            }
+            try:
+                outcome = _post(serving.port, payload)
+            except OSError as exc:
+                outcome = ("connect-error", exc, None)
+            with lock:
+                results.append((index, outcome))
+
+        threads = [
+            threading.Thread(target=one, args=(index,)) for index in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # a few requests are queued or in flight
+        serving.initiate_drain()
+        for thread in threads:
+            thread.join()
+        assert serving.wait_stopped(timeout=10)
+        assert serving.phase == "stopped"
+        statuses = sorted(result[1][0] for result in results)
+        # every request got exactly one definitive answer: served, or
+        # refused because the drain won the race.
+        assert len(statuses) == 6
+        assert all(status in (200, 503) for status in statuses)
+        counters = serving.stats_payload()["metrics"]["counters"]
+        assert counters.get("serving.accepted", 0) == counters.get(
+            "serving.responses", 0
+        )
+
+    def test_drain_is_idempotent_and_readyz_flips(self, serving):
+        serving.initiate_drain()
+        serving.initiate_drain()  # second call is a no-op
+        assert serving.wait_stopped(timeout=10)
+        assert serving.phase == "stopped"
+
+    @pytest.mark.parametrize(
+        "serving",
+        [dict(workers=1, drain_timeout=0.5, request_deadline=5.0)],
+        indirect=True,
+    )
+    def test_forced_drain_answers_stuck_work_503(
+        self, serving, trained_world
+    ):
+        """A wedged worker cannot make drain hang past its budget: what
+        is still queued gets a definitive 503."""
+        site = trained_world["site"]
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "serving.batch", site=site,
+                    action="hang", delay=30.0, times=1,
+                )
+            ]
+        )
+        with active(plan):
+            payload = _request(trained_world)
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(_post(serving.port, payload))
+                )
+                for _ in range(2)
+            ]
+            threads[0].start()
+            time.sleep(0.3)  # worker claims and hangs
+            threads[1].start()  # this one stays queued
+            time.sleep(0.1)
+            started = time.monotonic()
+            serving.initiate_drain()
+            assert serving.wait_stopped(timeout=10)
+            elapsed = time.monotonic() - started
+            for thread in threads:
+                thread.join()
+        assert elapsed < 8.0  # bounded by drain_timeout + join grace
+        statuses = sorted(result[0] for result in results)
+        # Both answered exactly once: the queued one 503 by forced drain,
+        # the hung one 503/504 depending on who claimed it first.
+        assert len(statuses) == 2
+        assert all(status in (503, 504) for status in statuses)
